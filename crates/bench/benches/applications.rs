@@ -1,0 +1,48 @@
+//! Criterion bench for the application workloads (reduced-size versions of
+//! the Figure 4 and Figure 5 programs plus the Jacobi kernel). The full-size
+//! runs that regenerate the figures are the `fig4_tsp` / `fig5_coloring`
+//! binaries; these benches keep the end-to-end paths exercised and tracked.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmpm2_workloads::jacobi::{run_jacobi, JacobiConfig};
+use dsmpm2_workloads::map_coloring::{run_map_coloring, ColoringConfig};
+use dsmpm2_workloads::tsp::{run_tsp, TspConfig};
+
+fn bench_tsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tsp_small");
+    group.sample_size(10);
+    for proto in ["li_hudak", "migrate_thread", "erc_sw", "hbrc_mw"] {
+        group.bench_with_input(BenchmarkId::new("9cities_2nodes", proto), &proto, |b, p| {
+            let config = TspConfig::small(2, 9);
+            b.iter(|| run_tsp(&config, p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_coloring_small");
+    group.sample_size(10);
+    for proto in ["java_ic", "java_pf"] {
+        group.bench_with_input(BenchmarkId::new("14states_2nodes", proto), &proto, |b, p| {
+            let config = ColoringConfig::small(2, 14);
+            b.iter(|| run_map_coloring(&config, p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_small");
+    group.sample_size(10);
+    for proto in ["li_hudak", "erc_sw", "hbrc_mw"] {
+        group.bench_with_input(BenchmarkId::new("32x32_2nodes", proto), &proto, |b, p| {
+            let config = JacobiConfig::small(2);
+            b.iter(|| run_jacobi(&config, p))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tsp, bench_coloring, bench_jacobi);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion bench for DSM core primitives: diff computation/application and
+//! shared-counter contention under each protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmpm2_core::{PageDiff, PageId, PAGE_SIZE};
+use dsmpm2_madeleine::profiles;
+use dsmpm2_workloads::run_shared_counter;
+
+fn bench_diffs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diff");
+    let twin = vec![0u8; PAGE_SIZE];
+    for modified in [4usize, 64, 1024, PAGE_SIZE] {
+        let mut cur = twin.clone();
+        for i in 0..modified {
+            cur[i] = 1;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("compute", modified),
+            &modified,
+            |b, _| b.iter(|| PageDiff::compute(PageId(0), &twin, &cur)),
+        );
+        let diff = PageDiff::compute(PageId(0), &twin, &cur);
+        group.bench_with_input(BenchmarkId::new("apply", modified), &modified, |b, _| {
+            b.iter(|| {
+                let mut target = twin.clone();
+                diff.apply(&mut target);
+                target
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_shared_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shared_counter");
+    group.sample_size(10);
+    for proto in ["li_hudak", "migrate_thread", "erc_sw", "hbrc_mw"] {
+        group.bench_with_input(BenchmarkId::new("3nodes_x8", proto), &proto, |b, proto| {
+            b.iter(|| {
+                let v = run_shared_counter(3, 8, profiles::bip_myrinet(), proto);
+                assert_eq!(v, 24);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_diffs, bench_shared_counter);
+criterion_main!(benches);

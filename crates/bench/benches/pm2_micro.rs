@@ -1,0 +1,68 @@
+//! Criterion bench for the PM2 substrate (§2.1 micro-measurements): null RPC
+//! round trips and thread migrations on the simulated cluster.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmpm2_madeleine::profiles;
+use dsmpm2_pm2::{service_fn, Engine, NodeId, Pm2Cluster, Pm2Config, RpcClass, RpcReply};
+use parking_lot::Mutex;
+
+fn null_rpc(network: dsmpm2_madeleine::NetworkModel, calls: u32) -> f64 {
+    let engine = Engine::new();
+    let cluster = Pm2Cluster::new(&engine, Pm2Config::new(2, network));
+    cluster.register_service(service_fn("null", false, |_ctx, _payload| {
+        Some(RpcReply::minimal(()))
+    }));
+    let total = Arc::new(Mutex::new(0.0));
+    let t = total.clone();
+    let c = cluster.clone();
+    engine.spawn("caller", move |h| {
+        let start = h.now();
+        for _ in 0..calls {
+            let _ = c.rpc_call(h, NodeId(0), NodeId(1), "null", Box::new(()), RpcClass::Minimal);
+        }
+        *t.lock() = h.now().since(start).as_micros_f64();
+    });
+    let mut engine = engine;
+    engine.run().unwrap();
+    let v = *total.lock();
+    v
+}
+
+fn migration_pingpong(network: dsmpm2_madeleine::NetworkModel, hops: u32) -> f64 {
+    let engine = Engine::new();
+    let cluster = Pm2Cluster::new(&engine, Pm2Config::new(2, network));
+    let total = Arc::new(Mutex::new(0.0));
+    let t = total.clone();
+    cluster.spawn_thread_on(NodeId(0), "migrator", move |ctx| {
+        let start = ctx.now();
+        for i in 0..hops {
+            ctx.migrate_to(NodeId((1 + i as usize) % 2));
+        }
+        *t.lock() = ctx.now().since(start).as_micros_f64();
+    });
+    let mut engine = engine;
+    engine.run().unwrap();
+    let v = *total.lock();
+    v
+}
+
+fn bench_pm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pm2_micro");
+    group.sample_size(20);
+    for net in [profiles::bip_myrinet(), profiles::sisci_sci()] {
+        group.bench_with_input(BenchmarkId::new("null_rpc_x32", &net.name), &net, |b, net| {
+            b.iter(|| null_rpc(net.clone(), 32))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("migration_pingpong_x16", &net.name),
+            &net,
+            |b, net| b.iter(|| migration_pingpong(net.clone(), 16)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pm2);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion bench for the Table 3 / Table 4 experiment: time (wall-clock)
+//! to simulate one remote read fault under both fault-handling policies on
+//! every network profile. The *virtual-time* results are what the paper's
+//! tables report (see the `table3`/`table4` binaries); this bench tracks the
+//! cost of the simulation itself and guards against regressions in the fault
+//! path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmpm2_madeleine::profiles;
+use dsmpm2_workloads::{measure_read_fault, FaultPolicy};
+
+fn bench_read_fault(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_fault");
+    group.sample_size(20);
+    for net in profiles::all() {
+        group.bench_with_input(
+            BenchmarkId::new("page_transfer", &net.name),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let breakdown = measure_read_fault(net.clone(), FaultPolicy::PageTransfer);
+                    assert!(breakdown.total_us > 0.0);
+                    breakdown
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("thread_migration", &net.name),
+            &net,
+            |b, net| {
+                b.iter(|| {
+                    let breakdown = measure_read_fault(net.clone(), FaultPolicy::ThreadMigration);
+                    assert!(breakdown.total_us > 0.0);
+                    breakdown
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_read_fault);
+criterion_main!(benches);

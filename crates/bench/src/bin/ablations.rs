@@ -1,0 +1,365 @@
+//! Ablation studies beyond the paper's tables: sensitivity of the headline
+//! results to the design parameters DESIGN.md calls out.
+//!
+//! * protocol-overhead sensitivity — how Table 3's total changes when the
+//!   26 µs software overhead is varied;
+//! * threads-per-node sweep on the TSP workload (the paper uses one thread
+//!   per node; more threads increase contention on the bound page);
+//! * diff-density sweep for `hbrc_mw` (how much of a page is modified before
+//!   release);
+//! * fixed vs dynamic distributed manager (`li_hudak_fixed` vs `li_hudak`):
+//!   request-forwarding behaviour on an ownership-migrating workload;
+//! * lazy vs eager release consistency (`hlrc_notices` vs `hbrc_mw`):
+//!   invalidation traffic seen by nodes that never re-synchronize;
+//! * SPLASH-2-style kernel × protocol matrix (matmul, SOR, LU, radix).
+//!
+//! Usage: `ablations [--quick]`.
+
+use dsmpm2_bench::{markdown_table, write_json};
+use dsmpm2_core::{DsmAttr, DsmCosts, DsmRuntime, HomePolicy, NodeId, Pm2Cluster, Pm2Config};
+use dsmpm2_madeleine::profiles;
+use dsmpm2_pm2::Engine;
+use dsmpm2_protocols::{register_all_protocols, register_builtin_protocols};
+use dsmpm2_sim::SimDuration;
+use dsmpm2_workloads::tsp::{run_tsp, TspConfig};
+use dsmpm2_workloads::{lu, matmul, radix, sor};
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::Arc;
+
+#[derive(Serialize)]
+struct OverheadPoint {
+    overhead_us: f64,
+    fault_total_us: f64,
+}
+
+fn fault_total_with_overhead(overhead_us: f64) -> f64 {
+    let engine = Engine::new();
+    let cluster = Pm2Cluster::new(&engine, Pm2Config::bip_myrinet(2));
+    let costs = DsmCosts {
+        page_protocol_overhead_us: overhead_us,
+        ..DsmCosts::default()
+    };
+    let rt = DsmRuntime::with_cluster_and_costs(cluster, costs);
+    let protos = register_builtin_protocols(&rt);
+    rt.set_default_protocol(protos.li_hudak);
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let elapsed = Arc::new(Mutex::new(SimDuration::ZERO));
+    let e = elapsed.clone();
+    rt.spawn_dsm_thread(NodeId(1), "faulter", move |ctx| {
+        let start = ctx.pm2.now();
+        let _ = ctx.read::<u64>(addr);
+        *e.lock() = ctx.pm2.now().since(start);
+    });
+    let mut engine = engine;
+    engine.run().unwrap();
+    let v = elapsed.lock().as_micros_f64();
+    v
+}
+
+#[derive(Serialize)]
+struct TspThreadsPoint {
+    protocol: String,
+    threads_total: usize,
+    elapsed_ms: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+
+    // --- Ablation 1: protocol-overhead sensitivity -------------------------
+    println!("Ablation 1: read-fault total vs protocol overhead (BIP/Myrinet)\n");
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    for overhead in [0.0, 13.0, 26.0, 52.0, 104.0] {
+        let total = fault_total_with_overhead(overhead);
+        rows.push(vec![format!("{overhead:.0}"), format!("{total:.0}")]);
+        points.push(OverheadPoint {
+            overhead_us: overhead,
+            fault_total_us: total,
+        });
+    }
+    println!(
+        "{}",
+        markdown_table(&["Protocol overhead (us)", "Read-fault total (us)"], &rows)
+    );
+    write_json("ablation_overhead", &points);
+
+    // --- Ablation 2: TSP node-count scaling per protocol --------------------
+    println!("Ablation 2: TSP scaling with cluster size (smaller instance)\n");
+    let cities = if quick { 9 } else { 11 };
+    let mut rows = Vec::new();
+    let mut tsp_points = Vec::new();
+    for nodes in [1usize, 2, 4] {
+        for proto in ["li_hudak", "migrate_thread"] {
+            let mut config = TspConfig::paper(nodes);
+            config.cities = cities;
+            let r = run_tsp(&config, proto);
+            rows.push(vec![
+                proto.to_string(),
+                nodes.to_string(),
+                format!("{:.1}", r.elapsed.as_millis_f64()),
+            ]);
+            tsp_points.push(TspThreadsPoint {
+                protocol: proto.to_string(),
+                threads_total: nodes,
+                elapsed_ms: r.elapsed.as_millis_f64(),
+            });
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(&["Protocol", "Nodes", "Run time (ms, virtual)"], &rows)
+    );
+    write_json("ablation_tsp_scaling", &tsp_points);
+
+    // --- Ablation 3: network profile sweep for the same fault --------------
+    println!("Ablation 3: read-fault total across network profiles (default overhead)\n");
+    let mut rows = Vec::new();
+    for net in profiles::all() {
+        let b = dsmpm2_workloads::measure_read_fault(
+            net.clone(),
+            dsmpm2_workloads::FaultPolicy::PageTransfer,
+        );
+        rows.push(vec![net.name.clone(), format!("{:.0}", b.total_us)]);
+    }
+    println!("{}", markdown_table(&["Network", "Read-fault total (us)"], &rows));
+
+    // --- Ablation 4: fixed vs dynamic distributed manager ------------------
+    println!("\nAblation 4: fixed vs dynamic distributed manager (ownership migrates around 4 nodes)\n");
+    let mut rows = Vec::new();
+    let mut manager_points = Vec::new();
+    for proto in ["li_hudak", "li_hudak_fixed"] {
+        let m = ownership_migration_study(proto);
+        rows.push(vec![
+            proto.to_string(),
+            format!("{}", m.faults),
+            format!("{}", m.forwards),
+            format!("{:.2}", m.forwards as f64 / m.faults.max(1) as f64),
+            format!("{:.1}", m.elapsed_ms),
+        ]);
+        manager_points.push(m);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Protocol", "Faults", "Request forwards", "Forwards/fault", "Run time (ms)"],
+            &rows
+        )
+    );
+    write_json("ablation_manager", &manager_points);
+
+    // --- Ablation 5: lazy vs eager release consistency ----------------------
+    println!("\nAblation 5: lazy vs eager release consistency (bystander holds a stale copy)\n");
+    let mut rows = Vec::new();
+    let mut lazy_points = Vec::new();
+    for proto in ["hbrc_mw", "hlrc_notices"] {
+        let m = bystander_study(proto, if quick { 8 } else { 32 });
+        rows.push(vec![
+            proto.to_string(),
+            format!("{}", m.invalidations),
+            format!("{}", m.diffs),
+            format!("{:.1}", m.elapsed_ms),
+        ]);
+        lazy_points.push(m);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["Protocol", "Invalidations", "Diffs", "Run time (ms)"],
+            &rows
+        )
+    );
+    write_json("ablation_laziness", &lazy_points);
+
+    // --- Ablation 6: SPLASH-2-style kernel x protocol matrix ----------------
+    println!("\nAblation 6: SPLASH-2-style kernels under five protocols (virtual ms)\n");
+    let kernel_protocols = ["li_hudak", "li_hudak_fixed", "erc_sw", "hbrc_mw", "hlrc_notices"];
+    let nodes = if quick { 2 } else { 4 };
+    let mut rows = Vec::new();
+    let mut kernel_points = Vec::new();
+    for kernel in ["matmul", "sor", "lu", "radix"] {
+        let mut row = vec![kernel.to_string()];
+        for proto in kernel_protocols {
+            let elapsed_ms = run_kernel(kernel, proto, nodes, quick);
+            row.push(format!("{elapsed_ms:.1}"));
+            kernel_points.push(KernelPoint {
+                kernel: kernel.to_string(),
+                protocol: proto.to_string(),
+                nodes,
+                elapsed_ms,
+            });
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["Kernel"];
+    header.extend(kernel_protocols);
+    println!("{}", markdown_table(&header, &rows));
+    write_json("ablation_kernels", &kernel_points);
+}
+
+#[derive(Serialize)]
+struct ManagerPoint {
+    protocol: String,
+    faults: u64,
+    forwards: u64,
+    elapsed_ms: f64,
+}
+
+/// Ownership of a single hot page migrates around the cluster, then every
+/// node reads it: the request-routing behaviour of the two distributed
+/// managers differs (hint chains vs a one-hop bounce through the manager).
+fn ownership_migration_study(proto_name: &str) -> ManagerPoint {
+    let engine = Engine::new();
+    let rt = DsmRuntime::new(&engine, Pm2Config::bip_myrinet(4));
+    let _ = register_all_protocols(&rt);
+    rt.set_default_protocol(rt.protocol_by_name(proto_name).unwrap());
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let b = rt.create_barrier(4, None);
+    let finish = Arc::new(Mutex::new(SimDuration::ZERO));
+    for node in 0..4usize {
+        let finish = finish.clone();
+        rt.spawn_dsm_thread(NodeId(node), format!("w{node}"), move |ctx| {
+            let start = ctx.pm2.now();
+            for round in 0..8usize {
+                if round % 4 == node {
+                    ctx.write::<u64>(addr, (round * 10 + node) as u64);
+                }
+                ctx.dsm_barrier(b);
+            }
+            let _ = ctx.read::<u64>(addr);
+            let mut f = finish.lock();
+            let elapsed = ctx.pm2.now().since(start);
+            if elapsed > *f {
+                *f = elapsed;
+            }
+        });
+    }
+    let mut engine = engine;
+    engine.run().expect("manager study must not deadlock");
+    let stats = rt.stats().snapshot();
+    let elapsed_ms = finish.lock().as_micros_f64() / 1000.0;
+    ManagerPoint {
+        protocol: proto_name.to_string(),
+        faults: stats.total_faults(),
+        forwards: stats.request_forwards,
+        elapsed_ms,
+    }
+}
+
+#[derive(Serialize)]
+struct LazinessPoint {
+    protocol: String,
+    invalidations: u64,
+    diffs: u64,
+    elapsed_ms: f64,
+}
+
+/// A producer repeatedly updates a shared datum under a lock while a
+/// bystander node holds a read copy and never re-synchronizes: the eager
+/// protocol invalidates the bystander on every release, the lazy one never
+/// does.
+fn bystander_study(proto_name: &str, updates: usize) -> LazinessPoint {
+    let engine = Engine::new();
+    let rt = DsmRuntime::new(&engine, Pm2Config::bip_myrinet(3));
+    let _ = register_all_protocols(&rt);
+    rt.set_default_protocol(rt.protocol_by_name(proto_name).unwrap());
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let lock = rt.create_lock(Some(NodeId(0)));
+    let b = rt.create_barrier(3, None);
+    let finish = Arc::new(Mutex::new(SimDuration::ZERO));
+    let f = finish.clone();
+    rt.spawn_dsm_thread(NodeId(2), "bystander", move |ctx| {
+        let _ = ctx.read::<u64>(addr);
+        ctx.dsm_barrier(b);
+    });
+    rt.spawn_dsm_thread(NodeId(1), "producer", move |ctx| {
+        ctx.dsm_barrier(b);
+        let start = ctx.pm2.now();
+        for i in 0..updates {
+            ctx.dsm_lock(lock);
+            ctx.write::<u64>(addr, i as u64 + 1);
+            ctx.dsm_unlock(lock);
+        }
+        *f.lock() = ctx.pm2.now().since(start);
+    });
+    rt.spawn_dsm_thread(NodeId(0), "home", move |ctx| {
+        ctx.dsm_barrier(b);
+    });
+    let mut engine = engine;
+    engine.run().expect("bystander study must not deadlock");
+    let stats = rt.stats().snapshot();
+    let elapsed_ms = finish.lock().as_micros_f64() / 1000.0;
+    LazinessPoint {
+        protocol: proto_name.to_string(),
+        invalidations: stats.invalidations,
+        diffs: stats.diffs_sent,
+        elapsed_ms,
+    }
+}
+
+#[derive(Serialize)]
+struct KernelPoint {
+    kernel: String,
+    protocol: String,
+    nodes: usize,
+    elapsed_ms: f64,
+}
+
+/// One SPLASH-2-style kernel run; every run is validated against its
+/// sequential oracle before the timing is reported.
+fn run_kernel(kernel: &str, proto: &str, nodes: usize, quick: bool) -> f64 {
+    match kernel {
+        "matmul" => {
+            let config = matmul::MatmulConfig {
+                n: if quick { 16 } else { 32 },
+                nodes,
+                network: profiles::bip_myrinet(),
+                compute_per_madd_us: 0.01,
+            };
+            let r = matmul::run_matmul(&config, proto);
+            assert!((r.checksum - matmul::sequential_checksum(config.n)).abs() < 1e-6);
+            r.elapsed.as_micros_f64() / 1000.0
+        }
+        "sor" => {
+            let config = sor::SorConfig {
+                size: if quick { 16 } else { 32 },
+                iterations: 4,
+                omega: 1.25,
+                nodes,
+                network: profiles::bip_myrinet(),
+                compute_per_cell_us: 0.05,
+            };
+            let r = sor::run_sor(&config, proto);
+            assert!((r.checksum - sor::sequential_checksum(&config)).abs() < 1e-6);
+            r.elapsed.as_micros_f64() / 1000.0
+        }
+        "lu" => {
+            let config = lu::LuConfig {
+                n: if quick { 12 } else { 24 },
+                nodes,
+                network: profiles::bip_myrinet(),
+                compute_per_update_us: 0.02,
+            };
+            let r = lu::run_lu(&config, proto);
+            assert!((r.checksum - lu::sequential_checksum(config.n)).abs() < 1e-6);
+            r.elapsed.as_micros_f64() / 1000.0
+        }
+        "radix" => {
+            let config = radix::RadixConfig {
+                keys: if quick { 128 } else { 256 },
+                max_key: 1 << 16,
+                seed: 42,
+                nodes,
+                network: profiles::bip_myrinet(),
+                compute_per_key_us: 0.05,
+            };
+            let r = radix::run_radix(&config, proto);
+            let mut oracle = radix::input_keys(&config);
+            oracle.sort_unstable();
+            assert_eq!(r.sorted, oracle);
+            r.elapsed.as_micros_f64() / 1000.0
+        }
+        other => panic!("unknown kernel {other}"),
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 3** of the paper: processing a read fault under the
+//! page-transfer (page-migration) policy, broken down into page fault,
+//! request, 4 kB page transfer and protocol overhead, on the four network
+//! profiles.
+
+use dsmpm2_bench::{markdown_table, write_json};
+use dsmpm2_madeleine::profiles;
+use dsmpm2_workloads::{measure_read_fault, FaultPolicy};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    network: String,
+    page_fault_us: f64,
+    request_page_us: f64,
+    page_transfer_us: f64,
+    protocol_overhead_us: f64,
+    total_us: f64,
+}
+
+fn main() {
+    println!("Table 3: Processing a read fault under page-migration policy (us)\n");
+    let paper = [
+        ("BIP/Myrinet", 198.0),
+        ("TCP/Myrinet", 600.0),
+        ("TCP/FastEthernet", 993.0),
+        ("SISCI/SCI", 194.0),
+    ];
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for net in profiles::all() {
+        let b = measure_read_fault(net.clone(), FaultPolicy::PageTransfer);
+        let paper_total = paper
+            .iter()
+            .find(|(n, _)| *n == net.name)
+            .map(|(_, t)| *t)
+            .unwrap_or(f64::NAN);
+        rows.push(vec![
+            net.name.clone(),
+            format!("{:.0}", b.page_fault_us),
+            format!("{:.0}", b.request_us),
+            format!("{:.0}", b.transfer_us),
+            format!("{:.0}", b.overhead_us),
+            format!("{:.0}", b.total_us),
+            format!("{paper_total:.0}"),
+        ]);
+        json_rows.push(Row {
+            network: net.name.clone(),
+            page_fault_us: b.page_fault_us,
+            request_page_us: b.request_us,
+            page_transfer_us: b.transfer_us,
+            protocol_overhead_us: b.overhead_us,
+            total_us: b.total_us,
+        });
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Network",
+                "Page fault",
+                "Request page",
+                "Page transfer",
+                "Protocol overhead",
+                "Total (measured)",
+                "Total (paper)"
+            ],
+            &rows
+        )
+    );
+    write_json("table3", &json_rows);
+}

@@ -1,0 +1,12 @@
+//! # dsmpm2-bench — benchmark harness for the DSM-PM2 reproduction
+//!
+//! See the `table3`, `table4`, `fig4_tsp`, `fig5_coloring`, `micro_pm2` and
+//! `ablations` binaries (each regenerates one table or figure of the paper)
+//! and the Criterion benches under `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+
+pub use report::{markdown_table, write_json};

@@ -1,0 +1,216 @@
+//! Access detection: the software MMU.
+//!
+//! The original DSM-PM2 detects accesses to shared data with page faults
+//! (SIGSEGV + mprotect). In this reproduction every DSM access goes through
+//! the typed accessors below, which consult the calling thread's node page
+//! table: if the local rights are insufficient the access *faults*, the
+//! calibrated fault-detection cost (11 µs) is charged, the protocol's fault
+//! handler runs, and the access is then repeated — exactly the structure of a
+//! signal-based fault path, without the `unsafe` signal handling. The paper
+//! itself supports bypassing page faults with explicit locality checks (the
+//! `java_ic` protocol); [`DsmThreadCtx::inline_check`] models that path.
+
+use crate::ctx::DsmThreadCtx;
+use crate::page::{Access, DsmAddr, PAGE_SIZE};
+use crate::protocol::FaultInfo;
+
+/// Scalar types that can be stored in DSM memory.
+pub trait DsmScalar: Copy + Sized + Send + 'static {
+    /// Size of the value in bytes.
+    const SIZE: usize;
+    /// Serialize into little-endian bytes.
+    fn store_le(self, out: &mut [u8]);
+    /// Deserialize from little-endian bytes.
+    fn load_le(buf: &[u8]) -> Self;
+}
+
+macro_rules! impl_dsm_scalar {
+    ($($t:ty),* $(,)?) => {
+        $(
+            impl DsmScalar for $t {
+                const SIZE: usize = std::mem::size_of::<$t>();
+                fn store_le(self, out: &mut [u8]) {
+                    out.copy_from_slice(&self.to_le_bytes());
+                }
+                fn load_le(buf: &[u8]) -> Self {
+                    <$t>::from_le_bytes(buf.try_into().expect("slice of exact size"))
+                }
+            }
+        )*
+    };
+}
+
+impl_dsm_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+fn check_within_page(addr: DsmAddr, size: usize) {
+    assert!(
+        addr.offset() + size <= PAGE_SIZE,
+        "DSM access at {addr} of {size} bytes crosses a page boundary; \
+         lay shared objects out so that scalars do not straddle pages"
+    );
+}
+
+impl DsmThreadCtx<'_, '_> {
+    /// Make sure the calling thread's node holds `needed` rights on the page
+    /// containing `addr`, taking page faults (and running the protocol's
+    /// fault handlers) as long as it does not. This is the access-detection
+    /// loop: "on exiting the fault handler the thread repeats the access".
+    pub fn ensure_access(&mut self, addr: DsmAddr, needed: Access) {
+        let page = addr.page();
+        loop {
+            let node = self.node();
+            let entry = self
+                .runtime()
+                .page_table(node)
+                .try_get(page)
+                .unwrap_or_else(|| {
+                    panic!("access at {addr} is outside every DSM allocation (node {node})")
+                });
+            if entry.access.permits(needed) {
+                return;
+            }
+            // Page fault: charge the detection cost and run the handler.
+            let rt = self.runtime().clone();
+            rt.cluster()
+                .monitor()
+                .record("dsm_page_fault", rt.costs().page_fault());
+            self.pm2.sim.charge(rt.costs().page_fault());
+            match needed {
+                Access::Write => rt.stats().incr_write_fault(),
+                _ => rt.stats().incr_read_fault(),
+            }
+            let protocol = rt.protocol(entry.protocol);
+            let fault = FaultInfo {
+                addr,
+                page,
+                access: needed,
+            };
+            if needed == Access::Write {
+                protocol.write_fault_handler(self, fault);
+            } else {
+                protocol.read_fault_handler(self, fault);
+            }
+            // Loop: repeat the access (possibly from a different node if the
+            // handler migrated the thread).
+        }
+    }
+
+    /// Charge the cost of one explicit inline locality check and report
+    /// whether the page containing `addr` is present locally with `needed`
+    /// rights (the `java_ic` / compiler-target access path).
+    pub fn inline_check(&mut self, addr: DsmAddr, needed: Access) -> bool {
+        let rt = self.runtime().clone();
+        rt.stats().incr_inline_check();
+        self.pm2.sim.charge(rt.costs().inline_check());
+        rt.page_table(self.node()).access(addr.page()).permits(needed)
+    }
+
+    /// Read a scalar from shared memory (faulting as needed).
+    pub fn read<T: DsmScalar>(&mut self, addr: DsmAddr) -> T {
+        check_within_page(addr, T::SIZE);
+        self.ensure_access(addr, Access::Read);
+        self.read_local(addr)
+    }
+
+    /// Write a scalar to shared memory (faulting as needed).
+    pub fn write<T: DsmScalar>(&mut self, addr: DsmAddr, value: T) {
+        check_within_page(addr, T::SIZE);
+        self.ensure_access(addr, Access::Write);
+        self.write_local(addr, value, false);
+    }
+
+    /// Write a scalar and record the modified range with field granularity
+    /// (the on-the-fly diff recording used by the Java protocols' `put`).
+    pub fn write_recorded<T: DsmScalar>(&mut self, addr: DsmAddr, value: T) {
+        check_within_page(addr, T::SIZE);
+        self.ensure_access(addr, Access::Write);
+        self.write_local(addr, value, true);
+    }
+
+    /// Read `buf.len()` bytes from shared memory (must not cross a page).
+    pub fn read_bytes(&mut self, addr: DsmAddr, buf: &mut [u8]) {
+        check_within_page(addr, buf.len());
+        self.ensure_access(addr, Access::Read);
+        let rt = self.runtime().clone();
+        let node = self.node();
+        rt.stats().incr_local_access();
+        self.pm2.sim.charge(rt.costs().local_access());
+        rt.frames(node).read(addr.page(), addr.offset(), buf);
+    }
+
+    /// Write `bytes` to shared memory (must not cross a page).
+    pub fn write_bytes(&mut self, addr: DsmAddr, bytes: &[u8]) {
+        check_within_page(addr, bytes.len());
+        self.ensure_access(addr, Access::Write);
+        let rt = self.runtime().clone();
+        let node = self.node();
+        rt.stats().incr_local_access();
+        self.pm2.sim.charge(rt.costs().local_access());
+        rt.frames(node).write(addr.page(), addr.offset(), bytes);
+        rt.page_table(node)
+            .update(addr.page(), |e| e.modified_since_release = true);
+    }
+
+    /// Read a scalar assuming rights are already held (no fault detection).
+    /// Used by protocol code and by the inline-check access path after a
+    /// successful check.
+    pub fn read_local<T: DsmScalar>(&mut self, addr: DsmAddr) -> T {
+        let rt = self.runtime().clone();
+        let node = self.node();
+        rt.stats().incr_local_access();
+        self.pm2.sim.charge(rt.costs().local_access());
+        let mut buf = vec![0u8; T::SIZE];
+        rt.frames(node).read(addr.page(), addr.offset(), &mut buf);
+        T::load_le(&buf)
+    }
+
+    /// Write a scalar assuming rights are already held.
+    pub fn write_local<T: DsmScalar>(&mut self, addr: DsmAddr, value: T, record: bool) {
+        let rt = self.runtime().clone();
+        let node = self.node();
+        rt.stats().incr_local_access();
+        self.pm2.sim.charge(rt.costs().local_access());
+        let mut buf = vec![0u8; T::SIZE];
+        value.store_le(&mut buf);
+        if record {
+            rt.frames(node)
+                .write_recorded(addr.page(), addr.offset(), &buf);
+        } else {
+            rt.frames(node).write(addr.page(), addr.offset(), &buf);
+        }
+        rt.page_table(node)
+            .update(addr.page(), |e| e.modified_since_release = true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip_through_le_bytes() {
+        let mut buf = [0u8; 8];
+        1234567890123u64.store_le(&mut buf);
+        assert_eq!(u64::load_le(&buf), 1234567890123);
+        let mut buf = [0u8; 4];
+        (-7i32).store_le(&mut buf);
+        assert_eq!(i32::load_le(&buf), -7);
+        let mut buf = [0u8; 8];
+        3.25f64.store_le(&mut buf);
+        assert_eq!(f64::load_le(&buf), 3.25);
+        assert_eq!(<u8 as DsmScalar>::SIZE, 1);
+        assert_eq!(<f64 as DsmScalar>::SIZE, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a page boundary")]
+    fn cross_page_access_is_rejected() {
+        check_within_page(DsmAddr(PAGE_SIZE as u64 - 2), 4);
+    }
+
+    #[test]
+    fn within_page_access_is_accepted() {
+        check_within_page(DsmAddr(PAGE_SIZE as u64 - 4), 4);
+        check_within_page(DsmAddr(0), PAGE_SIZE);
+    }
+}

@@ -1,0 +1,324 @@
+//! The DSM communication module and the synchronization entry points.
+//!
+//! All DSM communication goes through four PM2 services:
+//!
+//! * `dsm` — one-way protocol messages (page requests, page transfers,
+//!   invalidations, acknowledgements, diffs), dispatched to the protocol
+//!   actions of the page's protocol;
+//! * `dsm_lock_acquire` / `dsm_lock_release` — lock management at the lock's
+//!   manager node;
+//! * `dsm_barrier` — barrier episodes at the barrier's manager node.
+//!
+//! Because the services are registered on every node and the handlers run in
+//! their own threads, concurrent requests are served in parallel, matching
+//! the multithreaded behaviour the paper emphasizes.
+
+use dsmpm2_madeleine::NodeId;
+use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcReply, RpcRequestCtx};
+use dsmpm2_sim::{SimDuration, SimHandle};
+
+use crate::ctx::{DsmThreadCtx, ServerCtx};
+use crate::diff::PageDiff;
+use crate::msg::{DsmMsg, Invalidation, PageRequest, PageTransfer};
+use crate::page::{Access, PageId};
+use crate::runtime::DsmRuntime;
+use crate::sync::{BarrierId, LockId};
+
+/// Name of the protocol-message service.
+pub const SVC_DSM: &str = "dsm";
+/// Name of the lock-acquire service.
+pub const SVC_LOCK_ACQUIRE: &str = "dsm_lock_acquire";
+/// Name of the lock-release service.
+pub const SVC_LOCK_RELEASE: &str = "dsm_lock_release";
+/// Name of the barrier service.
+pub const SVC_BARRIER: &str = "dsm_barrier";
+
+/// Register the DSM services on the runtime's cluster. Called once from
+/// `DsmRuntime::with_cluster`.
+pub(crate) fn register_dsm_services(rt: &DsmRuntime) {
+    let cluster = rt.cluster().clone();
+
+    // Protocol messages.
+    let rt_msg = rt.clone();
+    cluster.register_service(service_fn(SVC_DSM, true, move |rpc, payload| {
+        let msg = downcast::<DsmMsg>(payload, "dsm message");
+        handle_dsm_msg(&rt_msg, rpc, msg);
+        None
+    }));
+
+    // Lock acquisition: the handler thread blocks at the manager node until
+    // the lock is free, then takes it on behalf of the requesting node.
+    let rt_lock = rt.clone();
+    cluster.register_service(service_fn(SVC_LOCK_ACQUIRE, true, move |rpc, payload| {
+        let lock = LockId(downcast::<u64>(payload, "lock id"));
+        let state = rt_lock.lock_state(lock);
+        let requester = rpc.from_node;
+        let state_for_wait = state.clone();
+        state.waiters.wait_until(rpc.sim, || {
+            let mut held = state_for_wait.held.lock();
+            if held.0 {
+                false
+            } else {
+                *held = (true, Some(requester));
+                true
+            }
+        });
+        Some(RpcReply::control(()))
+    }));
+
+    // Lock release.
+    let rt_unlock = rt.clone();
+    cluster.register_service(service_fn(SVC_LOCK_RELEASE, true, move |rpc, payload| {
+        let lock = LockId(downcast::<u64>(payload, "lock id"));
+        let state = rt_unlock.lock_state(lock);
+        {
+            let mut held = state.held.lock();
+            assert!(held.0, "release of DSM lock {lock:?} which is not held");
+            *held = (false, None);
+        }
+        state.waiters.notify_one(&rpc.sim.ctl(), SimDuration::ZERO);
+        None
+    }));
+
+    // Barrier.
+    let rt_barrier = rt.clone();
+    cluster.register_service(service_fn(SVC_BARRIER, true, move |rpc, payload| {
+        let barrier = BarrierId(downcast::<u64>(payload, "barrier id"));
+        let state = rt_barrier.barrier_state(barrier);
+        let (my_round, last) = {
+            let mut round = state.round.lock();
+            round.0 += 1;
+            let my_round = round.1;
+            let last = round.0 == state.parties;
+            if last {
+                round.0 = 0;
+                round.1 += 1;
+            }
+            (my_round, last)
+        };
+        if last {
+            state.waiters.notify_all(&rpc.sim.ctl(), SimDuration::ZERO);
+        } else {
+            let state_for_wait = state.clone();
+            state
+                .waiters
+                .wait_until(rpc.sim, || state_for_wait.round.lock().1 != my_round);
+        }
+        Some(RpcReply::control(()))
+    }));
+}
+
+fn handle_dsm_msg(rt: &DsmRuntime, rpc: &mut RpcRequestCtx<'_>, msg: DsmMsg) {
+    let mut ctx = ServerCtx {
+        sim: &mut *rpc.sim,
+        runtime: rt.clone(),
+        local_node: rpc.local_node,
+        from_node: rpc.from_node,
+    };
+    match msg {
+        DsmMsg::Request(req) => {
+            let protocol = rt.protocol_for_page(req.page);
+            match req.access {
+                Access::Write => protocol.write_server(&mut ctx, req),
+                _ => protocol.read_server(&mut ctx, req),
+            }
+        }
+        DsmMsg::Transfer(transfer) => {
+            let protocol = rt.protocol_for_page(transfer.page);
+            protocol.receive_page_server(&mut ctx, transfer);
+        }
+        DsmMsg::Invalidate(inv) => {
+            let protocol = rt.protocol_for_page(inv.page);
+            protocol.invalidate_server(&mut ctx, inv);
+        }
+        DsmMsg::InvalidateAck { page } => {
+            rt.stats().incr_invalidation_ack();
+            acknowledge(rt, &mut ctx, page);
+        }
+        DsmMsg::Diff {
+            diff,
+            from,
+            needs_ack,
+        } => {
+            let page = diff.page;
+            let protocol = rt.protocol_for_page(page);
+            protocol.diff_server(&mut ctx, diff, from);
+            if needs_ack {
+                let local = ctx.local_node;
+                rt.send_diff_ack(ctx.sim, local, from, page);
+            }
+        }
+        DsmMsg::DiffAck { page } => {
+            acknowledge(rt, &mut ctx, page);
+        }
+    }
+}
+
+/// Generic-core handling of an acknowledgement: decrement the page's pending
+/// acknowledgement count and wake the threads waiting for it.
+fn acknowledge(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, page: PageId) {
+    let table = rt.page_table(ctx.local_node);
+    table.update(page, |e| e.pending_acks = e.pending_acks.saturating_sub(1));
+    table
+        .waiters(page)
+        .notify_all(&ctx.sim.ctl(), SimDuration::ZERO);
+}
+
+// ---------------------------------------------------------------------------
+// Sending primitives (the DSM communication module proper).
+// ---------------------------------------------------------------------------
+
+impl DsmRuntime {
+    /// Send a page request to `to` (one-way; the page will arrive later as a
+    /// [`PageTransfer`] message, possibly from a different node).
+    pub fn send_page_request(
+        &self,
+        sim: &mut SimHandle,
+        from: NodeId,
+        to: NodeId,
+        req: PageRequest,
+    ) {
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::Request(req)),
+            RpcClass::Control,
+        );
+    }
+
+    /// Send a full page to `to`.
+    pub fn send_page(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, transfer: PageTransfer) {
+        let bytes = transfer.data.len();
+        self.stats().incr_page_transfer();
+        self.stats().add_page_bytes(bytes as u64);
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::Transfer(transfer)),
+            RpcClass::Data(bytes),
+        );
+    }
+
+    /// Send an invalidation for `inv.page` to `to`.
+    pub fn send_invalidate(
+        &self,
+        sim: &mut SimHandle,
+        from: NodeId,
+        to: NodeId,
+        inv: Invalidation,
+    ) {
+        self.stats().incr_invalidation();
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::Invalidate(inv)),
+            RpcClass::Control,
+        );
+    }
+
+    /// Acknowledge an invalidation back to `to`.
+    pub fn send_invalidate_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::InvalidateAck { page }),
+            RpcClass::Control,
+        );
+    }
+
+    /// Send a diff to `to` (normally the page's home node).
+    pub fn send_diff(
+        &self,
+        sim: &mut SimHandle,
+        from: NodeId,
+        to: NodeId,
+        diff: PageDiff,
+        needs_ack: bool,
+    ) {
+        let bytes = diff.payload_bytes();
+        self.stats().incr_diff_sent();
+        self.stats().add_diff_bytes(bytes as u64);
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::Diff {
+                diff,
+                from,
+                needs_ack,
+            }),
+            RpcClass::Data(bytes),
+        );
+    }
+
+    /// Acknowledge a diff back to `to`.
+    pub fn send_diff_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::DiffAck { page }),
+            RpcClass::Control,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synchronization entry points for application threads.
+// ---------------------------------------------------------------------------
+
+impl DsmThreadCtx<'_, '_> {
+    /// Acquire a DSM lock, then run the consistency actions every protocol in
+    /// use associates with lock acquisition.
+    pub fn dsm_lock(&mut self, lock: LockId) {
+        let rt = self.runtime().clone();
+        let manager = rt.lock_manager(lock);
+        self.pm2
+            .rpc_call(manager, SVC_LOCK_ACQUIRE, Box::new(lock.0), RpcClass::Control);
+        rt.stats().incr_lock_acquire();
+        for id in rt.protocols_in_use() {
+            rt.protocol(id).lock_acquire(self, lock);
+        }
+    }
+
+    /// Run the consistency actions associated with lock release, then release
+    /// the DSM lock.
+    pub fn dsm_unlock(&mut self, lock: LockId) {
+        let rt = self.runtime().clone();
+        for id in rt.protocols_in_use() {
+            rt.protocol(id).lock_release(self, lock);
+        }
+        rt.stats().incr_lock_release();
+        let manager = rt.lock_manager(lock);
+        self.pm2
+            .rpc_oneway(manager, SVC_LOCK_RELEASE, Box::new(lock.0), RpcClass::Control);
+    }
+
+    /// Wait at a DSM barrier. For the consistency protocols this behaves as a
+    /// release (before blocking) followed by an acquire (after every
+    /// participant arrived).
+    pub fn dsm_barrier(&mut self, barrier: BarrierId) {
+        let rt = self.runtime().clone();
+        let sync_point = LockId::for_barrier(barrier);
+        for id in rt.protocols_in_use() {
+            rt.protocol(id).lock_release(self, sync_point);
+        }
+        let manager = rt.barrier_manager(barrier);
+        self.pm2
+            .rpc_call(manager, SVC_BARRIER, Box::new(barrier.0), RpcClass::Control);
+        for id in rt.protocols_in_use() {
+            rt.protocol(id).lock_acquire(self, sync_point);
+        }
+        rt.stats().incr_barrier();
+    }
+}

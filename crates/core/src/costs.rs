@@ -1,0 +1,143 @@
+//! DSM software-path cost constants.
+//!
+//! These constants model the parts of the fault path that are *not*
+//! communication: catching the page-fault signal and extracting fault
+//! information, updating the distributed page table, installing the received
+//! page and setting access rights. They are calibrated from the paper's
+//! Tables 3 and 4:
+//!
+//! * page-fault detection: 11 µs on every platform (it is a purely local,
+//!   CPU-bound cost on the 450 MHz PII nodes);
+//! * protocol overhead of the page-transfer policy: 26 µs (request processing
+//!   on the owner plus page installation on the requester);
+//! * protocol overhead of the thread-migration policy: ~1 µs (a single call
+//!   into the runtime's migration primitive).
+
+use dsmpm2_sim::SimDuration;
+
+/// Cost constants of the DSM generic core and protocol library.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsmCosts {
+    /// Catching a page fault and extracting fault information, in µs.
+    pub page_fault_us: f64,
+    /// Protocol overhead of a page-transfer fault: request processing on the
+    /// owner side plus page installation and page-table update on the
+    /// requester side, in µs (split evenly between the two sides).
+    pub page_protocol_overhead_us: f64,
+    /// Protocol overhead of a thread-migration fault (the handler merely
+    /// calls the PM2 migration primitive), in µs.
+    pub migration_protocol_overhead_us: f64,
+    /// Cost of one access to data already available locally with sufficient
+    /// rights (the common fast path), in µs.
+    pub local_access_us: f64,
+    /// Cost of one explicit inline locality check (the `java_ic` get/put
+    /// path), in µs.
+    pub inline_check_us: f64,
+    /// Cost of creating a twin (copying a 4 kB page locally), in µs.
+    pub twin_create_us: f64,
+    /// Cost of scanning one page to compute a diff, in µs.
+    pub diff_compute_us: f64,
+    /// Cost of applying a diff at the home node, per modified byte, in µs.
+    pub diff_apply_per_byte_us: f64,
+    /// Page-table bookkeeping when updating an entry (owner change, copyset
+    /// update, access-right change), in µs.
+    pub table_update_us: f64,
+}
+
+impl Default for DsmCosts {
+    fn default() -> Self {
+        DsmCosts {
+            page_fault_us: 11.0,
+            page_protocol_overhead_us: 26.0,
+            migration_protocol_overhead_us: 1.0,
+            local_access_us: 0.04,
+            inline_check_us: 0.25,
+            twin_create_us: 6.0,
+            diff_compute_us: 9.0,
+            diff_apply_per_byte_us: 0.002,
+            table_update_us: 0.5,
+        }
+    }
+}
+
+impl DsmCosts {
+    /// Page-fault detection cost.
+    pub fn page_fault(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.page_fault_us)
+    }
+
+    /// Requester-side half of the page-transfer protocol overhead.
+    pub fn install_overhead(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.page_protocol_overhead_us / 2.0)
+    }
+
+    /// Owner-side half of the page-transfer protocol overhead.
+    pub fn serve_overhead(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.page_protocol_overhead_us / 2.0)
+    }
+
+    /// Thread-migration protocol overhead.
+    pub fn migration_overhead(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.migration_protocol_overhead_us)
+    }
+
+    /// Fast-path local access cost.
+    pub fn local_access(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.local_access_us)
+    }
+
+    /// Inline locality check cost.
+    pub fn inline_check(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.inline_check_us)
+    }
+
+    /// Twin creation cost.
+    pub fn twin_create(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.twin_create_us)
+    }
+
+    /// Diff computation cost (per page scanned).
+    pub fn diff_compute(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.diff_compute_us)
+    }
+
+    /// Diff application cost for `bytes` modified bytes.
+    pub fn diff_apply(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_micros_f64(self.diff_apply_per_byte_us * bytes as f64)
+    }
+
+    /// Page-table update cost.
+    pub fn table_update(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.table_update_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_constants() {
+        let c = DsmCosts::default();
+        assert_eq!(c.page_fault().as_micros_f64(), 11.0);
+        assert_eq!(
+            (c.install_overhead() + c.serve_overhead()).as_micros_f64(),
+            26.0
+        );
+        assert_eq!(c.migration_overhead().as_micros_f64(), 1.0);
+    }
+
+    #[test]
+    fn fast_path_is_orders_of_magnitude_cheaper_than_faults() {
+        let c = DsmCosts::default();
+        assert!(c.local_access().as_nanos() * 100 < c.page_fault().as_nanos());
+        assert!(c.inline_check() > c.local_access());
+    }
+
+    #[test]
+    fn diff_costs_scale_with_size() {
+        let c = DsmCosts::default();
+        assert!(c.diff_apply(4096) > c.diff_apply(4));
+        assert_eq!(c.diff_apply(0), SimDuration::ZERO);
+    }
+}

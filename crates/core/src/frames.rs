@@ -1,0 +1,288 @@
+//! Per-node page frames: the actual bytes of locally mapped pages.
+//!
+//! The page table records *rights and ownership*; the frame store records
+//! *contents*. A node holds a frame for every page it has a copy of, plus the
+//! optional twin used by the multiple-writer protocols and the modification
+//! ranges recorded by the Java protocols' `put` primitive.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use dsmpm2_madeleine::NodeId;
+
+use crate::diff::PageDiff;
+use crate::page::{PageId, PAGE_SIZE};
+
+/// A locally mapped page.
+#[derive(Clone, Debug)]
+pub struct Frame {
+    /// Current local contents.
+    pub data: Vec<u8>,
+    /// Pristine copy taken at the first write after an acquire (twinning).
+    pub twin: Option<Vec<u8>>,
+    /// Explicitly recorded modified ranges `(offset, len)` (on-the-fly diff
+    /// recording used by the Java protocols).
+    pub recorded: Vec<(usize, usize)>,
+}
+
+impl Frame {
+    fn zeroed() -> Self {
+        Frame {
+            data: vec![0u8; PAGE_SIZE],
+            twin: None,
+            recorded: Vec::new(),
+        }
+    }
+}
+
+/// All frames held by one node.
+pub struct FrameStore {
+    node: NodeId,
+    frames: Mutex<HashMap<PageId, Frame>>,
+}
+
+impl FrameStore {
+    /// An empty store for `node`.
+    pub fn new(node: NodeId) -> Self {
+        FrameStore {
+            node,
+            frames: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The node this store belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True if the node currently holds a copy of `page`.
+    pub fn has(&self, page: PageId) -> bool {
+        self.frames.lock().contains_key(&page)
+    }
+
+    /// Make sure a zero-filled frame exists for `page` (used when a page is
+    /// first allocated on its home node).
+    pub fn ensure_zeroed(&self, page: PageId) {
+        self.frames.lock().entry(page).or_insert_with(Frame::zeroed);
+    }
+
+    /// Install (or replace) the local copy of `page` with `data`.
+    pub fn install(&self, page: PageId, data: Vec<u8>) {
+        assert_eq!(data.len(), PAGE_SIZE, "installed page must be {PAGE_SIZE} bytes");
+        let mut frames = self.frames.lock();
+        let frame = frames.entry(page).or_insert_with(Frame::zeroed);
+        frame.data = data;
+        frame.twin = None;
+        frame.recorded.clear();
+    }
+
+    /// Drop the local copy of `page`, returning its last contents.
+    pub fn evict(&self, page: PageId) -> Option<Vec<u8>> {
+        self.frames.lock().remove(&page).map(|f| f.data)
+    }
+
+    /// Copy the contents of `page` (for sending it to another node).
+    pub fn snapshot(&self, page: PageId) -> Vec<u8> {
+        self.with(page, |f| f.data.clone())
+    }
+
+    /// Read `buf.len()` bytes at `offset` within `page`.
+    pub fn read(&self, page: PageId, offset: usize, buf: &mut [u8]) {
+        self.with(page, |f| {
+            buf.copy_from_slice(&f.data[offset..offset + buf.len()]);
+        });
+    }
+
+    /// Write `bytes` at `offset` within `page`.
+    pub fn write(&self, page: PageId, offset: usize, bytes: &[u8]) {
+        self.with(page, |f| {
+            f.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+        });
+    }
+
+    /// Write `bytes` at `offset` and record the modified range (on-the-fly
+    /// diff recording, field granularity).
+    pub fn write_recorded(&self, page: PageId, offset: usize, bytes: &[u8]) {
+        self.with(page, |f| {
+            f.data[offset..offset + bytes.len()].copy_from_slice(bytes);
+            f.recorded.push((offset, bytes.len()));
+        });
+    }
+
+    /// Create a twin of `page` if none exists yet. Returns true if a twin was
+    /// actually created.
+    pub fn make_twin(&self, page: PageId) -> bool {
+        self.with(page, |f| {
+            if f.twin.is_none() {
+                f.twin = Some(f.data.clone());
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// True if `page` currently has a twin.
+    pub fn has_twin(&self, page: PageId) -> bool {
+        self.with(page, |f| f.twin.is_some())
+    }
+
+    /// Compute the diff of `page` against its twin, dropping the twin.
+    /// Returns an empty diff if no twin existed.
+    pub fn take_twin_diff(&self, page: PageId) -> PageDiff {
+        self.with(page, |f| match f.twin.take() {
+            Some(twin) => PageDiff::compute(page, &twin, &f.data),
+            None => PageDiff::empty(page),
+        })
+    }
+
+    /// Build the diff of `page` from its recorded modification ranges and
+    /// clear the recording.
+    pub fn take_recorded_diff(&self, page: PageId) -> PageDiff {
+        self.with(page, |f| {
+            let ranges = std::mem::take(&mut f.recorded);
+            PageDiff::from_recorded_ranges(page, &ranges, &f.data)
+        })
+    }
+
+    /// True if `page` has recorded (not yet flushed) modifications.
+    pub fn has_recorded(&self, page: PageId) -> bool {
+        self.with(page, |f| !f.recorded.is_empty())
+    }
+
+    /// Apply `diff` to the local copy of `page` (home-node side).
+    pub fn apply_diff(&self, page: PageId, diff: &PageDiff) {
+        self.with(page, |f| diff.apply(&mut f.data));
+    }
+
+    /// Every page currently mapped on this node.
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.frames.lock().keys().copied().collect();
+        pages.sort();
+        pages
+    }
+
+    fn with<R>(&self, page: PageId, f: impl FnOnce(&mut Frame) -> R) -> R {
+        let mut frames = self.frames.lock();
+        let frame = frames
+            .get_mut(&page)
+            .unwrap_or_else(|| panic!("node {} has no frame for {page}", self.node));
+        f(frame)
+    }
+}
+
+impl std::fmt::Debug for FrameStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FrameStore(node={}, {} pages)",
+            self.node,
+            self.frames.lock().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> FrameStore {
+        let s = FrameStore::new(NodeId(0));
+        s.ensure_zeroed(PageId(1));
+        s
+    }
+
+    #[test]
+    fn zeroed_frame_reads_zero() {
+        let s = store();
+        let mut buf = [1u8; 8];
+        s.read(PageId(1), 100, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        assert!(s.has(PageId(1)));
+        assert!(!s.has(PageId(2)));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let s = store();
+        s.write(PageId(1), 8, &[1, 2, 3, 4]);
+        let mut buf = [0u8; 4];
+        s.read(PageId(1), 8, &mut buf);
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn install_replaces_contents_and_clears_twin() {
+        let s = store();
+        s.write(PageId(1), 0, &[9]);
+        s.make_twin(PageId(1));
+        let new = vec![7u8; PAGE_SIZE];
+        s.install(PageId(1), new.clone());
+        assert_eq!(s.snapshot(PageId(1)), new);
+        assert!(!s.has_twin(PageId(1)));
+    }
+
+    #[test]
+    fn twin_diff_captures_writes_since_twin() {
+        let s = store();
+        s.write(PageId(1), 0, &[5; 16]);
+        assert!(s.make_twin(PageId(1)));
+        assert!(!s.make_twin(PageId(1)), "second twin request is a no-op");
+        s.write(PageId(1), 4, &[9; 4]);
+        let diff = s.take_twin_diff(PageId(1));
+        assert_eq!(diff.runs.len(), 1);
+        assert_eq!(diff.runs[0].offset, 4);
+        assert!(!s.has_twin(PageId(1)));
+        // Without a twin the diff is empty.
+        assert!(s.take_twin_diff(PageId(1)).is_empty());
+    }
+
+    #[test]
+    fn recorded_diff_tracks_explicit_writes() {
+        let s = store();
+        s.write_recorded(PageId(1), 10, &[1, 1]);
+        s.write_recorded(PageId(1), 40, &[2, 2, 2]);
+        assert!(s.has_recorded(PageId(1)));
+        let diff = s.take_recorded_diff(PageId(1));
+        assert_eq!(diff.runs.len(), 2);
+        assert!(!s.has_recorded(PageId(1)));
+    }
+
+    #[test]
+    fn apply_diff_updates_home_copy() {
+        let s = store();
+        let mut other = vec![0u8; PAGE_SIZE];
+        other[100] = 42;
+        let diff = PageDiff::compute(PageId(1), &vec![0u8; PAGE_SIZE], &other);
+        s.apply_diff(PageId(1), &diff);
+        let mut b = [0u8; 1];
+        s.read(PageId(1), 100, &mut b);
+        assert_eq!(b[0], 42);
+    }
+
+    #[test]
+    fn evict_removes_the_frame() {
+        let s = store();
+        s.write(PageId(1), 0, &[3]);
+        let data = s.evict(PageId(1)).unwrap();
+        assert_eq!(data[0], 3);
+        assert!(!s.has(PageId(1)));
+        assert!(s.evict(PageId(1)).is_none());
+        assert!(s.pages().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "no frame")]
+    fn reading_unmapped_page_panics() {
+        let s = store();
+        let mut buf = [0u8; 1];
+        s.read(PageId(99), 0, &mut buf);
+    }
+
+    #[test]
+    #[should_panic(expected = "4096 bytes")]
+    fn installing_short_page_panics() {
+        store().install(PageId(1), vec![0u8; 10]);
+    }
+}

@@ -1,0 +1,138 @@
+//! DSM wire messages.
+//!
+//! The DSM communication module exchanges a small set of messages, matching
+//! the communication routines the paper identifies as common to all
+//! page-based protocols: page requests, page transfers, invalidations (plus
+//! their acknowledgements) and diffs.
+
+use dsmpm2_madeleine::NodeId;
+
+use crate::diff::PageDiff;
+use crate::page::{Access, PageId};
+
+/// A request for a copy of (or for ownership of) a page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageRequest {
+    /// Requested page.
+    pub page: PageId,
+    /// `Read` for a read copy, `Write` for write access / ownership.
+    pub access: Access,
+    /// Node that needs the page (requests may be forwarded, so this is not
+    /// necessarily the sender of the message).
+    pub requester: NodeId,
+}
+
+/// A page sent to a requester.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageTransfer {
+    /// The page being transferred.
+    pub page: PageId,
+    /// Full page contents.
+    pub data: Vec<u8>,
+    /// Rights granted to the receiving node.
+    pub grant: Access,
+    /// The node to be considered owner after this transfer.
+    pub owner: NodeId,
+    /// Copyset transferred along with ownership (empty otherwise).
+    pub copyset: Vec<NodeId>,
+    /// Version of the reference copy.
+    pub version: u64,
+}
+
+/// An invalidation request for a local copy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invalidation {
+    /// Page whose local copy must be invalidated.
+    pub page: PageId,
+    /// Node that triggered the invalidation (new owner or home node).
+    pub from: NodeId,
+    /// If set, the receiving node should update its probable-owner hint.
+    pub new_owner: Option<NodeId>,
+    /// True if the sender waits for an acknowledgement.
+    pub needs_ack: bool,
+}
+
+/// Messages handled by the `dsm` service. Each variant maps to one of the
+/// protocol actions (or to a generic-core action for acknowledgements).
+#[derive(Debug)]
+pub enum DsmMsg {
+    /// Routed to `read_server` / `write_server` depending on the access kind.
+    Request(PageRequest),
+    /// Routed to `receive_page_server`.
+    Transfer(PageTransfer),
+    /// Routed to `invalidate_server`.
+    Invalidate(Invalidation),
+    /// Handled by the generic core: decrements the pending-ack count of the
+    /// page on the receiving node.
+    InvalidateAck {
+        /// Acknowledged page.
+        page: PageId,
+    },
+    /// Routed to the protocol's `diff_server` hook (home-based protocols).
+    Diff {
+        /// The modifications.
+        diff: PageDiff,
+        /// Node that produced the diff.
+        from: NodeId,
+        /// True if the sender waits for an acknowledgement.
+        needs_ack: bool,
+    },
+    /// Handled by the generic core like `InvalidateAck`.
+    DiffAck {
+        /// Acknowledged page.
+        page: PageId,
+    },
+}
+
+impl DsmMsg {
+    /// Payload bytes accounted to the network model for this message.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            DsmMsg::Request(_) => 0,
+            DsmMsg::Transfer(t) => t.data.len(),
+            DsmMsg::Invalidate(_) => 0,
+            DsmMsg::InvalidateAck { .. } => 0,
+            DsmMsg::Diff { diff, .. } => diff.payload_bytes(),
+            DsmMsg::DiffAck { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    #[test]
+    fn payload_accounting() {
+        let req = DsmMsg::Request(PageRequest {
+            page: PageId(1),
+            access: Access::Read,
+            requester: NodeId(0),
+        });
+        assert_eq!(req.payload_bytes(), 0);
+
+        let transfer = DsmMsg::Transfer(PageTransfer {
+            page: PageId(1),
+            data: vec![0; PAGE_SIZE],
+            grant: Access::Read,
+            owner: NodeId(0),
+            copyset: vec![],
+            version: 1,
+        });
+        assert_eq!(transfer.payload_bytes(), PAGE_SIZE);
+
+        let mut cur = vec![0u8; PAGE_SIZE];
+        cur[10] = 1;
+        let diff = PageDiff::compute(PageId(1), &vec![0u8; PAGE_SIZE], &cur);
+        let bytes = diff.payload_bytes();
+        let msg = DsmMsg::Diff {
+            diff,
+            from: NodeId(2),
+            needs_ack: true,
+        };
+        assert_eq!(msg.payload_bytes(), bytes);
+        assert_eq!(DsmMsg::InvalidateAck { page: PageId(3) }.payload_bytes(), 0);
+        assert_eq!(DsmMsg::DiffAck { page: PageId(3) }.payload_bytes(), 0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Pages, addresses and access rights.
+//!
+//! DSM-PM2 is a page-based DSM: the shared address space is divided into
+//! fixed-size pages, each managed individually by the page manager and the
+//! consistency protocols. Addresses are cluster-wide iso-addresses (see
+//! `dsmpm2_pm2::IsoAllocator`), so a [`DsmAddr`] designates the same datum on
+//! every node.
+
+use std::fmt;
+
+/// Size of a DSM page in bytes. The paper's measurements use common 4 kB pages.
+pub const PAGE_SIZE: usize = 4096;
+
+/// A cluster-wide shared-memory address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DsmAddr(pub u64);
+
+/// Identity of a DSM page.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+/// Access rights of a node on a page, as recorded in its page table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord, Default)]
+pub enum Access {
+    /// The page is not mapped locally: any access faults.
+    #[default]
+    None,
+    /// Read-only copy: writes fault.
+    Read,
+    /// Full access (the node is the writer or holds a writable replica).
+    Write,
+}
+
+impl Access {
+    /// True if rights `self` are sufficient to perform an access of kind
+    /// `needed` (where `needed` is `Read` or `Write`).
+    pub fn permits(self, needed: Access) -> bool {
+        match needed {
+            Access::None => true,
+            Access::Read => self >= Access::Read,
+            Access::Write => self == Access::Write,
+        }
+    }
+}
+
+impl DsmAddr {
+    /// The page containing this address.
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_SIZE as u64)
+    }
+
+    /// Byte offset of this address within its page.
+    pub fn offset(self) -> usize {
+        (self.0 % PAGE_SIZE as u64) as usize
+    }
+
+    /// Address `bytes` further.
+    pub fn add(self, bytes: u64) -> DsmAddr {
+        DsmAddr(self.0 + bytes)
+    }
+
+    /// Raw address value.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl PageId {
+    /// First address of the page.
+    pub fn base(self) -> DsmAddr {
+        DsmAddr(self.0 * PAGE_SIZE as u64)
+    }
+
+    /// Raw page number.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for DsmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Display for DsmAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl From<u64> for DsmAddr {
+    fn from(value: u64) -> Self {
+        DsmAddr(value)
+    }
+}
+
+/// Enumerate the pages covered by the byte range `[start, start + len)`.
+pub fn pages_covering(start: DsmAddr, len: u64) -> Vec<PageId> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let first = start.page().0;
+    let last = DsmAddr(start.0 + len - 1).page().0;
+    (first..=last).map(PageId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn address_to_page_and_offset() {
+        let a = DsmAddr(4096 * 3 + 17);
+        assert_eq!(a.page(), PageId(3));
+        assert_eq!(a.offset(), 17);
+        assert_eq!(PageId(3).base(), DsmAddr(4096 * 3));
+        assert_eq!(a.add(4096).page(), PageId(4));
+    }
+
+    #[test]
+    fn access_ordering_and_permits() {
+        assert!(Access::Write.permits(Access::Read));
+        assert!(Access::Write.permits(Access::Write));
+        assert!(Access::Read.permits(Access::Read));
+        assert!(!Access::Read.permits(Access::Write));
+        assert!(!Access::None.permits(Access::Read));
+        assert!(Access::None.permits(Access::None));
+        assert!(Access::None < Access::Read && Access::Read < Access::Write);
+    }
+
+    #[test]
+    fn pages_covering_ranges() {
+        assert!(pages_covering(DsmAddr(0), 0).is_empty());
+        assert_eq!(pages_covering(DsmAddr(0), 1), vec![PageId(0)]);
+        assert_eq!(pages_covering(DsmAddr(0), 4096), vec![PageId(0)]);
+        assert_eq!(pages_covering(DsmAddr(0), 4097), vec![PageId(0), PageId(1)]);
+        assert_eq!(
+            pages_covering(DsmAddr(4000), 200),
+            vec![PageId(0), PageId(1)]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", DsmAddr(0x1000)), "0x1000");
+        assert_eq!(format!("{}", PageId(7)), "P7");
+    }
+
+    proptest! {
+        /// Page/offset decomposition is a bijection.
+        #[test]
+        fn prop_page_offset_roundtrip(addr in 0u64..(1 << 40)) {
+            let a = DsmAddr(addr);
+            let rebuilt = a.page().base().add(a.offset() as u64);
+            prop_assert_eq!(rebuilt, a);
+        }
+
+        /// pages_covering returns contiguous pages covering exactly the range.
+        #[test]
+        fn prop_pages_covering_is_contiguous(start in 0u64..(1 << 30), len in 1u64..100_000) {
+            let pages = pages_covering(DsmAddr(start), len);
+            prop_assert!(!pages.is_empty());
+            for w in pages.windows(2) {
+                prop_assert_eq!(w[1].0, w[0].0 + 1);
+            }
+            prop_assert_eq!(pages[0], DsmAddr(start).page());
+            prop_assert_eq!(*pages.last().unwrap(), DsmAddr(start + len - 1).page());
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The DSM page manager: per-node page tables.
+//!
+//! Each node keeps a table with one entry per shared page. A set of fields is
+//! common to virtually all protocols (local access rights, probable owner,
+//! home node, copyset); protocols reuse or ignore fields according to their
+//! own page-management strategy, exactly as in the original design where "a
+//! field may have different semantics in different protocols and may even be
+//! left unused by some protocols". Generic auxiliary fields (`aux_node`,
+//! `flags`, `pending_acks`, ...) give user-defined protocols room to stash
+//! their own per-page state without modifying the core.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsmpm2_madeleine::NodeId;
+use dsmpm2_sim::WaitSet;
+
+use crate::page::{Access, PageId};
+use crate::protocol::ProtocolId;
+
+/// One page-table entry, as seen by one node.
+#[derive(Clone, Debug)]
+pub struct PageEntry {
+    /// The page this entry describes.
+    pub page: PageId,
+    /// Local access rights of this node.
+    pub access: Access,
+    /// True if this node considers itself the owner of the page (MRSW
+    /// protocols move this flag along with write ownership).
+    pub owned: bool,
+    /// Probable owner (dynamic distributed manager) — the node to which
+    /// requests are sent; updated as ownership hints flow through the system.
+    pub prob_owner: NodeId,
+    /// Home node (fixed distributed manager / home-based protocols).
+    pub home: NodeId,
+    /// Protocol managing this page.
+    pub protocol: ProtocolId,
+    /// Nodes believed to hold a copy (meaningful at the owner / home node).
+    pub copyset: BTreeSet<NodeId>,
+    /// Version counter bumped whenever the reference copy changes.
+    pub version: u64,
+    /// True while a fetch for this page is in flight from this node (avoids
+    /// duplicate requests when several local threads fault concurrently).
+    pub pending_fetch: bool,
+    /// Outstanding acknowledgements this node is waiting for (invalidations,
+    /// diff acks).
+    pub pending_acks: usize,
+    /// True if this node wrote the page since the last release (used by the
+    /// release-consistency protocols to know what to flush).
+    pub modified_since_release: bool,
+    /// Generic per-protocol node hint (e.g. the node to forward to).
+    pub aux_node: Option<NodeId>,
+    /// Generic per-protocol flag word.
+    pub flags: u32,
+}
+
+impl PageEntry {
+    /// A fresh entry for `page`, homed at `home`, with no local rights.
+    pub fn new(page: PageId, home: NodeId, protocol: ProtocolId) -> Self {
+        PageEntry {
+            page,
+            access: Access::None,
+            owned: false,
+            prob_owner: home,
+            home,
+            protocol,
+            copyset: BTreeSet::new(),
+            version: 0,
+            pending_fetch: false,
+            pending_acks: 0,
+            modified_since_release: false,
+            aux_node: None,
+            flags: 0,
+        }
+    }
+}
+
+/// The page table of one node.
+pub struct PageTable {
+    node: NodeId,
+    entries: Mutex<HashMap<PageId, PageEntry>>,
+    waiters: Mutex<HashMap<PageId, Arc<WaitSet>>>,
+}
+
+impl PageTable {
+    /// An empty table for `node`.
+    pub fn new(node: NodeId) -> Self {
+        PageTable {
+            node,
+            entries: Mutex::new(HashMap::new()),
+            waiters: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The node this table belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Install an entry for `page` if none exists yet.
+    pub fn ensure(&self, page: PageId, home: NodeId, protocol: ProtocolId) {
+        self.entries
+            .lock()
+            .entry(page)
+            .or_insert_with(|| PageEntry::new(page, home, protocol));
+    }
+
+    /// True if the table knows about `page`.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.entries.lock().contains_key(&page)
+    }
+
+    /// A copy of the entry for `page`.
+    ///
+    /// # Panics
+    /// Panics if the page is not registered on this node — this corresponds
+    /// to a wild access outside any DSM allocation.
+    pub fn get(&self, page: PageId) -> PageEntry {
+        self.entries
+            .lock()
+            .get(&page)
+            .cloned()
+            .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node))
+    }
+
+    /// A copy of the entry, or `None` if the page is unknown.
+    pub fn try_get(&self, page: PageId) -> Option<PageEntry> {
+        self.entries.lock().get(&page).cloned()
+    }
+
+    /// Run `f` with mutable access to the entry for `page`.
+    ///
+    /// # Panics
+    /// Panics if the page is not registered on this node.
+    pub fn update<R>(&self, page: PageId, f: impl FnOnce(&mut PageEntry) -> R) -> R {
+        let mut entries = self.entries.lock();
+        let entry = entries
+            .get_mut(&page)
+            .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node));
+        f(entry)
+    }
+
+    /// Current local access rights on `page` (`None` if unknown).
+    pub fn access(&self, page: PageId) -> Access {
+        self.entries
+            .lock()
+            .get(&page)
+            .map(|e| e.access)
+            .unwrap_or(Access::None)
+    }
+
+    /// Set the local access rights on `page`.
+    pub fn set_access(&self, page: PageId, access: Access) {
+        self.update(page, |e| e.access = access);
+    }
+
+    /// The wait set threads block on while `page` is being fetched or while
+    /// acknowledgements are outstanding.
+    pub fn waiters(&self, page: PageId) -> Arc<WaitSet> {
+        Arc::clone(
+            self.waiters
+                .lock()
+                .entry(page)
+                .or_insert_with(|| Arc::new(WaitSet::new())),
+        )
+    }
+
+    /// Every page registered in this table.
+    pub fn pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.entries.lock().keys().copied().collect();
+        pages.sort();
+        pages
+    }
+
+    /// Pages this node wrote since the last release (release-consistency
+    /// bookkeeping).
+    pub fn modified_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self
+            .entries
+            .lock()
+            .iter()
+            .filter(|(_, e)| e.modified_since_release)
+            .map(|(p, _)| *p)
+            .collect();
+        pages.sort();
+        pages
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+}
+
+impl std::fmt::Debug for PageTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PageTable(node={}, {} pages)", self.node, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        let t = PageTable::new(NodeId(1));
+        t.ensure(PageId(7), NodeId(0), ProtocolId(0));
+        t
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let t = table();
+        t.update(PageId(7), |e| e.access = Access::Write);
+        t.ensure(PageId(7), NodeId(0), ProtocolId(0));
+        assert_eq!(t.get(PageId(7)).access, Access::Write);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn new_entries_start_unmapped_and_homed() {
+        let t = table();
+        let e = t.get(PageId(7));
+        assert_eq!(e.access, Access::None);
+        assert!(!e.owned);
+        assert_eq!(e.home, NodeId(0));
+        assert_eq!(e.prob_owner, NodeId(0));
+        assert!(e.copyset.is_empty());
+        assert_eq!(e.version, 0);
+        assert!(!e.pending_fetch);
+    }
+
+    #[test]
+    fn update_and_access_helpers() {
+        let t = table();
+        t.set_access(PageId(7), Access::Read);
+        assert_eq!(t.access(PageId(7)), Access::Read);
+        assert_eq!(t.access(PageId(99)), Access::None);
+        t.update(PageId(7), |e| {
+            e.copyset.insert(NodeId(2));
+            e.modified_since_release = true;
+            e.version += 1;
+        });
+        let e = t.get(PageId(7));
+        assert!(e.copyset.contains(&NodeId(2)));
+        assert_eq!(e.version, 1);
+        assert_eq!(t.modified_pages(), vec![PageId(7)]);
+    }
+
+    #[test]
+    fn waiters_are_shared_per_page() {
+        let t = table();
+        let a = t.waiters(PageId(7));
+        let b = t.waiters(PageId(7));
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = t.waiters(PageId(8));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn pages_are_sorted() {
+        let t = PageTable::new(NodeId(0));
+        for p in [5u64, 1, 3] {
+            t.ensure(PageId(p), NodeId(0), ProtocolId(0));
+        }
+        assert_eq!(t.pages(), vec![PageId(1), PageId(3), PageId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no page-table entry")]
+    fn unknown_page_access_panics() {
+        table().get(PageId(1000));
+    }
+
+    #[test]
+    fn try_get_does_not_panic() {
+        assert!(table().try_get(PageId(1000)).is_none());
+        assert!(table().try_get(PageId(7)).is_some());
+    }
+}

@@ -1,0 +1,401 @@
+//! The DSM protocol library: thread-safe building blocks protocols are
+//! assembled from.
+//!
+//! The paper describes this layer as "a toolbox [that] provides routines to
+//! perform elementary actions such as bringing a copy of a remote page to a
+//! thread, migrating a thread to some remote data, invalidating all copies of
+//! a page, etc.". The built-in protocols (`dsmpm2-protocols`) and user-defined
+//! hybrid protocols are written almost entirely in terms of these routines.
+
+use dsmpm2_madeleine::NodeId;
+use dsmpm2_sim::SimHandle;
+
+use crate::ctx::DsmThreadCtx;
+use crate::msg::{Invalidation, PageRequest, PageTransfer};
+use crate::page::{Access, PageId};
+use crate::runtime::DsmRuntime;
+
+/// Client side of a page fetch: send a request for `access` on `page` to the
+/// node currently believed to own it and block (in virtual time) until the
+/// local rights are sufficient. Concurrent faults on the same page from the
+/// same node coalesce into a single request.
+pub fn request_page_and_wait(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    page: PageId,
+    access: Access,
+) {
+    let table = rt.page_table(node);
+    loop {
+        let entry = table.get(page);
+        if entry.access.permits(access) {
+            return;
+        }
+        if !entry.pending_fetch {
+            table.update(page, |e| e.pending_fetch = true);
+            sim.charge(rt.costs().table_update());
+            let target = if entry.prob_owner == node {
+                // Our hint points at ourselves but we do not have the rights:
+                // fall back to the page's home node.
+                rt.page_meta(page).home
+            } else {
+                entry.prob_owner
+            };
+            rt.send_page_request(
+                sim,
+                node,
+                target,
+                PageRequest {
+                    page,
+                    access,
+                    requester: node,
+                },
+            );
+        }
+        let waiters = table.waiters(page);
+        waiters.register(sim);
+        // Re-check before really blocking (the transfer may have raced in).
+        if table.access(page).permits(access) {
+            waiters.deregister(sim);
+            return;
+        }
+        sim.park();
+        waiters.deregister(sim);
+    }
+}
+
+/// Server-side guard for the distributed-manager protocols: if this node is
+/// itself waiting for a copy of `page` (a fetch is in flight), hold the
+/// incoming request until that fetch completes instead of forwarding it along
+/// ownership hints that are about to change.
+///
+/// This implements the distributed request queue of the Li & Hudak dynamic
+/// manager: concurrent write requests chain up behind the node that is about
+/// to become the owner rather than chasing each other's stale hints around
+/// the cluster (which can cycle forever). The small re-dispatch charge also
+/// lets the local faulting thread complete the access it was waiting for
+/// before the page can be snatched away again, which guarantees global
+/// progress under heavy write contention.
+pub fn defer_while_fetching(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
+    let page = req.page;
+    let table = rt.page_table(node);
+    let entry = table.get(page);
+    // Upgrade requests a node sends to itself (write upgrade of an owned,
+    // read-shared page) and requests a current owner can serve on the spot
+    // must not wait behind the node's own fetch, or nothing would ever clear
+    // that fetch.
+    if req.requester == node || entry.owned || !entry.pending_fetch {
+        return;
+    }
+    let waiters = table.waiters(page);
+    waiters.wait_until(sim, || !table.get(page).pending_fetch);
+    // Yield for a short re-dispatch delay so the local threads woken by the
+    // page installation run strictly before this handler serves the page
+    // away again: the node is guaranteed at least one successful local access
+    // per page acquisition, which is what makes heavy write contention
+    // starvation-free.
+    sim.sleep(rt.costs().table_update());
+}
+
+/// Install a page received from another node: store the contents, set the
+/// granted rights, update ownership hints and wake the local threads waiting
+/// for the page. Charges the requester-side protocol overhead.
+pub fn install_received_page(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    transfer: &PageTransfer,
+) {
+    let table = rt.page_table(node);
+    rt.frames(node).install(transfer.page, transfer.data.clone());
+    table.update(transfer.page, |e| {
+        e.access = transfer.grant;
+        e.prob_owner = transfer.owner;
+        e.owned = transfer.owner == node;
+        e.version = transfer.version;
+        e.pending_fetch = false;
+        if transfer.owner == node {
+            e.copyset = transfer.copyset.iter().copied().collect();
+            e.copyset.insert(node);
+        }
+    });
+    sim.charge(rt.costs().install_overhead());
+    sim.charge(rt.costs().table_update());
+    table
+        .waiters(transfer.page)
+        .notify_all(&sim.ctl(), dsmpm2_sim::SimDuration::ZERO);
+}
+
+/// Owner side of a read request: add the requester to the copyset, downgrade
+/// the local copy to read-only (single-writer protocols), and send a
+/// read-only copy. The serving node remains the owner.
+pub fn serve_read_copy(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
+    let table = rt.page_table(node);
+    sim.charge(rt.costs().serve_overhead());
+    let version = table.update(req.page, |e| {
+        e.copyset.insert(req.requester);
+        if e.access == Access::Write {
+            e.access = Access::Read;
+        }
+        e.version
+    });
+    let data = rt.frames(node).snapshot(req.page);
+    rt.send_page(
+        sim,
+        node,
+        req.requester,
+        PageTransfer {
+            page: req.page,
+            data,
+            grant: Access::Read,
+            owner: node,
+            copyset: Vec::new(),
+            version,
+        },
+    );
+}
+
+/// Owner side of a write request: transfer the page together with ownership
+/// and the copyset; the local copy loses all rights.
+pub fn serve_write_transfer(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
+    let table = rt.page_table(node);
+    sim.charge(rt.costs().serve_overhead());
+    let (copyset, version) = table.update(req.page, |e| {
+        let mut copyset: Vec<NodeId> = e.copyset.iter().copied().collect();
+        copyset.retain(|&n| n != req.requester);
+        e.copyset.clear();
+        e.access = Access::None;
+        e.owned = false;
+        e.prob_owner = req.requester;
+        e.version += 1;
+        (copyset, e.version)
+    });
+    let data = rt.frames(node).snapshot(req.page);
+    rt.send_page(
+        sim,
+        node,
+        req.requester,
+        PageTransfer {
+            page: req.page,
+            data,
+            grant: Access::Write,
+            owner: req.requester,
+            copyset,
+            version,
+        },
+    );
+}
+
+/// Forward a request along the probable-owner chain (dynamic distributed
+/// manager). The forwarding node also updates its own hint to point at the
+/// requester when ownership is about to move (write requests), which is the
+/// path-compression rule of the Li & Hudak algorithm.
+pub fn forward_request(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
+    let table = rt.page_table(node);
+    let target = table.get(req.page).prob_owner;
+    rt.stats().incr_request_forward();
+    if req.access == Access::Write {
+        table.update(req.page, |e| e.prob_owner = req.requester);
+    }
+    // Avoid forwarding to ourselves (stale hint): fall back to the home node.
+    let target = if target == node {
+        rt.page_meta(req.page).home
+    } else {
+        target
+    };
+    rt.send_page_request(sim, node, target, req.clone());
+}
+
+/// Invalidate the copies of `page` held by `targets` and wait for every
+/// acknowledgement. Used by write-invalidate protocols when a node acquires
+/// write ownership, and by eager release consistency at lock release.
+pub fn invalidate_copyset_and_wait(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    page: PageId,
+    targets: &[NodeId],
+    new_owner: Option<NodeId>,
+) {
+    let targets: Vec<NodeId> = targets.iter().copied().filter(|&n| n != node).collect();
+    if targets.is_empty() {
+        return;
+    }
+    let table = rt.page_table(node);
+    table.update(page, |e| e.pending_acks += targets.len());
+    for &target in &targets {
+        rt.send_invalidate(
+            sim,
+            node,
+            target,
+            Invalidation {
+                page,
+                from: node,
+                new_owner,
+                needs_ack: true,
+            },
+        );
+    }
+    let waiters = table.waiters(page);
+    waiters.wait_until(sim, || table.get(page).pending_acks == 0);
+}
+
+/// Apply an invalidation locally: drop the local copy and all rights, update
+/// the probable-owner hint, and acknowledge if requested.
+pub fn apply_invalidation(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, inv: &Invalidation) {
+    let table = rt.page_table(node);
+    table.update(inv.page, |e| {
+        e.access = Access::None;
+        e.owned = false;
+        e.modified_since_release = false;
+        if let Some(owner) = inv.new_owner {
+            e.prob_owner = owner;
+        } else {
+            e.prob_owner = inv.from;
+        }
+        e.copyset.clear();
+    });
+    rt.frames(node).evict(inv.page);
+    sim.charge(rt.costs().table_update());
+    if inv.needs_ack {
+        rt.send_invalidate_ack(sim, node, inv.from, inv.page);
+    }
+}
+
+/// Migrate the faulting thread to the node that owns (or is home to) `page`:
+/// the thread-migration alternative to transferring the page. Charges the
+/// (tiny) migration protocol overhead; the migration itself is costed by the
+/// PM2 layer.
+pub fn migrate_thread_to_page(ctx: &mut DsmThreadCtx<'_, '_>, page: PageId) {
+    let rt = ctx.runtime().clone();
+    let node = ctx.node();
+    let entry = rt.page_table(node).get(page);
+    let target = if entry.prob_owner == node {
+        rt.page_meta(page).home
+    } else {
+        entry.prob_owner
+    };
+    rt.stats().incr_thread_migration();
+    ctx.pm2.sim.charge(rt.costs().migration_overhead());
+    rt.cluster()
+        .monitor()
+        .record("dsm_migrate_on_fault", rt.costs().migration_overhead());
+    ctx.pm2.migrate_to(target);
+}
+
+/// Create a twin for `page` on `node` if the protocol needs one (first write
+/// after an acquire). Charges the page-copy cost when a twin is created.
+pub fn ensure_twin(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, page: PageId) {
+    if rt.frames(node).make_twin(page) {
+        rt.stats().incr_twin_created();
+        sim.charge(rt.costs().twin_create());
+    }
+}
+
+/// Compute the diffs of every page this node modified since the last release
+/// and ship them to the pages' home nodes, waiting for all acknowledgements.
+/// `use_recorded` selects on-the-fly recorded ranges (Java protocols) instead
+/// of twin comparison (`hbrc_mw`).
+pub fn flush_diffs_to_homes(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    pages: &[PageId],
+    use_recorded: bool,
+) {
+    let table = rt.page_table(node);
+    let mut waiting_pages = Vec::new();
+    for &page in pages {
+        let home = rt.page_meta(page).home;
+        if home == node {
+            // The home copy is already up to date; just clear the dirty flag.
+            table.update(page, |e| e.modified_since_release = false);
+            continue;
+        }
+        let diff = if use_recorded {
+            rt.frames(node).take_recorded_diff(page)
+        } else {
+            sim.charge(rt.costs().diff_compute());
+            rt.frames(node).take_twin_diff(page)
+        };
+        table.update(page, |e| e.modified_since_release = false);
+        if diff.is_empty() {
+            continue;
+        }
+        table.update(page, |e| e.pending_acks += 1);
+        rt.send_diff(sim, node, home, diff, true);
+        waiting_pages.push(page);
+    }
+    for page in waiting_pages {
+        let waiters = table.waiters(page);
+        waiters.wait_until(sim, || table.get(page).pending_acks == 0);
+    }
+}
+
+/// Home-node side: after integrating a diff (or granting write ownership),
+/// invalidate every third-party copy so stale replicas are refetched.
+pub fn home_invalidate_other_copies(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    page: PageId,
+    except: NodeId,
+) {
+    let table = rt.page_table(node);
+    let targets: Vec<NodeId> = table
+        .get(page)
+        .copyset
+        .iter()
+        .copied()
+        .filter(|&n| n != node && n != except)
+        .collect();
+    for &target in &targets {
+        rt.send_invalidate(
+            sim,
+            node,
+            target,
+            Invalidation {
+                page,
+                from: node,
+                new_owner: Some(node),
+                needs_ack: false,
+            },
+        );
+    }
+    table.update(page, |e| {
+        e.copyset.retain(|&n| n == node || n == except);
+    });
+}
+
+/// Home-node side of a copy request in a home-based protocol: send a copy
+/// with the requested `grant`, record the requester in the copyset, and keep
+/// the home's own rights and ownership untouched (multiple writers allowed).
+pub fn serve_copy_from_home(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    req: &PageRequest,
+    grant: Access,
+) {
+    let table = rt.page_table(node);
+    sim.charge(rt.costs().serve_overhead());
+    let version = table.update(req.page, |e| {
+        e.copyset.insert(req.requester);
+        e.version
+    });
+    let data = rt.frames(node).snapshot(req.page);
+    rt.send_page(
+        sim,
+        node,
+        req.requester,
+        PageTransfer {
+            page: req.page,
+            data,
+            grant,
+            owner: node,
+            copyset: Vec::new(),
+            version,
+        },
+    );
+}

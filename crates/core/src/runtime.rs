@@ -1,0 +1,517 @@
+//! The DSM runtime: ties together the page manager, the communication module,
+//! the protocol registry, shared-memory allocation and DSM thread creation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use dsmpm2_madeleine::NodeId;
+use dsmpm2_pm2::{Engine, Pm2Cluster, Pm2Config, Pm2ThreadState};
+
+use crate::costs::DsmCosts;
+use crate::ctx::DsmThreadCtx;
+use crate::frames::FrameStore;
+use crate::page::{pages_covering, Access, DsmAddr, PageId, PAGE_SIZE};
+use crate::page_table::PageTable;
+use crate::protocol::{DsmProtocol, ProtocolId};
+use crate::stats::DsmStats;
+use crate::sync::{BarrierId, BarrierState, LockId, LockState};
+
+/// Static, cluster-wide information about one page (held identically by every
+/// node; it never changes after allocation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Home node of the page.
+    pub home: NodeId,
+    /// Protocol managing the page.
+    pub protocol: ProtocolId,
+}
+
+/// Placement policy for the pages of a DSM allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum HomePolicy {
+    /// Pages are homed round-robin across the nodes (the default: it spreads
+    /// both storage and service load).
+    #[default]
+    RoundRobin,
+    /// Every page is homed on one fixed node.
+    Fixed(NodeId),
+    /// The allocation is split into one contiguous block of pages per node.
+    Block,
+}
+
+/// Attributes of a DSM allocation (the analogue of `dsm_attr_t`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DsmAttr {
+    /// Protocol managing the allocated pages; `None` selects the default
+    /// protocol installed with [`DsmRuntime::set_default_protocol`].
+    pub protocol: Option<ProtocolId>,
+    /// Home placement of the allocated pages.
+    pub home: HomePolicy,
+}
+
+impl DsmAttr {
+    /// Attribute selecting an explicit protocol.
+    pub fn with_protocol(protocol: ProtocolId) -> Self {
+        DsmAttr {
+            protocol: Some(protocol),
+            home: HomePolicy::default(),
+        }
+    }
+
+    /// Set the home placement policy.
+    pub fn home(mut self, policy: HomePolicy) -> Self {
+        self.home = policy;
+        self
+    }
+}
+
+struct NodeState {
+    table: PageTable,
+    frames: FrameStore,
+}
+
+pub(crate) struct RuntimeInner {
+    cluster: Pm2Cluster,
+    costs: DsmCosts,
+    nodes: Vec<NodeState>,
+    directory: Mutex<HashMap<PageId, PageMeta>>,
+    protocols: RwLock<Vec<Arc<dyn DsmProtocol>>>,
+    default_protocol: AtomicUsize,
+    pub(crate) locks: Mutex<HashMap<u64, Arc<LockState>>>,
+    pub(crate) barriers: Mutex<HashMap<u64, Arc<BarrierState>>>,
+    next_lock: AtomicU64,
+    next_barrier: AtomicU64,
+    stats: DsmStats,
+}
+
+const NO_DEFAULT: usize = usize::MAX;
+
+/// Handle on the DSM runtime. Cheap to clone; all clones refer to the same
+/// distributed shared memory.
+pub struct DsmRuntime {
+    inner: Arc<RuntimeInner>,
+}
+
+impl Clone for DsmRuntime {
+    fn clone(&self) -> Self {
+        DsmRuntime {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl DsmRuntime {
+    /// Boot a PM2 cluster with `config` and install the DSM layer on it.
+    pub fn new(engine: &Engine, config: Pm2Config) -> Self {
+        let cluster = Pm2Cluster::new(engine, config);
+        Self::with_cluster(cluster)
+    }
+
+    /// Install the DSM layer on an already-booted cluster.
+    pub fn with_cluster(cluster: Pm2Cluster) -> Self {
+        Self::with_cluster_and_costs(cluster, DsmCosts::default())
+    }
+
+    /// Install the DSM layer with explicit cost constants (used by the
+    /// ablation benchmarks).
+    pub fn with_cluster_and_costs(cluster: Pm2Cluster, costs: DsmCosts) -> Self {
+        let nodes = cluster
+            .topology()
+            .nodes()
+            .map(|n| NodeState {
+                table: PageTable::new(n),
+                frames: FrameStore::new(n),
+            })
+            .collect();
+        let runtime = DsmRuntime {
+            inner: Arc::new(RuntimeInner {
+                cluster,
+                costs,
+                nodes,
+                directory: Mutex::new(HashMap::new()),
+                protocols: RwLock::new(Vec::new()),
+                default_protocol: AtomicUsize::new(NO_DEFAULT),
+                locks: Mutex::new(HashMap::new()),
+                barriers: Mutex::new(HashMap::new()),
+                next_lock: AtomicU64::new(1),
+                next_barrier: AtomicU64::new(1),
+                stats: DsmStats::new(),
+            }),
+        };
+        crate::comm::register_dsm_services(&runtime);
+        runtime
+    }
+
+    /// The PM2 cluster this DSM runs on.
+    pub fn cluster(&self) -> &Pm2Cluster {
+        &self.inner.cluster
+    }
+
+    /// Number of cluster nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.cluster.num_nodes()
+    }
+
+    /// DSM cost constants.
+    pub fn costs(&self) -> &DsmCosts {
+        &self.inner.costs
+    }
+
+    /// DSM statistics.
+    pub fn stats(&self) -> &DsmStats {
+        &self.inner.stats
+    }
+
+    /// The page table of `node`.
+    pub fn page_table(&self, node: NodeId) -> &PageTable {
+        &self.inner.nodes[node.index()].table
+    }
+
+    /// The frame store of `node`.
+    pub fn frames(&self, node: NodeId) -> &FrameStore {
+        &self.inner.nodes[node.index()].frames
+    }
+
+    // ----- protocol registry -------------------------------------------------
+
+    /// Register a protocol and return its identifier (the analogue of
+    /// `dsm_create_protocol`).
+    pub fn register_protocol(&self, protocol: Arc<dyn DsmProtocol>) -> ProtocolId {
+        let mut protocols = self.inner.protocols.write();
+        protocols.push(protocol);
+        ProtocolId(protocols.len() - 1)
+    }
+
+    /// Install `protocol` as the default for subsequent allocations
+    /// (`pm2_dsm_set_default_protocol`).
+    pub fn set_default_protocol(&self, protocol: ProtocolId) {
+        assert!(
+            protocol.0 < self.inner.protocols.read().len(),
+            "cannot set unregistered {protocol} as default"
+        );
+        self.inner
+            .default_protocol
+            .store(protocol.0, Ordering::SeqCst);
+    }
+
+    /// The current default protocol.
+    ///
+    /// # Panics
+    /// Panics if no default protocol was installed.
+    pub fn default_protocol(&self) -> ProtocolId {
+        let idx = self.inner.default_protocol.load(Ordering::SeqCst);
+        assert!(
+            idx != NO_DEFAULT,
+            "no default protocol installed; call set_default_protocol first"
+        );
+        ProtocolId(idx)
+    }
+
+    /// Look up a registered protocol.
+    pub fn protocol(&self, id: ProtocolId) -> Arc<dyn DsmProtocol> {
+        self.inner
+            .protocols
+            .read()
+            .get(id.0)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown protocol {id}"))
+    }
+
+    /// Find a registered protocol by name.
+    pub fn protocol_by_name(&self, name: &str) -> Option<ProtocolId> {
+        self.inner
+            .protocols
+            .read()
+            .iter()
+            .position(|p| p.name() == name)
+            .map(ProtocolId)
+    }
+
+    /// Names of every registered protocol, in registration order.
+    pub fn protocol_names(&self) -> Vec<String> {
+        self.inner
+            .protocols
+            .read()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect()
+    }
+
+    /// The protocol managing `page`.
+    pub fn protocol_for_page(&self, page: PageId) -> Arc<dyn DsmProtocol> {
+        let meta = self.page_meta(page);
+        self.protocol(meta.protocol)
+    }
+
+    /// The distinct protocols currently managing at least one page, in
+    /// registration order. Lock and barrier hooks are invoked once per
+    /// protocol in use.
+    pub fn protocols_in_use(&self) -> Vec<ProtocolId> {
+        let mut ids: Vec<ProtocolId> = self
+            .inner
+            .directory
+            .lock()
+            .values()
+            .map(|m| m.protocol)
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// Cluster-wide static information about `page`.
+    pub fn page_meta(&self, page: PageId) -> PageMeta {
+        self.inner
+            .directory
+            .lock()
+            .get(&page)
+            .copied()
+            .unwrap_or_else(|| panic!("{page} is not part of any DSM allocation"))
+    }
+
+    /// True if `page` belongs to a DSM allocation.
+    pub fn is_dsm_page(&self, page: PageId) -> bool {
+        self.inner.directory.lock().contains_key(&page)
+    }
+
+    // ----- allocation --------------------------------------------------------
+
+    /// Allocate `bytes` of shared memory managed by the protocol and placement
+    /// selected by `attr` (the analogue of `dsm_malloc`). Returns the
+    /// iso-address of the first byte; the memory is zero-initialised.
+    pub fn dsm_malloc(&self, bytes: u64, attr: DsmAttr) -> DsmAddr {
+        assert!(bytes > 0, "cannot allocate zero bytes of shared memory");
+        let protocol = attr.protocol.unwrap_or_else(|| self.default_protocol());
+        assert!(
+            protocol.0 < self.inner.protocols.read().len(),
+            "allocation references unregistered {protocol}"
+        );
+        let range = self
+            .inner
+            .cluster
+            .isomalloc()
+            .alloc_shared(bytes, PAGE_SIZE as u64);
+        let base = DsmAddr(range.start);
+        let pages = pages_covering(base, range.len);
+        let num_nodes = self.num_nodes();
+        let mut directory = self.inner.directory.lock();
+        for (i, &page) in pages.iter().enumerate() {
+            let home = match attr.home {
+                HomePolicy::RoundRobin => NodeId(i % num_nodes),
+                HomePolicy::Fixed(node) => {
+                    assert!(
+                        self.inner.cluster.topology().contains(node),
+                        "home {node} is not part of the cluster"
+                    );
+                    node
+                }
+                HomePolicy::Block => NodeId((i * num_nodes) / pages.len()),
+            };
+            directory.insert(page, PageMeta { home, protocol });
+            for node in self.inner.cluster.topology().nodes() {
+                self.page_table(node).ensure(page, home, protocol);
+            }
+            self.page_table(home).update(page, |e| {
+                e.access = Access::Write;
+                e.owned = true;
+                e.prob_owner = home;
+                e.copyset.insert(home);
+            });
+            self.frames(home).ensure_zeroed(page);
+        }
+        base
+    }
+
+    /// Allocate the "static" shared data area (the `BEGIN_DSM_DATA` /
+    /// `END_DSM_DATA` section of a DSM-PM2 program), managed by the default
+    /// protocol and homed on node 0.
+    pub fn dsm_static_area(&self, bytes: u64) -> DsmAddr {
+        self.dsm_malloc(
+            bytes,
+            DsmAttr {
+                protocol: None,
+                home: HomePolicy::Fixed(NodeId(0)),
+            },
+        )
+    }
+
+    /// Switch the `bytes`-byte region starting at `addr` from its current
+    /// protocol to `new_protocol`, returning the number of pages switched.
+    ///
+    /// The paper (§2.3) notes that DSM-PM2 has no dedicated support for
+    /// switching a memory area between protocols within a run, but that it
+    /// "can be achieved if needed through a careful synchronization at the
+    /// program level (e.g. through barriers)", because the switch updates the
+    /// distributed page table on every node. This helper performs exactly
+    /// that table update; the *caller* is responsible for keeping every
+    /// application thread away from the region while it runs (typically by
+    /// bracketing it between two barriers), as in the original system.
+    ///
+    /// To hand the region over in a clean state, each page is reset to its
+    /// home-owned initial state: the home node keeps the authoritative copy
+    /// (with write access), every other node drops its copy and its rights.
+    ///
+    /// # Panics
+    /// Panics if the region is not entirely covered by DSM allocations, if
+    /// `new_protocol` is not registered, or if a page still has outstanding
+    /// protocol activity (a fetch or acknowledgement in flight), which
+    /// indicates the required synchronization was not respected.
+    pub fn switch_region_protocol(
+        &self,
+        addr: DsmAddr,
+        bytes: u64,
+        new_protocol: ProtocolId,
+    ) -> usize {
+        assert!(
+            new_protocol.0 < self.inner.protocols.read().len(),
+            "cannot switch to unregistered {new_protocol}"
+        );
+        let pages = pages_covering(addr, bytes);
+        let mut directory = self.inner.directory.lock();
+        for &page in &pages {
+            let meta = directory
+                .get_mut(&page)
+                .unwrap_or_else(|| panic!("{page} is not part of any DSM allocation"));
+            let home = meta.home;
+            meta.protocol = new_protocol;
+            for node in self.inner.cluster.topology().nodes() {
+                let table = self.page_table(node);
+                let entry = table.get(page);
+                assert!(
+                    !entry.pending_fetch && entry.pending_acks == 0,
+                    "protocol switch of {page} raced with in-flight protocol activity on node \
+                     {node}; synchronize (e.g. with barriers) before switching"
+                );
+                if node == home {
+                    table.update(page, |e| {
+                        e.protocol = new_protocol;
+                        e.access = Access::Write;
+                        e.owned = true;
+                        e.prob_owner = home;
+                        e.copyset.clear();
+                        e.copyset.insert(home);
+                        e.modified_since_release = false;
+                        e.version += 1;
+                    });
+                    self.frames(home).ensure_zeroed(page);
+                } else {
+                    // Push any locally modified bytes back to the home copy
+                    // before dropping the replica, so no write is lost across
+                    // the switch even under a multiple-writer protocol.
+                    if self.frames(node).has(page) {
+                        let diff = if self.frames(node).has_twin(page) {
+                            self.frames(node).take_twin_diff(page)
+                        } else if self.frames(node).has_recorded(page) {
+                            self.frames(node).take_recorded_diff(page)
+                        } else {
+                            crate::diff::PageDiff::empty(page)
+                        };
+                        if !diff.is_empty() {
+                            self.frames(home).apply_diff(page, &diff);
+                        }
+                        self.frames(node).evict(page);
+                    }
+                    table.update(page, |e| {
+                        e.protocol = new_protocol;
+                        e.access = Access::None;
+                        e.owned = false;
+                        e.prob_owner = home;
+                        e.copyset.clear();
+                        e.modified_since_release = false;
+                    });
+                }
+            }
+        }
+        pages.len()
+    }
+
+    // ----- threads -----------------------------------------------------------
+
+    /// Spawn a DSM application thread on `node`. The closure receives a
+    /// [`DsmThreadCtx`] giving access to shared memory, locks, barriers and
+    /// thread migration.
+    pub fn spawn_dsm_thread<F>(
+        &self,
+        node: NodeId,
+        name: impl Into<String>,
+        f: F,
+    ) -> Arc<Pm2ThreadState>
+    where
+        F: FnOnce(&mut DsmThreadCtx<'_, '_>) + Send + 'static,
+    {
+        let runtime = self.clone();
+        self.inner.cluster.spawn_thread_on(node, name, move |pm2| {
+            let mut ctx = DsmThreadCtx::new(pm2, runtime);
+            f(&mut ctx);
+        })
+    }
+
+    // ----- synchronization objects -------------------------------------------
+
+    /// Create a DSM lock managed by `manager` (or by a node chosen round-robin
+    /// if `None`).
+    pub fn create_lock(&self, manager: Option<NodeId>) -> LockId {
+        let id = self.inner.next_lock.fetch_add(1, Ordering::SeqCst);
+        let manager = manager.unwrap_or(NodeId(id as usize % self.num_nodes()));
+        self.inner
+            .locks
+            .lock()
+            .insert(id, Arc::new(LockState::new(manager)));
+        LockId(id)
+    }
+
+    /// Create a DSM barrier for `parties` participants, managed by `manager`
+    /// (or node 0 if `None`).
+    pub fn create_barrier(&self, parties: usize, manager: Option<NodeId>) -> BarrierId {
+        let id = self.inner.next_barrier.fetch_add(1, Ordering::SeqCst);
+        let manager = manager.unwrap_or(NodeId(0));
+        self.inner
+            .barriers
+            .lock()
+            .insert(id, Arc::new(BarrierState::new(manager, parties)));
+        BarrierId(id)
+    }
+
+    pub(crate) fn lock_state(&self, lock: LockId) -> Arc<LockState> {
+        self.inner
+            .locks
+            .lock()
+            .get(&lock.0)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown DSM lock {lock:?}"))
+    }
+
+    pub(crate) fn barrier_state(&self, barrier: BarrierId) -> Arc<BarrierState> {
+        self.inner
+            .barriers
+            .lock()
+            .get(&barrier.0)
+            .cloned()
+            .unwrap_or_else(|| panic!("unknown DSM barrier {barrier:?}"))
+    }
+
+    /// The manager node of `lock`.
+    pub fn lock_manager(&self, lock: LockId) -> NodeId {
+        self.lock_state(lock).manager
+    }
+
+    /// The manager node of `barrier`.
+    pub fn barrier_manager(&self, barrier: BarrierId) -> NodeId {
+        self.barrier_state(barrier).manager
+    }
+}
+
+impl std::fmt::Debug for DsmRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DsmRuntime({} nodes, {} protocols, {} pages)",
+            self.num_nodes(),
+            self.inner.protocols.read().len(),
+            self.inner.directory.lock().len()
+        )
+    }
+}

@@ -1,0 +1,191 @@
+//! DSM-level statistics.
+//!
+//! Typed counters complementing the generic [`dsmpm2_pm2::Monitor`]: the
+//! benchmark harness uses them to report fault counts, transferred pages,
+//! invalidations and diffs per experiment, and the tests use them to check
+//! protocol behaviour (e.g. "no page is ever transferred by the
+//! thread-migration protocol").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters collected by the DSM generic core.
+#[derive(Debug, Default)]
+pub struct DsmStats {
+    read_faults: AtomicU64,
+    write_faults: AtomicU64,
+    page_transfers: AtomicU64,
+    page_bytes: AtomicU64,
+    invalidations: AtomicU64,
+    invalidation_acks: AtomicU64,
+    diffs_sent: AtomicU64,
+    diff_bytes: AtomicU64,
+    twins_created: AtomicU64,
+    lock_acquires: AtomicU64,
+    lock_releases: AtomicU64,
+    barriers: AtomicU64,
+    thread_migrations: AtomicU64,
+    local_accesses: AtomicU64,
+    inline_checks: AtomicU64,
+    request_forwards: AtomicU64,
+}
+
+/// A plain-value snapshot of [`DsmStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DsmStatsSnapshot {
+    /// Read page faults taken.
+    pub read_faults: u64,
+    /// Write page faults taken.
+    pub write_faults: u64,
+    /// Full pages transferred between nodes.
+    pub page_transfers: u64,
+    /// Bytes of page data transferred.
+    pub page_bytes: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Invalidation acknowledgements received.
+    pub invalidation_acks: u64,
+    /// Diff messages sent to home nodes.
+    pub diffs_sent: u64,
+    /// Bytes of diff payload sent.
+    pub diff_bytes: u64,
+    /// Twins created by multiple-writer protocols.
+    pub twins_created: u64,
+    /// DSM lock acquisitions.
+    pub lock_acquires: u64,
+    /// DSM lock releases.
+    pub lock_releases: u64,
+    /// Barrier episodes completed (per participant).
+    pub barriers: u64,
+    /// Thread migrations triggered by DSM protocols.
+    pub thread_migrations: u64,
+    /// Accesses served entirely locally (fast path).
+    pub local_accesses: u64,
+    /// Explicit inline locality checks performed.
+    pub inline_checks: u64,
+    /// Page requests forwarded along the probable-owner chain.
+    pub request_forwards: u64,
+}
+
+macro_rules! counter_methods {
+    ($($field:ident => $inc:ident),* $(,)?) => {
+        impl DsmStats {
+            $(
+                /// Increment the corresponding counter.
+                pub fn $inc(&self) {
+                    self.$field.fetch_add(1, Ordering::Relaxed);
+                }
+            )*
+        }
+    };
+}
+
+counter_methods!(
+    read_faults => incr_read_fault,
+    write_faults => incr_write_fault,
+    page_transfers => incr_page_transfer,
+    invalidations => incr_invalidation,
+    invalidation_acks => incr_invalidation_ack,
+    diffs_sent => incr_diff_sent,
+    twins_created => incr_twin_created,
+    lock_acquires => incr_lock_acquire,
+    lock_releases => incr_lock_release,
+    barriers => incr_barrier,
+    thread_migrations => incr_thread_migration,
+    local_accesses => incr_local_access,
+    inline_checks => incr_inline_check,
+    request_forwards => incr_request_forward,
+);
+
+impl DsmStats {
+    /// New, zeroed statistics.
+    pub fn new() -> Self {
+        DsmStats::default()
+    }
+
+    /// Account `bytes` of page payload for one page transfer.
+    pub fn add_page_bytes(&self, bytes: u64) {
+        self.page_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account `bytes` of diff payload.
+    pub fn add_diff_bytes(&self, bytes: u64) {
+        self.diff_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of every counter.
+    pub fn snapshot(&self) -> DsmStatsSnapshot {
+        DsmStatsSnapshot {
+            read_faults: self.read_faults.load(Ordering::Relaxed),
+            write_faults: self.write_faults.load(Ordering::Relaxed),
+            page_transfers: self.page_transfers.load(Ordering::Relaxed),
+            page_bytes: self.page_bytes.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            invalidation_acks: self.invalidation_acks.load(Ordering::Relaxed),
+            diffs_sent: self.diffs_sent.load(Ordering::Relaxed),
+            diff_bytes: self.diff_bytes.load(Ordering::Relaxed),
+            twins_created: self.twins_created.load(Ordering::Relaxed),
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            lock_releases: self.lock_releases.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            thread_migrations: self.thread_migrations.load(Ordering::Relaxed),
+            local_accesses: self.local_accesses.load(Ordering::Relaxed),
+            inline_checks: self.inline_checks.load(Ordering::Relaxed),
+            request_forwards: self.request_forwards.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl DsmStatsSnapshot {
+    /// Total page faults (read + write).
+    pub fn total_faults(&self) -> u64 {
+        self.read_faults + self.write_faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_increment_independently() {
+        let s = DsmStats::new();
+        s.incr_read_fault();
+        s.incr_read_fault();
+        s.incr_write_fault();
+        s.incr_page_transfer();
+        s.add_page_bytes(4096);
+        s.incr_thread_migration();
+        s.incr_inline_check();
+        let snap = s.snapshot();
+        assert_eq!(snap.read_faults, 2);
+        assert_eq!(snap.write_faults, 1);
+        assert_eq!(snap.total_faults(), 3);
+        assert_eq!(snap.page_transfers, 1);
+        assert_eq!(snap.page_bytes, 4096);
+        assert_eq!(snap.thread_migrations, 1);
+        assert_eq!(snap.inline_checks, 1);
+        assert_eq!(snap.invalidations, 0);
+    }
+
+    #[test]
+    fn snapshot_is_plain_data() {
+        let s = DsmStats::new();
+        s.incr_lock_acquire();
+        let a = s.snapshot();
+        let b = a; // Copy
+        assert_eq!(a, b);
+        assert_eq!(b.lock_acquires, 1);
+    }
+
+    #[test]
+    fn diff_accounting() {
+        let s = DsmStats::new();
+        s.incr_diff_sent();
+        s.add_diff_bytes(120);
+        s.incr_twin_created();
+        let snap = s.snapshot();
+        assert_eq!(snap.diffs_sent, 1);
+        assert_eq!(snap.diff_bytes, 120);
+        assert_eq!(snap.twins_created, 1);
+    }
+}

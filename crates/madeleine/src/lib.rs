@@ -1,0 +1,30 @@
+//! # dsmpm2-madeleine — portable communication layer model
+//!
+//! The PM2 runtime achieves network portability through the Madeleine
+//! communication library, which was ported to BIP, SISCI, VIA, TCP and MPI.
+//! This crate models that layer for the simulated cluster:
+//!
+//! * [`NetworkModel`] — cost model (latency, bandwidth, migration cost) of one
+//!   network interface, calibrated from the paper's measurements
+//!   ([`profiles`]).
+//! * [`Network`] — the transport: typed messages between nodes with
+//!   virtual-time delivery delays derived from the model.
+//! * [`NetStats`] — communication counters feeding the monitoring reports.
+//!
+//! Switching a whole DSM application from one interconnect to another is a
+//! one-line change of profile, exactly like relinking a PM2 program against a
+//! different Madeleine driver.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod model;
+pub mod profiles;
+mod stats;
+mod topology;
+mod transport;
+
+pub use model::{NetworkModel, CONTROL_MESSAGE_BYTES};
+pub use stats::{LinkCounters, NetStats, NetStatsSnapshot};
+pub use topology::{NodeId, Topology};
+pub use transport::{Envelope, Network};

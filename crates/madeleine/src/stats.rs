@@ -1,0 +1,130 @@
+//! Communication statistics.
+//!
+//! PM2 ships post-mortem monitoring tools; this module provides the
+//! communication-side counters that feed the monitoring reports and the
+//! benchmark harness (message counts, transferred volumes, per-link
+//! breakdowns).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::topology::NodeId;
+
+/// Aggregated communication counters for one [`crate::Network`].
+#[derive(Default)]
+pub struct NetStats {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    per_link: Mutex<HashMap<(NodeId, NodeId), LinkCounters>>,
+}
+
+/// Counters for one directed (source, destination) pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Number of messages sent on this link.
+    pub messages: u64,
+    /// Total payload bytes sent on this link.
+    pub bytes: u64,
+}
+
+/// A point-in-time snapshot of network statistics.
+#[derive(Clone, Debug, Default)]
+pub struct NetStatsSnapshot {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Per-directed-link counters.
+    pub per_link: HashMap<(NodeId, NodeId), LinkCounters>,
+}
+
+impl NetStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `bytes` payload bytes from `from` to `to`.
+    pub fn record(&self, from: NodeId, to: NodeId, bytes: usize) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut links = self.per_link.lock();
+        let entry = links.entry((from, to)).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes as u64;
+    }
+
+    /// Total number of messages sent so far.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Counters for one directed link.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkCounters {
+        self.per_link
+            .lock()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// A consistent snapshot of every counter.
+    pub fn snapshot(&self) -> NetStatsSnapshot {
+        NetStatsSnapshot {
+            messages: self.messages(),
+            bytes: self.bytes(),
+            per_link: self.per_link.lock().clone(),
+        }
+    }
+
+    /// Reset every counter to zero (used between benchmark iterations).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.per_link.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_totals_and_links() {
+        let s = NetStats::new();
+        s.record(NodeId(0), NodeId(1), 100);
+        s.record(NodeId(0), NodeId(1), 50);
+        s.record(NodeId(1), NodeId(0), 10);
+        assert_eq!(s.messages(), 3);
+        assert_eq!(s.bytes(), 160);
+        assert_eq!(
+            s.link(NodeId(0), NodeId(1)),
+            LinkCounters {
+                messages: 2,
+                bytes: 150
+            }
+        );
+        assert_eq!(s.link(NodeId(2), NodeId(3)), LinkCounters::default());
+    }
+
+    #[test]
+    fn snapshot_and_reset() {
+        let s = NetStats::new();
+        s.record(NodeId(0), NodeId(1), 4096);
+        let snap = s.snapshot();
+        assert_eq!(snap.messages, 1);
+        assert_eq!(snap.bytes, 4096);
+        assert_eq!(snap.per_link.len(), 1);
+        s.reset();
+        assert_eq!(s.messages(), 0);
+        assert_eq!(s.bytes(), 0);
+        assert!(s.snapshot().per_link.is_empty());
+    }
+}

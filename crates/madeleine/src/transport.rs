@@ -1,0 +1,283 @@
+//! Message transport between simulated cluster nodes.
+//!
+//! [`Network`] plays the role of the Madeleine communication library: it
+//! gives every node an incoming message queue and lets any simulated thread
+//! send a typed message to any node. Transfer time is computed from the
+//! configured [`NetworkModel`] and charged as a virtual-time delivery delay,
+//! so higher layers (RPC, the DSM communication module) automatically inherit
+//! the calibrated cost of the selected interconnect.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsmpm2_sim::{channel, EngineCtl, SimDuration, SimHandle, SimReceiver, SimSender, SimTime};
+
+use crate::model::{NetworkModel, CONTROL_MESSAGE_BYTES};
+use crate::stats::NetStats;
+use crate::topology::{NodeId, Topology};
+
+/// A message in flight (or delivered) between two nodes.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload size accounted by the cost model, in bytes.
+    pub bytes: usize,
+    /// Virtual time at which the message was handed to the network.
+    pub sent_at: SimTime,
+    /// The message itself.
+    pub msg: M,
+}
+
+struct NetworkInner<M> {
+    model: NetworkModel,
+    topology: Topology,
+    senders: Vec<SimSender<Envelope<M>>>,
+    receivers: Vec<SimReceiver<Envelope<M>>>,
+    stats: NetStats,
+    /// Madeleine channels are FIFO: per directed link, a message never
+    /// overtakes an earlier one (a small control message sent after a large
+    /// page transfer arrives after it). This map records the last scheduled
+    /// delivery time of each link.
+    fifo: Mutex<HashMap<(NodeId, NodeId), SimTime>>,
+}
+
+/// A simulated interconnect connecting every node of the cluster.
+pub struct Network<M> {
+    inner: Arc<NetworkInner<M>>,
+}
+
+impl<M> Clone for Network<M> {
+    fn clone(&self) -> Self {
+        Network {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Send + 'static> Network<M> {
+    /// Build a network for `topology` using the cost model `model`.
+    pub fn new(ctl: EngineCtl, model: NetworkModel, topology: Topology) -> Self {
+        let mut senders = Vec::with_capacity(topology.num_nodes);
+        let mut receivers = Vec::with_capacity(topology.num_nodes);
+        for _ in 0..topology.num_nodes {
+            let (tx, rx) = channel::<Envelope<M>>(ctl.clone());
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        Network {
+            inner: Arc::new(NetworkInner {
+                model,
+                topology,
+                senders,
+                receivers,
+                stats: NetStats::new(),
+                fifo: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// The cost model in use.
+    pub fn model(&self) -> &NetworkModel {
+        &self.inner.model
+    }
+
+    /// The cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.inner.topology
+    }
+
+    /// Communication statistics collected so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.inner.stats
+    }
+
+    /// The incoming message queue of `node`. Dispatcher threads hold a clone
+    /// of this receiver and block on it.
+    pub fn endpoint(&self, node: NodeId) -> SimReceiver<Envelope<M>> {
+        self.inner.receivers[node.index()].clone()
+    }
+
+    /// Send `msg` from `from` to `to`, accounting `payload_bytes` of payload.
+    /// The message is delivered after the model's transfer time; messages on
+    /// the same link are delivered in FIFO order because delivery times are
+    /// monotonic in send time for a fixed size... and ties preserve send order.
+    pub fn send(
+        &self,
+        handle: &SimHandle,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        payload_bytes: usize,
+    ) {
+        assert!(
+            self.inner.topology.contains(from) && self.inner.topology.contains(to),
+            "send between unknown nodes {from} -> {to}"
+        );
+        let delay = if from == to {
+            // Loopback messages skip the wire but still pay a small software cost.
+            SimDuration::from_micros_f64(self.inner.model.rpc_min_latency_us / 2.0)
+        } else {
+            self.inner.model.message_time(payload_bytes)
+        };
+        self.send_with_delay(handle, from, to, msg, payload_bytes, delay);
+    }
+
+    /// Send a small control message (page request, invalidation, ack, ...).
+    pub fn send_control(&self, handle: &SimHandle, from: NodeId, to: NodeId, msg: M) {
+        self.send(handle, from, to, msg, CONTROL_MESSAGE_BYTES);
+    }
+
+    /// Send with an explicitly chosen delivery delay (used by layers that
+    /// have already computed a cost, e.g. thread migration).
+    pub fn send_with_delay(
+        &self,
+        handle: &SimHandle,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        payload_bytes: usize,
+        delay: SimDuration,
+    ) {
+        self.inner.stats.record(from, to, payload_bytes);
+        let sent_at = handle.now();
+        // Enforce FIFO delivery per directed link.
+        let delay = {
+            let mut fifo = self.inner.fifo.lock();
+            let earliest = fifo.entry((from, to)).or_insert(SimTime::ZERO);
+            let natural_arrival = sent_at + delay;
+            let arrival = natural_arrival.max(*earliest);
+            *earliest = arrival;
+            arrival - sent_at
+        };
+        let envelope = Envelope {
+            from,
+            to,
+            bytes: payload_bytes,
+            sent_at,
+            msg,
+        };
+        self.inner.senders[to.index()].send_delayed(handle, envelope, delay);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use dsmpm2_sim::Engine;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn two_node_net<M: Send + 'static>(engine: &Engine, model: NetworkModel) -> Network<M> {
+        Network::new(engine.ctl(), model, Topology::flat(2))
+    }
+
+    #[test]
+    fn delivery_delay_matches_model() {
+        let mut engine = Engine::new();
+        let net = two_node_net::<&'static str>(&engine, profiles::bip_myrinet());
+        let expected = profiles::bip_myrinet().page_transfer_time(4096);
+        let arrived = Arc::new(AtomicU64::new(0));
+
+        let rx = net.endpoint(NodeId(1));
+        let a = arrived.clone();
+        engine.spawn("receiver", move |h| {
+            let env = rx.recv(h);
+            assert_eq!(env.from, NodeId(0));
+            assert_eq!(env.bytes, 4096 + CONTROL_MESSAGE_BYTES);
+            a.store(h.global_now().as_nanos(), Ordering::SeqCst);
+        });
+        let net2 = net.clone();
+        engine.spawn("sender", move |h| {
+            net2.send(h, NodeId(0), NodeId(1), "page", 4096 + CONTROL_MESSAGE_BYTES);
+        });
+        engine.run().unwrap();
+        assert_eq!(arrived.load(Ordering::SeqCst), expected.as_nanos());
+    }
+
+    #[test]
+    fn control_messages_are_cheaper_than_pages() {
+        let mut engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::sisci_sci());
+        let times = Arc::new(Mutex::new(Vec::new()));
+
+        let rx = net.endpoint(NodeId(1));
+        let t = times.clone();
+        engine.spawn("receiver", move |h| {
+            for _ in 0..2 {
+                let env = rx.recv(h);
+                t.lock().push((env.msg, h.global_now()));
+            }
+        });
+        let net2 = net.clone();
+        engine.spawn("sender", move |h| {
+            net2.send_control(h, NodeId(0), NodeId(1), 1);
+            net2.send(h, NodeId(0), NodeId(1), 2, 4096);
+        });
+        engine.run().unwrap();
+        let times = times.lock();
+        assert_eq!(times[0].0, 1);
+        assert_eq!(times[1].0, 2);
+        assert!(times[0].1 < times[1].1);
+    }
+
+    #[test]
+    fn loopback_is_fast_but_not_free() {
+        let mut engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::bip_myrinet());
+        let when = Arc::new(AtomicU64::new(0));
+        let rx = net.endpoint(NodeId(0));
+        let w = when.clone();
+        engine.spawn("self-receiver", move |h| {
+            let _ = rx.recv(h);
+            w.store(h.global_now().as_nanos(), Ordering::SeqCst);
+        });
+        let net2 = net.clone();
+        engine.spawn("self-sender", move |h| {
+            net2.send(h, NodeId(0), NodeId(0), 7, 4096);
+        });
+        engine.run().unwrap();
+        let loopback = when.load(Ordering::SeqCst);
+        assert!(loopback > 0);
+        assert!(loopback < profiles::bip_myrinet().message_time(4096).as_nanos());
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let mut engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::tcp_myrinet());
+        let net2 = net.clone();
+        engine.spawn("sender", move |h| {
+            net2.send(h, NodeId(0), NodeId(1), 1, 100);
+            net2.send(h, NodeId(0), NodeId(1), 2, 200);
+        });
+        // Drain so the run terminates cleanly even though nothing reads: the
+        // messages simply sit in the queue (no thread is kept alive by them).
+        engine.run().unwrap();
+        assert_eq!(net.stats().messages(), 2);
+        assert_eq!(net.stats().bytes(), 300);
+        assert_eq!(net.stats().link(NodeId(0), NodeId(1)).messages, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown nodes")]
+    fn sending_to_unknown_node_panics() {
+        let engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::bip_myrinet());
+        // Outside a simulated thread we still need a handle; easiest is to
+        // check the assertion through a spawned thread and propagate panic.
+        let mut engine = engine;
+        let net2 = net.clone();
+        engine.spawn("bad", move |h| {
+            net2.send(h, NodeId(0), NodeId(9), 1, 10);
+        });
+        if let Err(dsmpm2_sim::SimError::ThreadPanic { message, .. }) = engine.run() {
+            panic!("{}", message);
+        }
+    }
+}

@@ -1,0 +1,300 @@
+//! Application-thread context and preemptive thread migration.
+//!
+//! A PM2 application thread can be migrated transparently between nodes
+//! during its execution: its stack and descriptor are copied to the
+//! destination node at the same iso-address. In the simulation, the backing
+//! execution context never moves (it is an OS thread of the host process);
+//! what migration changes is (a) the thread's *location*, which every DSM
+//! access consults, and (b) the virtual clock, which is charged the
+//! calibrated migration cost for the thread's stack and attached data.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsmpm2_madeleine::NodeId;
+use dsmpm2_sim::{SimDuration, SimHandle, SimTime};
+
+use crate::cluster::Pm2Cluster;
+use crate::rpc::{RpcClass, RpcPayload};
+
+/// Shared, externally observable state of one PM2 application thread.
+#[derive(Debug)]
+pub struct Pm2ThreadState {
+    name: String,
+    node: Mutex<NodeId>,
+    stack_bytes: AtomicUsize,
+    private_bytes: AtomicUsize,
+    migrations: AtomicU64,
+    finished: AtomicBool,
+}
+
+impl Pm2ThreadState {
+    pub(crate) fn new(name: String, node: NodeId, stack_bytes: usize) -> Self {
+        Pm2ThreadState {
+            name,
+            node: Mutex::new(node),
+            stack_bytes: AtomicUsize::new(stack_bytes),
+            private_bytes: AtomicUsize::new(0),
+            migrations: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+        }
+    }
+
+    /// Thread name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Node the thread currently executes on.
+    pub fn node(&self) -> NodeId {
+        *self.node.lock()
+    }
+
+    /// Stack size accounted for migration costs.
+    pub fn stack_bytes(&self) -> usize {
+        self.stack_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of private iso-allocated data that migrate with the thread.
+    pub fn private_bytes(&self) -> usize {
+        self.private_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Number of times the thread has migrated.
+    pub fn migrations(&self) -> u64 {
+        self.migrations.load(Ordering::Relaxed)
+    }
+
+    /// True once the thread body has returned.
+    pub fn finished(&self) -> bool {
+        self.finished.load(Ordering::Relaxed)
+    }
+}
+
+/// Execution context handed to every PM2 application thread body.
+pub struct Pm2Context<'a> {
+    /// The underlying simulation handle (virtual clock, sleeping, spawning).
+    pub sim: &'a mut SimHandle,
+    cluster: Pm2Cluster,
+    state: Arc<Pm2ThreadState>,
+}
+
+impl<'a> Pm2Context<'a> {
+    pub(crate) fn new(
+        sim: &'a mut SimHandle,
+        cluster: Pm2Cluster,
+        state: Arc<Pm2ThreadState>,
+    ) -> Self {
+        Pm2Context {
+            sim,
+            cluster,
+            state,
+        }
+    }
+
+    pub(crate) fn mark_finished(&self) {
+        self.state.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// The cluster this thread runs in.
+    pub fn cluster(&self) -> &Pm2Cluster {
+        &self.cluster
+    }
+
+    /// The node this thread currently executes on.
+    pub fn node(&self) -> NodeId {
+        self.state.node()
+    }
+
+    /// Shared state handle (usable from outside the thread).
+    pub fn state(&self) -> Arc<Pm2ThreadState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Current local virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Charge local compute time (folded into the clock at the next yield).
+    /// This models compute that is private to the thread and does not contend
+    /// for the node's CPU (bookkeeping, protocol overheads).
+    pub fn compute(&mut self, d: SimDuration) {
+        self.sim.charge(d);
+    }
+
+    /// Execute `d` of compute on the node's single CPU, contending with every
+    /// other thread currently located on the same node. The thread resumes
+    /// when its reservation completes; if other threads queued ahead of it,
+    /// that is later than `now + d`.
+    pub fn compute_shared(&mut self, d: SimDuration) {
+        if d.is_zero() {
+            return;
+        }
+        self.sim.flush();
+        let now = self.sim.global_now();
+        let node = self.node();
+        let end = self.cluster.reserve_cpu(node, now, d);
+        self.sim.sleep(end - now);
+    }
+
+    /// Declare the stack footprint of this thread (affects migration cost).
+    pub fn set_stack_bytes(&self, bytes: usize) {
+        self.state.stack_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Attach `bytes` of private iso-allocated data to this thread; the data
+    /// is copied along on every migration.
+    pub fn attach_private_bytes(&self, bytes: usize) {
+        self.state.private_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Preemptively migrate this thread to `dest`.
+    ///
+    /// The virtual clock is charged the calibrated migration cost (stack +
+    /// attached data over the configured interconnect); afterwards the thread
+    /// continues executing with `dest` as its location, so subsequent DSM
+    /// accesses are evaluated against `dest`'s page table.
+    pub fn migrate_to(&mut self, dest: NodeId) {
+        let from = self.node();
+        if from == dest {
+            return;
+        }
+        assert!(
+            self.cluster.topology().contains(dest),
+            "cannot migrate to unknown node {dest}"
+        );
+        let model = self.cluster.network().model();
+        let cost = model.thread_migration_time(
+            self.state.stack_bytes(),
+            self.state.private_bytes(),
+        );
+        self.cluster.monitor().record("thread_migration", cost);
+        self.cluster
+            .network()
+            .stats()
+            .record(from, dest, self.state.stack_bytes() + self.state.private_bytes());
+        self.sim.sleep(cost);
+        *self.state.node.lock() = dest;
+        self.state.migrations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Blocking RPC issued from this thread's current node.
+    pub fn rpc_call(
+        &mut self,
+        to: NodeId,
+        service: &str,
+        payload: RpcPayload,
+        class: RpcClass,
+    ) -> RpcPayload {
+        let from = self.node();
+        self.cluster
+            .clone()
+            .rpc_call(self.sim, from, to, service, payload, class)
+    }
+
+    /// One-way RPC issued from this thread's current node.
+    pub fn rpc_oneway(&mut self, to: NodeId, service: &str, payload: RpcPayload, class: RpcClass) {
+        let from = self.node();
+        self.cluster
+            .clone()
+            .rpc_oneway(self.sim, from, to, service, payload, class)
+    }
+}
+
+impl std::fmt::Debug for Pm2Context<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Pm2Context('{}' on {} at {})",
+            self.state.name(),
+            self.node(),
+            self.sim.now()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Pm2Config;
+    use dsmpm2_madeleine::profiles;
+    use dsmpm2_sim::Engine;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    #[test]
+    fn migration_charges_the_calibrated_cost_and_moves_the_thread() {
+        let mut engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::bip_myrinet(2));
+        let elapsed = Arc::new(StdAtomicU64::new(0));
+        let e = elapsed.clone();
+        let state = cluster.spawn_thread_on(NodeId(0), "mover", move |ctx| {
+            let start = ctx.now();
+            ctx.migrate_to(NodeId(1));
+            assert_eq!(ctx.node(), NodeId(1));
+            e.store(ctx.now().since(start).as_nanos(), Ordering::SeqCst);
+        });
+        engine.run().unwrap();
+        let expected = profiles::bip_myrinet().thread_migration_time(1024, 0);
+        assert_eq!(elapsed.load(Ordering::SeqCst), expected.as_nanos());
+        assert_eq!(state.node(), NodeId(1));
+        assert_eq!(state.migrations(), 1);
+        assert!(state.finished());
+    }
+
+    #[test]
+    fn migration_to_current_node_is_free() {
+        let mut engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::bip_myrinet(2));
+        cluster.spawn_thread_on(NodeId(0), "stay", |ctx| {
+            let start = ctx.now();
+            ctx.migrate_to(NodeId(0));
+            assert_eq!(ctx.now().since(start), SimDuration::ZERO);
+        });
+        engine.run().unwrap();
+        assert_eq!(cluster.monitor().count("thread_migration"), 0);
+    }
+
+    #[test]
+    fn migration_cost_includes_attached_private_data() {
+        let mut engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::sisci_sci(2));
+        let elapsed = Arc::new(StdAtomicU64::new(0));
+        let e = elapsed.clone();
+        cluster.spawn_thread_on(NodeId(0), "heavy", move |ctx| {
+            ctx.attach_private_bytes(64 * 1024);
+            let start = ctx.now();
+            ctx.migrate_to(NodeId(1));
+            e.store(ctx.now().since(start).as_nanos(), Ordering::SeqCst);
+        });
+        engine.run().unwrap();
+        let light = profiles::sisci_sci().thread_migration_time(1024, 0);
+        assert!(elapsed.load(Ordering::SeqCst) > light.as_nanos());
+    }
+
+    #[test]
+    fn compute_advances_local_clock() {
+        let mut engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::bip_myrinet(1));
+        cluster.spawn_thread_on(NodeId(0), "worker", |ctx| {
+            ctx.compute(SimDuration::from_micros(500));
+            assert_eq!(ctx.now(), SimTime::from_micros(500));
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn migrating_to_unknown_node_panics() {
+        let mut engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::bip_myrinet(2));
+        cluster.spawn_thread_on(NodeId(0), "bad", |ctx| {
+            ctx.migrate_to(NodeId(5));
+        });
+        if let Err(dsmpm2_sim::SimError::ThreadPanic { message, .. }) = engine.run() {
+            panic!("{}", message);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # dsmpm2-pm2 — the PM2 runtime model
+//!
+//! PM2 ("Parallel Multithreaded Machine") is the runtime DSM-PM2 is built on:
+//! user-level threads (Marcel), portable communication (Madeleine), RPC-based
+//! node interaction, iso-address allocation and preemptive thread migration.
+//! This crate models those services on top of the simulation engine:
+//!
+//! * [`Pm2Cluster`] — boots a cluster of nodes with one RPC dispatcher per
+//!   node, a service registry, and the blocking/one-way RPC primitives.
+//! * [`Pm2Context`] / [`Pm2ThreadState`] — application threads with a current
+//!   location and preemptive [`Pm2Context::migrate_to`] migration.
+//! * [`IsoAllocator`] — iso-address allocation (shared and node-private).
+//! * [`Monitor`] — post-mortem per-operation timing/counter reports.
+//!
+//! The DSM generic core (crate `dsmpm2-core`) is built exclusively on this
+//! API, mirroring the layering of the original system.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod cluster;
+mod config;
+mod context;
+mod isomalloc;
+mod monitor;
+mod rpc;
+
+pub use cluster::Pm2Cluster;
+pub use config::{Pm2Config, Pm2Costs};
+pub use context::{Pm2Context, Pm2ThreadState};
+pub use isomalloc::{IsoAllocator, IsoKind, IsoRange, ISO_PRIVATE_BASE, ISO_PRIVATE_SLOT, ISO_SHARED_BASE};
+pub use monitor::{Monitor, MonitorReport, OpStat};
+pub use rpc::{downcast, service_fn, FnService, RpcClass, RpcMessage, RpcPayload, RpcReply, RpcRequestCtx, RpcService};
+
+/// Convenience re-exports of the layers below, so applications can depend on
+/// a single crate for cluster setup.
+pub use dsmpm2_madeleine::{profiles, NetworkModel, NodeId, Topology};
+pub use dsmpm2_sim::{Engine, EngineConfig, SimDuration, SimError, SimHandle, SimTime};

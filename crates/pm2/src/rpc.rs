@@ -1,0 +1,288 @@
+//! Remote procedure calls.
+//!
+//! PM2's basic mechanism for inter-node interaction is the RPC: a thread
+//! invokes the remote execution of a user-defined service, which may be
+//! handled by a pre-existing thread or trigger the creation of a new one.
+//! All DSM-PM2 communication primitives are built on this mechanism, which is
+//! why it is modelled explicitly here rather than folded into the DSM layer.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsmpm2_madeleine::{NodeId, CONTROL_MESSAGE_BYTES};
+use dsmpm2_sim::{SimHandle, ThreadId};
+
+use crate::cluster::Pm2Cluster;
+
+/// Payload carried by requests and replies. Services downcast it to their
+/// concrete argument type; the network layer only needs its accounted size.
+pub type RpcPayload = Box<dyn Any + Send>;
+
+/// How a message should be costed by the network model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RpcClass {
+    /// A null RPC carrying (almost) no arguments: costs the interconnect's
+    /// minimal RPC latency. Used by the §2.1 microbenchmark.
+    Minimal,
+    /// A small DSM control message (page request, invalidation, ack).
+    Control,
+    /// A bulk transfer of `n` payload bytes (page contents, diffs).
+    Data(usize),
+}
+
+impl RpcClass {
+    /// Payload bytes accounted to the network statistics.
+    pub fn accounted_bytes(self) -> usize {
+        match self {
+            RpcClass::Minimal => 16,
+            RpcClass::Control => CONTROL_MESSAGE_BYTES,
+            RpcClass::Data(n) => n + CONTROL_MESSAGE_BYTES,
+        }
+    }
+}
+
+/// A reply produced by a service handler.
+pub struct RpcReply {
+    /// Reply value, downcast by the caller.
+    pub payload: RpcPayload,
+    /// Cost class of the reply message.
+    pub class: RpcClass,
+}
+
+impl RpcReply {
+    /// A reply carrying a small control answer.
+    pub fn control(payload: impl Any + Send) -> Self {
+        RpcReply {
+            payload: Box::new(payload),
+            class: RpcClass::Control,
+        }
+    }
+
+    /// A reply carrying `bytes` of bulk data.
+    pub fn data(payload: impl Any + Send, bytes: usize) -> Self {
+        RpcReply {
+            payload: Box::new(payload),
+            class: RpcClass::Data(bytes),
+        }
+    }
+
+    /// A minimal reply (null RPC completion).
+    pub fn minimal(payload: impl Any + Send) -> Self {
+        RpcReply {
+            payload: Box::new(payload),
+            class: RpcClass::Minimal,
+        }
+    }
+}
+
+/// Wire messages exchanged by the RPC layer. Exposed only because
+/// [`crate::Pm2Cluster::network`] returns the underlying typed network; user
+/// code never constructs these.
+pub enum RpcMessage {
+    /// A service invocation.
+    Request {
+        /// Correlation id.
+        id: u64,
+        /// Target service name.
+        service: String,
+        /// True if the caller blocks for a reply.
+        needs_reply: bool,
+        /// Arguments.
+        payload: RpcPayload,
+    },
+    /// A reply to an earlier request.
+    Reply {
+        /// Correlation id of the request.
+        id: u64,
+        /// Reply value.
+        payload: RpcPayload,
+    },
+}
+
+/// Context passed to a service handler. The handler runs on the destination
+/// node, either inline in the node's dispatcher thread or in a freshly
+/// created handler thread (the PM2 "RPC with thread creation" flavour).
+pub struct RpcRequestCtx<'a> {
+    /// Simulation handle of the thread executing the handler.
+    pub sim: &'a mut SimHandle,
+    /// The cluster, for nested RPCs (e.g. forwarding a page request along the
+    /// probable-owner chain).
+    pub cluster: Pm2Cluster,
+    /// Node on which the handler executes.
+    pub local_node: NodeId,
+    /// Node that issued the request.
+    pub from_node: NodeId,
+}
+
+/// A named remote service.
+pub trait RpcService: Send + Sync + 'static {
+    /// Service name used for registration and monitoring.
+    fn name(&self) -> &str;
+    /// Handle one request. Must return `Some` if the caller expects a reply.
+    fn handle(&self, ctx: &mut RpcRequestCtx<'_>, payload: RpcPayload) -> Option<RpcReply>;
+    /// If true (the default, and the behaviour used by the DSM page servers),
+    /// the dispatcher creates a dedicated thread per request so concurrent
+    /// requests are served in parallel and may block on nested RPCs.
+    fn spawn_thread(&self) -> bool {
+        true
+    }
+}
+
+/// Adapter turning a closure into an [`RpcService`].
+pub struct FnService<F> {
+    name: String,
+    spawn_thread: bool,
+    f: F,
+}
+
+impl<F> RpcService for FnService<F>
+where
+    F: Fn(&mut RpcRequestCtx<'_>, RpcPayload) -> Option<RpcReply> + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn handle(&self, ctx: &mut RpcRequestCtx<'_>, payload: RpcPayload) -> Option<RpcReply> {
+        (self.f)(ctx, payload)
+    }
+    fn spawn_thread(&self) -> bool {
+        self.spawn_thread
+    }
+}
+
+/// Build a service from a closure. `spawn_thread` selects whether each
+/// request gets a dedicated handler thread.
+pub fn service_fn<F>(name: impl Into<String>, spawn_thread: bool, f: F) -> Arc<dyn RpcService>
+where
+    F: Fn(&mut RpcRequestCtx<'_>, RpcPayload) -> Option<RpcReply> + Send + Sync + 'static,
+{
+    Arc::new(FnService {
+        name: name.into(),
+        spawn_thread,
+        f,
+    })
+}
+
+struct ReplySlot {
+    value: Option<RpcPayload>,
+    waiter: ThreadId,
+}
+
+/// Table of outstanding RPC calls waiting for their reply.
+#[derive(Default)]
+pub(crate) struct ReplyTable {
+    slots: Mutex<HashMap<u64, ReplySlot>>,
+}
+
+impl ReplyTable {
+    pub fn new() -> Self {
+        ReplyTable::default()
+    }
+
+    /// Register an outstanding call made by `waiter`.
+    pub fn register(&self, id: u64, waiter: ThreadId) {
+        let previous = self.slots.lock().insert(
+            id,
+            ReplySlot {
+                value: None,
+                waiter,
+            },
+        );
+        debug_assert!(previous.is_none(), "duplicate RPC id {id}");
+    }
+
+    /// Deposit the reply for call `id`; returns the waiting thread to wake.
+    pub fn fulfill(&self, id: u64, payload: RpcPayload) -> Option<ThreadId> {
+        let mut slots = self.slots.lock();
+        match slots.get_mut(&id) {
+            Some(slot) => {
+                slot.value = Some(payload);
+                Some(slot.waiter)
+            }
+            None => None,
+        }
+    }
+
+    /// Take the reply for call `id` if it has arrived, removing the slot.
+    pub fn take(&self, id: u64) -> Option<RpcPayload> {
+        let mut slots = self.slots.lock();
+        if slots.get(&id).map(|s| s.value.is_some()).unwrap_or(false) {
+            slots.remove(&id).and_then(|s| s.value)
+        } else {
+            None
+        }
+    }
+
+    /// Number of calls still waiting for a reply.
+    #[allow(dead_code)]
+    pub fn outstanding(&self) -> usize {
+        self.slots.lock().len()
+    }
+}
+
+/// Downcast an RPC payload to a concrete type, panicking with a useful
+/// message if the service and caller disagree on the type.
+pub fn downcast<T: Any>(payload: RpcPayload, what: &str) -> T {
+    *payload
+        .downcast::<T>()
+        .unwrap_or_else(|_| panic!("RPC payload for {what} has an unexpected type"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_class_accounts_bytes() {
+        assert_eq!(RpcClass::Minimal.accounted_bytes(), 16);
+        assert_eq!(RpcClass::Control.accounted_bytes(), CONTROL_MESSAGE_BYTES);
+        assert_eq!(
+            RpcClass::Data(4096).accounted_bytes(),
+            4096 + CONTROL_MESSAGE_BYTES
+        );
+    }
+
+    #[test]
+    fn reply_constructors_set_class() {
+        assert_eq!(RpcReply::control(1u32).class, RpcClass::Control);
+        assert_eq!(RpcReply::data(vec![0u8; 10], 10).class, RpcClass::Data(10));
+        assert_eq!(RpcReply::minimal(()).class, RpcClass::Minimal);
+    }
+
+    fn some_thread_id() -> ThreadId {
+        use dsmpm2_sim::Engine;
+        let mut engine = Engine::new();
+        let out = std::sync::Arc::new(Mutex::new(None));
+        let o = out.clone();
+        engine.spawn("probe", move |h| {
+            *o.lock() = Some(h.id());
+        });
+        engine.run().unwrap();
+        let id = out.lock().take().unwrap();
+        id
+    }
+
+    #[test]
+    fn reply_table_roundtrip() {
+        let table = ReplyTable::new();
+        let waiter = some_thread_id();
+        table.register(1, waiter);
+        assert_eq!(table.outstanding(), 1);
+        assert!(table.take(1).is_none(), "no reply yet");
+        assert_eq!(table.fulfill(1, Box::new(42u32)), Some(waiter));
+        let v = table.take(1).expect("reply present");
+        assert_eq!(downcast::<u32>(v, "test"), 42);
+        assert_eq!(table.outstanding(), 0);
+        assert!(table.fulfill(99, Box::new(())).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unexpected type")]
+    fn downcast_mismatch_panics() {
+        let p: RpcPayload = Box::new("hello");
+        let _: u64 = downcast(p, "mismatch test");
+    }
+}

@@ -1,0 +1,119 @@
+//! `erc_sw` — eager release consistency, MRSW, dynamic distributed manager.
+//!
+//! Page management follows the same dynamic-distributed-manager scheme as
+//! `li_hudak` (page replication on read faults, ownership migration on write
+//! faults), but coherence actions are deferred to synchronization points:
+//! copies of the pages written inside a critical section are invalidated
+//! *eagerly at lock release* rather than at every write fault.
+
+use dsmpm2_core::protolib;
+use dsmpm2_core::{
+    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, PageRequest, PageTransfer,
+    ServerCtx,
+};
+
+/// The `erc_sw` protocol (eager release consistency, single writer).
+#[derive(Debug, Default)]
+pub struct ErcSw;
+
+impl ErcSw {
+    /// Create the protocol.
+    pub fn new() -> Self {
+        ErcSw
+    }
+}
+
+impl DsmProtocol for ErcSw {
+    fn name(&self) -> &str {
+        "erc_sw"
+    }
+
+    fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+    }
+
+    fn write_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Write);
+    }
+
+    fn read_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
+        if rt.page_table(node).get(req.page).owned {
+            protolib::serve_read_copy(ctx.sim, node, &rt, &req);
+        } else {
+            protolib::forward_request(ctx.sim, node, &rt, &req);
+        }
+    }
+
+    fn write_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
+        if rt.page_table(node).get(req.page).owned {
+            protolib::serve_write_transfer(ctx.sim, node, &rt, &req);
+        } else {
+            protolib::forward_request(ctx.sim, node, &rt, &req);
+        }
+    }
+
+    fn invalidate_server(&self, ctx: &mut ServerCtx<'_>, inv: Invalidation) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::apply_invalidation(ctx.sim, node, &rt, &inv);
+    }
+
+    fn receive_page_server(&self, ctx: &mut ServerCtx<'_>, transfer: PageTransfer) {
+        // Ownership (and the copyset) moves with the page, but the copies in
+        // the copyset are NOT invalidated here: invalidation is deferred to
+        // the next lock release.
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::install_received_page(ctx.sim, node, &rt, &transfer);
+    }
+
+    fn lock_acquire(&self, _ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {
+        // Eager RC pushes all coherence work to the release side.
+    }
+
+    fn lock_release(&self, ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        // Invalidate every remote copy of the pages this node wrote (and
+        // owns) since the previous release.
+        let modified = rt.page_table(node).modified_pages();
+        for page in modified {
+            let entry = rt.page_table(node).get(page);
+            if !entry.owned {
+                // Ownership already moved away; the new owner is responsible.
+                rt.page_table(node)
+                    .update(page, |e| e.modified_since_release = false);
+                continue;
+            }
+            let targets: Vec<_> = entry
+                .copyset
+                .iter()
+                .copied()
+                .filter(|&n| n != node)
+                .collect();
+            protolib::invalidate_copyset_and_wait(
+                ctx.pm2.sim,
+                node,
+                &rt,
+                page,
+                &targets,
+                Some(node),
+            );
+            rt.page_table(node).update(page, |e| {
+                e.copyset.clear();
+                e.copyset.insert(node);
+                e.modified_since_release = false;
+            });
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! `hbrc_mw` — home-based (lazy) release consistency with multiple writers.
+//!
+//! Every page has a fixed home node that always holds the reference copy and
+//! write access. Other nodes fetch copies from the home on faults and may
+//! write them concurrently ("multiple writers") thanks to the classical
+//! twinning technique: the first write after an acquire creates a twin, and
+//! at lock release the diffs between the twin and the working copy are
+//! computed and shipped to the home node. The home integrates the diffs and
+//! invalidates third-party copies; a third-party writer that receives such an
+//! invalidation first pushes its own pending diffs, then drops its copy.
+
+use dsmpm2_core::protolib;
+use dsmpm2_core::{
+    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, NodeId, PageDiff,
+    PageRequest, PageTransfer, ServerCtx,
+};
+
+/// The `hbrc_mw` protocol (home-based release consistency, multiple writers).
+#[derive(Debug, Default)]
+pub struct HbrcMw;
+
+impl HbrcMw {
+    /// Create the protocol.
+    pub fn new() -> Self {
+        HbrcMw
+    }
+}
+
+impl DsmProtocol for HbrcMw {
+    fn name(&self) -> &str {
+        "hbrc_mw"
+    }
+
+    fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+    }
+
+    fn write_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        let page = fault.page;
+        if rt.frames(node).has(page) && rt.page_table(node).access(page) != Access::None {
+            // A read copy is already present: become a local writer without
+            // any communication — just create the twin and upgrade locally.
+            protolib::ensure_twin(ctx.pm2.sim, node, &rt, page);
+            rt.page_table(node).set_access(page, Access::Write);
+            ctx.pm2.sim.charge(rt.costs().table_update());
+        } else {
+            protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, page, Access::Write);
+            protolib::ensure_twin(ctx.pm2.sim, node, &rt, page);
+        }
+    }
+
+    fn read_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::serve_copy_from_home(ctx.sim, node, &rt, &req, Access::Read);
+    }
+
+    fn write_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        // Multiple writers: the home grants a writable copy but keeps its own
+        // write access and ownership.
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::serve_copy_from_home(ctx.sim, node, &rt, &req, Access::Write);
+    }
+
+    fn invalidate_server(&self, ctx: &mut ServerCtx<'_>, inv: Invalidation) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        // A third-party writer must first push its own modifications to the
+        // home node, then drop its copy.
+        if rt.frames(node).has(inv.page) && rt.frames(node).has_twin(inv.page) {
+            let diff = rt.frames(node).take_twin_diff(inv.page);
+            ctx.sim.charge(rt.costs().diff_compute());
+            if !diff.is_empty() {
+                let home = rt.page_meta(inv.page).home;
+                // The diff must be integrated at the home before we
+                // acknowledge the invalidation, otherwise the invalidator can
+                // proceed (and other nodes can refetch) while the reference
+                // copy is still stale.
+                rt.page_table(node).update(inv.page, |e| e.pending_acks += 1);
+                rt.send_diff(ctx.sim, node, home, diff, true);
+                let table = rt.page_table(node);
+                let waiters = table.waiters(inv.page);
+                waiters.wait_until(ctx.sim, || table.get(inv.page).pending_acks == 0);
+            }
+        }
+        protolib::apply_invalidation(ctx.sim, node, &rt, &inv);
+    }
+
+    fn receive_page_server(&self, ctx: &mut ServerCtx<'_>, transfer: PageTransfer) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::install_received_page(ctx.sim, node, &rt, &transfer);
+    }
+
+    fn lock_acquire(&self, _ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {
+        // Laziness: nothing to do at acquire; stale copies were invalidated
+        // when the home node integrated the corresponding diffs.
+    }
+
+    fn lock_release(&self, ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        let modified = rt.page_table(node).modified_pages();
+        // Non-home pages: ship the twin diffs to their home nodes.
+        protolib::flush_diffs_to_homes(ctx.pm2.sim, node, &rt, &modified, false);
+        // Re-protect the flushed copies (the original protocol write-protects
+        // the page again at release): the next write after this release takes
+        // a fault, which re-creates the twin that the following release will
+        // diff against.
+        for &page in &modified {
+            if rt.page_meta(page).home == node {
+                continue;
+            }
+            if rt.page_table(node).access(page) == dsmpm2_core::Access::Write {
+                rt.page_table(node).set_access(page, dsmpm2_core::Access::Read);
+                ctx.pm2.sim.charge(rt.costs().table_update());
+            }
+        }
+        // Pages homed here: the reference copy changed in place, so remote
+        // copies are stale and must be invalidated before the release
+        // completes (they will be refetched on demand).
+        for page in modified {
+            if rt.page_meta(page).home != node {
+                continue;
+            }
+            let targets: Vec<NodeId> = rt
+                .page_table(node)
+                .get(page)
+                .copyset
+                .iter()
+                .copied()
+                .filter(|&n| n != node)
+                .collect();
+            if targets.is_empty() {
+                continue;
+            }
+            protolib::invalidate_copyset_and_wait(ctx.pm2.sim, node, &rt, page, &targets, None);
+            rt.page_table(node).update(page, |e| {
+                e.copyset.retain(|&n| n == node);
+            });
+        }
+    }
+
+    fn diff_server(&self, ctx: &mut ServerCtx<'_>, diff: PageDiff, from: NodeId) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        let page = diff.page;
+        let bytes = diff.modified_bytes();
+        rt.frames(node).apply_diff(page, &diff);
+        rt.page_table(node).update(page, |e| {
+            e.version += 1;
+        });
+        ctx.sim.charge(rt.costs().diff_apply(bytes));
+        // Home-based invalidation of third-party copies: nodes other than the
+        // releaser lose their (now stale) copies and will refetch on demand.
+        protolib::home_invalidate_other_copies(ctx.sim, node, &rt, page, from);
+    }
+}

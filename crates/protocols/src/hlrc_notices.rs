@@ -1,0 +1,221 @@
+//! `hlrc_notices` — home-based *lazy* release consistency with write notices.
+//!
+//! The paper's related-work section singles out TreadMarks for "the impact of
+//! laziness in coherence propagation". The built-in `hbrc_mw` protocol is
+//! *home-based* but still propagates coherence eagerly: the home invalidates
+//! every third-party copy as soon as a diff is integrated. This protocol is
+//! the lazy alternative, built on the same toolbox:
+//!
+//! * releases still push twin diffs to the home nodes (so the reference copy
+//!   is always up to date), but the home does **not** invalidate anybody;
+//! * instead, the releaser records a *write notice* (the list of pages it
+//!   modified) against the lock being released — conceptually, the notice is
+//!   piggybacked on the lock-transfer message, which is how TreadMarks and
+//!   the home-based LRC protocols ship them;
+//! * on acquire, the acquiring node consumes the notices it has not yet seen
+//!   for that lock and drops its now-stale copies of the noticed pages; they
+//!   are re-fetched from the home on the next access.
+//!
+//! Compared to `hbrc_mw`, nodes that never re-synchronize never pay any
+//! invalidation traffic; the price is that an acquire must process the
+//! accumulated notices. The `ablations` benchmark binary measures both
+//! effects.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use dsmpm2_core::protolib;
+use dsmpm2_core::{
+    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, NodeId, PageDiff, PageId,
+    PageRequest, PageTransfer, ServerCtx,
+};
+
+/// One write notice: an interval stamp, the releasing node and the pages it
+/// modified during that interval.
+#[derive(Clone, Debug)]
+struct WriteNotice {
+    interval: u64,
+    releaser: NodeId,
+    pages: Vec<PageId>,
+}
+
+/// The `hlrc_notices` protocol (home-based lazy release consistency).
+#[derive(Debug, Default)]
+pub struct HlrcNotices {
+    /// Global interval counter (each release opens a new interval).
+    next_interval: AtomicU64,
+    /// lock id → write notices recorded under that lock, oldest first.
+    notices: Mutex<HashMap<u64, Vec<WriteNotice>>>,
+    /// (lock id, acquiring node) → last interval already consumed.
+    last_seen: Mutex<HashMap<(u64, NodeId), u64>>,
+}
+
+impl HlrcNotices {
+    /// Create the protocol.
+    pub fn new() -> Self {
+        HlrcNotices::default()
+    }
+
+    /// Number of write notices currently retained (all locks). Exposed for
+    /// tests and the ablation benchmarks.
+    pub fn retained_notices(&self) -> usize {
+        self.notices.lock().values().map(|v| v.len()).sum()
+    }
+
+    /// Record a write notice for `pages` under `lock`.
+    fn record_notice(&self, lock: LockId, releaser: NodeId, pages: Vec<PageId>) {
+        if pages.is_empty() {
+            return;
+        }
+        let interval = self.next_interval.fetch_add(1, Ordering::SeqCst) + 1;
+        self.notices
+            .lock()
+            .entry(lock.0)
+            .or_default()
+            .push(WriteNotice {
+                interval,
+                releaser,
+                pages,
+            });
+    }
+
+    /// The pages another node modified under `lock` since `node` last
+    /// acquired it. Advances the node's last-seen interval.
+    fn consume_notices(&self, lock: LockId, node: NodeId) -> Vec<PageId> {
+        let notices = self.notices.lock();
+        let Some(list) = notices.get(&lock.0) else {
+            return Vec::new();
+        };
+        let mut last_seen = self.last_seen.lock();
+        let seen = last_seen.entry((lock.0, node)).or_insert(0);
+        let mut stale = BTreeSet::new();
+        let mut newest = *seen;
+        for notice in list.iter().filter(|n| n.interval > *seen) {
+            newest = newest.max(notice.interval);
+            if notice.releaser != node {
+                stale.extend(notice.pages.iter().copied());
+            }
+        }
+        *seen = newest;
+        stale.into_iter().collect()
+    }
+}
+
+impl DsmProtocol for HlrcNotices {
+    fn name(&self) -> &str {
+        "hlrc_notices"
+    }
+
+    fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+    }
+
+    fn write_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        let page = fault.page;
+        if rt.frames(node).has(page) && rt.page_table(node).access(page) != Access::None {
+            protolib::ensure_twin(ctx.pm2.sim, node, &rt, page);
+            rt.page_table(node).set_access(page, Access::Write);
+            ctx.pm2.sim.charge(rt.costs().table_update());
+        } else {
+            protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, page, Access::Write);
+            protolib::ensure_twin(ctx.pm2.sim, node, &rt, page);
+        }
+    }
+
+    fn read_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::serve_copy_from_home(ctx.sim, node, &rt, &req, Access::Read);
+    }
+
+    fn write_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::serve_copy_from_home(ctx.sim, node, &rt, &req, Access::Write);
+    }
+
+    fn invalidate_server(&self, ctx: &mut ServerCtx<'_>, inv: Invalidation) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::apply_invalidation(ctx.sim, node, &rt, &inv);
+    }
+
+    fn receive_page_server(&self, ctx: &mut ServerCtx<'_>, transfer: PageTransfer) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::install_received_page(ctx.sim, node, &rt, &transfer);
+    }
+
+    fn lock_acquire(&self, ctx: &mut DsmThreadCtx<'_, '_>, lock: LockId) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        let stale = self.consume_notices(lock, node);
+        for page in stale {
+            // Processing one notice is a page-table lookup + update; the
+            // notices themselves travel with the lock grant we already paid
+            // for.
+            ctx.pm2.sim.charge(rt.costs().table_update());
+            if rt.page_meta(page).home == node {
+                // The home copy is authoritative (diffs were applied there).
+                continue;
+            }
+            let entry = rt.page_table(node).get(page);
+            if entry.modified_since_release {
+                // Our own unpublished writes live here; they will be merged
+                // through a diff at our next release, so keep the copy.
+                continue;
+            }
+            if rt.frames(node).has(page) && entry.access != Access::None {
+                rt.frames(node).evict(page);
+                rt.page_table(node).set_access(page, Access::None);
+            }
+        }
+    }
+
+    fn lock_release(&self, ctx: &mut DsmThreadCtx<'_, '_>, lock: LockId) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        let modified = rt.page_table(node).modified_pages();
+        if modified.is_empty() {
+            return;
+        }
+        // Push the diffs home so the reference copies are up to date...
+        protolib::flush_diffs_to_homes(ctx.pm2.sim, node, &rt, &modified, false);
+        // ...re-protect the flushed copies so the next critical section
+        // faults, re-twins and produces a fresh diff...
+        for &page in &modified {
+            if rt.page_meta(page).home == node {
+                continue;
+            }
+            if rt.page_table(node).access(page) == Access::Write {
+                rt.page_table(node).set_access(page, Access::Read);
+                ctx.pm2.sim.charge(rt.costs().table_update());
+            }
+        }
+        // ...and leave a write notice for the next acquirer instead of
+        // invalidating anybody now (laziness).
+        self.record_notice(lock, node, modified);
+    }
+
+    fn diff_server(&self, ctx: &mut ServerCtx<'_>, diff: PageDiff, from: NodeId) {
+        // Home side: integrate the diff and bump the version, but perform no
+        // eager invalidation — stale copies are dealt with lazily at acquire
+        // time through the write notices.
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        let bytes = diff.modified_bytes();
+        rt.frames(node).apply_diff(diff.page, &diff);
+        rt.page_table(node).update(diff.page, |e| {
+            e.version += 1;
+            e.copyset.insert(from);
+        });
+        ctx.sim.charge(rt.costs().diff_apply(bytes));
+    }
+}

@@ -1,0 +1,158 @@
+//! `li_hudak_fixed` — sequential consistency, MRSW, *fixed* distributed manager.
+//!
+//! The paper's page manager was explicitly "designed to be generic enough so
+//! that it could be exploited to implement protocols which need a fixed page
+//! manager, as well as protocols based on a dynamic page manager" (§2.2,
+//! citing the Li & Hudak classification). The built-in `li_hudak` protocol
+//! uses the *dynamic* distributed manager (probable-owner chains with path
+//! compression); this protocol is the *fixed* distributed manager alternative
+//! built from the same library routines:
+//!
+//! * every page has a fixed manager — its home node — which always knows the
+//!   current owner;
+//! * faulting nodes always send their requests to the manager, which forwards
+//!   them to the owner (one extra hop when the manager is not the owner, but
+//!   no chains of unbounded length);
+//! * ownership and the copyset migrate on write faults exactly as in
+//!   `li_hudak`; the manager updates its owner record whenever it forwards a
+//!   write request or serves one itself.
+//!
+//! Comparing it against `li_hudak` on the same workloads is exactly the kind
+//! of protocol experiment the platform is designed for (see the
+//! `ablations` benchmark binary).
+
+use dsmpm2_core::protolib;
+use dsmpm2_core::{
+    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, PageRequest, PageTransfer,
+    ServerCtx,
+};
+
+/// The `li_hudak_fixed` protocol (fixed distributed manager MRSW).
+#[derive(Debug, Default)]
+pub struct LiHudakFixed;
+
+impl LiHudakFixed {
+    /// Create the protocol.
+    pub fn new() -> Self {
+        LiHudakFixed
+    }
+}
+
+impl DsmProtocol for LiHudakFixed {
+    fn name(&self) -> &str {
+        "li_hudak_fixed"
+    }
+
+    fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        // Non-manager nodes keep their probable-owner hint pointed at the
+        // manager (see `receive_page_server`), so the generic fetch routine
+        // naturally routes the request through the fixed manager.
+        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+    }
+
+    fn write_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
+        let rt = ctx.runtime().clone();
+        let node = ctx.node();
+        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Write);
+    }
+
+    fn read_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
+        let entry = rt.page_table(node).get(req.page);
+        let home = rt.page_meta(req.page).home;
+        if entry.owned {
+            protolib::serve_read_copy(ctx.sim, node, &rt, &req);
+        } else if node == home {
+            // We are the manager but not the owner: forward to the recorded
+            // owner. Read requests do not change ownership, so the record is
+            // left untouched.
+            protolib::forward_request(ctx.sim, node, &rt, &req);
+        } else {
+            // Stale request (ownership moved away between the manager's
+            // forward and our receipt): bounce it back through the manager.
+            rt.send_page_request(ctx.sim, node, home, req);
+        }
+    }
+
+    fn write_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
+        let entry = rt.page_table(node).get(req.page);
+        let home = rt.page_meta(req.page).home;
+        if entry.owned {
+            // Serving transfers ownership; `serve_write_transfer` records the
+            // requester as the new probable owner, which on the manager node
+            // is precisely the manager's owner record.
+            protolib::serve_write_transfer(ctx.sim, node, &rt, &req);
+        } else if node == home {
+            // Manager, not owner: forward to the owner and update the owner
+            // record to the requester (the transfer is now in flight to it).
+            protolib::forward_request(ctx.sim, node, &rt, &req);
+        } else {
+            rt.send_page_request(ctx.sim, node, home, req);
+        }
+    }
+
+    fn invalidate_server(&self, ctx: &mut ServerCtx<'_>, inv: Invalidation) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        let home = rt.page_meta(inv.page).home;
+        protolib::apply_invalidation(ctx.sim, node, &rt, &inv);
+        // Fixed manager: ordinary nodes keep routing through the manager; the
+        // manager itself keeps the true owner recorded by the invalidation.
+        if node != home {
+            rt.page_table(node).update(inv.page, |e| e.prob_owner = home);
+        }
+    }
+
+    fn receive_page_server(&self, ctx: &mut ServerCtx<'_>, transfer: PageTransfer) {
+        let rt = ctx.runtime.clone();
+        let node = ctx.local_node;
+        let home = rt.page_meta(transfer.page).home;
+        let page = transfer.page;
+        if transfer.grant == Access::Write {
+            // Becoming the single writer: install, invalidate every other
+            // copy, then grant write access locally (same sequence as
+            // `li_hudak`).
+            rt.frames(node).install(page, transfer.data.clone());
+            let targets: Vec<_> = transfer
+                .copyset
+                .iter()
+                .copied()
+                .filter(|&n| n != node)
+                .collect();
+            protolib::invalidate_copyset_and_wait(ctx.sim, node, &rt, page, &targets, Some(node));
+            rt.page_table(node).update(page, |e| {
+                e.access = Access::Write;
+                e.owned = true;
+                e.prob_owner = node;
+                e.copyset.clear();
+                e.copyset.insert(node);
+                e.version = transfer.version;
+                e.pending_fetch = false;
+            });
+            ctx.sim.charge(rt.costs().install_overhead());
+            rt.page_table(node)
+                .waiters(page)
+                .notify_all(&ctx.sim.ctl(), dsmpm2_core::SimDuration::ZERO);
+        } else {
+            protolib::install_received_page(ctx.sim, node, &rt, &transfer);
+        }
+        // Fixed distributed manager: a non-manager node always sends its next
+        // request to the manager, never along dynamic ownership hints.
+        if node != home && !rt.page_table(node).get(page).owned {
+            rt.page_table(node).update(page, |e| e.prob_owner = home);
+        }
+    }
+
+    fn lock_acquire(&self, _ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {
+        // Sequential consistency needs no action at synchronization points.
+    }
+
+    fn lock_release(&self, _ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {}
+}

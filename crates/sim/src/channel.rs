@@ -1,0 +1,321 @@
+//! Virtual-time message channels.
+//!
+//! A [`SimChannel`] is an unbounded MPMC queue living in virtual time:
+//! senders may attach a delivery delay (used by the Madeleine transport to
+//! model network latency), and receivers block in virtual time until a
+//! message is available. Delivery order is deterministic: messages become
+//! visible in (delivery time, send sequence) order.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::engine::EngineCtl;
+use crate::handle::SimHandle;
+use crate::time::{SimDuration, SimTime};
+use crate::wait::WaitSet;
+
+struct Pending<T> {
+    deliver_at: u64,
+    seq: u64,
+    value: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.deliver_at == other.deliver_at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering: the BinaryHeap becomes a min-heap on (time, seq).
+        (other.deliver_at, other.seq).cmp(&(self.deliver_at, self.seq))
+    }
+}
+
+struct Inner<T> {
+    /// Messages whose delivery time has not been reached yet.
+    in_flight: Mutex<BinaryHeap<Pending<T>>>,
+    /// Messages ready to be received, in delivery order.
+    ready: Mutex<VecDeque<T>>,
+    waiters: WaitSet,
+    seq: AtomicU64,
+    ctl: EngineCtl,
+}
+
+impl<T> Inner<T> {
+    /// Move every in-flight message whose delivery time has passed into the
+    /// ready queue.
+    fn promote(&self, now: SimTime) {
+        let mut in_flight = self.in_flight.lock();
+        let mut ready = self.ready.lock();
+        while let Some(top) = in_flight.peek() {
+            if top.deliver_at <= now.as_nanos() {
+                let msg = in_flight.pop().expect("peeked");
+                ready.push_back(msg.value);
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Sending half of a simulation channel. Cheap to clone.
+pub struct SimSender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Receiving half of a simulation channel. Cheap to clone (multiple consumers
+/// are allowed; each message is delivered to exactly one receiver).
+pub struct SimReceiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for SimSender<T> {
+    fn clone(&self) -> Self {
+        SimSender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Clone for SimReceiver<T> {
+    fn clone(&self) -> Self {
+        SimReceiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Create a new channel bound to the engine behind `ctl`.
+pub fn channel<T: Send + 'static>(ctl: EngineCtl) -> (SimSender<T>, SimReceiver<T>) {
+    let inner = Arc::new(Inner {
+        in_flight: Mutex::new(BinaryHeap::new()),
+        ready: Mutex::new(VecDeque::new()),
+        waiters: WaitSet::new(),
+        seq: AtomicU64::new(0),
+        ctl,
+    });
+    (
+        SimSender {
+            inner: Arc::clone(&inner),
+        },
+        SimReceiver { inner },
+    )
+}
+
+impl<T: Send + 'static> SimSender<T> {
+    /// Send a message that becomes visible immediately (at the sender's
+    /// current local time).
+    pub fn send(&self, handle: &SimHandle, value: T) {
+        self.send_delayed(handle, value, SimDuration::ZERO);
+    }
+
+    /// Send a message that becomes visible `delay` after the sender's current
+    /// local time. Used to model network transfer times.
+    pub fn send_delayed(&self, handle: &SimHandle, value: T, delay: SimDuration) {
+        let deliver_at = handle.now() + delay;
+        self.enqueue_at(deliver_at, value);
+    }
+
+    /// Send from outside any simulated thread (scheduler callbacks, setup
+    /// code): the message becomes visible `delay` after the global clock.
+    pub fn send_from_ctl(&self, ctl: &EngineCtl, value: T, delay: SimDuration) {
+        let deliver_at = ctl.now() + delay;
+        self.enqueue_at(deliver_at, value);
+    }
+
+    fn enqueue_at(&self, deliver_at: SimTime, value: T) {
+        let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst);
+        self.inner.in_flight.lock().push(Pending {
+            deliver_at: deliver_at.as_nanos(),
+            seq,
+            value,
+        });
+        // At delivery time, promote the message and wake one waiting receiver.
+        let inner = Arc::clone(&self.inner);
+        self.inner.ctl.call_at(deliver_at, move |ctl| {
+            inner.promote(ctl.now());
+            inner.waiters.notify_one(ctl, SimDuration::ZERO);
+        });
+    }
+
+    /// Number of messages not yet consumed (in flight + ready).
+    pub fn queued(&self) -> usize {
+        self.inner.in_flight.lock().len() + self.inner.ready.lock().len()
+    }
+}
+
+impl<T: Send + 'static> SimReceiver<T> {
+    /// Receive the next message, blocking in virtual time until one is
+    /// available. Blocks forever (deadlock, detected by the engine) if no
+    /// message ever arrives.
+    pub fn recv(&self, handle: &mut SimHandle) -> T {
+        loop {
+            self.inner.promote(handle.now());
+            if let Some(v) = self.inner.ready.lock().pop_front() {
+                return v;
+            }
+            self.inner.waiters.register(handle);
+            handle.park();
+            self.inner.waiters.deregister(handle);
+        }
+    }
+
+    /// Receive a message if one is ready at the current virtual time.
+    pub fn try_recv(&self, handle: &SimHandle) -> Option<T> {
+        self.inner.promote(handle.now());
+        self.inner.ready.lock().pop_front()
+    }
+
+    /// Number of messages ready to be received right now.
+    pub fn ready_len(&self, handle: &SimHandle) -> usize {
+        self.inner.promote(handle.now());
+        self.inner.ready.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use std::sync::atomic::AtomicU64 as StdAtomicU64;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let mut engine = Engine::new();
+        let (tx, rx) = channel::<u32>(engine.ctl());
+        let got = Arc::new(StdAtomicU64::new(0));
+        let g = got.clone();
+        engine.spawn("receiver", move |h| {
+            let v = rx.recv(h);
+            g.store(v as u64, Ordering::SeqCst);
+        });
+        engine.spawn("sender", move |h| {
+            h.sleep(SimDuration::from_micros(3));
+            tx.send(h, 17);
+        });
+        engine.run().unwrap();
+        assert_eq!(got.load(Ordering::SeqCst), 17);
+    }
+
+    #[test]
+    fn delayed_send_delivers_at_the_right_time() {
+        let mut engine = Engine::new();
+        let (tx, rx) = channel::<&'static str>(engine.ctl());
+        let when = Arc::new(StdAtomicU64::new(0));
+        let w = when.clone();
+        engine.spawn("receiver", move |h| {
+            let _ = rx.recv(h);
+            w.store(h.global_now().as_nanos(), Ordering::SeqCst);
+        });
+        engine.spawn("sender", move |h| {
+            tx.send_delayed(h, "page", SimDuration::from_micros(138));
+        });
+        engine.run().unwrap();
+        assert_eq!(when.load(Ordering::SeqCst), 138_000);
+    }
+
+    #[test]
+    fn messages_arrive_in_delivery_time_order() {
+        let mut engine = Engine::new();
+        let (tx, rx) = channel::<u32>(engine.ctl());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = order.clone();
+        engine.spawn("receiver", move |h| {
+            for _ in 0..3 {
+                o.lock().push(rx.recv(h));
+            }
+        });
+        engine.spawn("sender", move |h| {
+            // Sent in one order, delivered in delay order.
+            tx.send_delayed(h, 3, SimDuration::from_micros(30));
+            tx.send_delayed(h, 1, SimDuration::from_micros(10));
+            tx.send_delayed(h, 2, SimDuration::from_micros(20));
+        });
+        engine.run().unwrap();
+        assert_eq!(order.lock().clone(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_delivery_times_preserve_send_order() {
+        let mut engine = Engine::new();
+        let (tx, rx) = channel::<u32>(engine.ctl());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let o = order.clone();
+        engine.spawn("receiver", move |h| {
+            for _ in 0..4 {
+                o.lock().push(rx.recv(h));
+            }
+        });
+        engine.spawn("sender", move |h| {
+            for i in 0..4 {
+                tx.send_delayed(h, i, SimDuration::from_micros(5));
+            }
+        });
+        engine.run().unwrap();
+        assert_eq!(order.lock().clone(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let mut engine = Engine::new();
+        let (tx, rx) = channel::<u32>(engine.ctl());
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let r = results.clone();
+        engine.spawn("poller", move |h| {
+            r.lock().push(rx.try_recv(h).is_none());
+            h.sleep(SimDuration::from_micros(10));
+            r.lock().push(rx.try_recv(h) == Some(9));
+        });
+        engine.spawn("sender", move |h| {
+            h.sleep(SimDuration::from_micros(5));
+            tx.send(h, 9);
+        });
+        engine.run().unwrap();
+        assert_eq!(results.lock().clone(), vec![true, true]);
+    }
+
+    #[test]
+    fn multiple_receivers_each_get_one_message() {
+        let mut engine = Engine::new();
+        let (tx, rx) = channel::<u32>(engine.ctl());
+        let total = Arc::new(StdAtomicU64::new(0));
+        for i in 0..3 {
+            let rx = rx.clone();
+            let total = total.clone();
+            engine.spawn(format!("recv{i}"), move |h| {
+                let v = rx.recv(h);
+                total.fetch_add(v as u64, Ordering::SeqCst);
+            });
+        }
+        engine.spawn("sender", move |h| {
+            for v in [1, 10, 100] {
+                tx.send(h, v);
+            }
+        });
+        engine.run().unwrap();
+        assert_eq!(total.load(Ordering::SeqCst), 111);
+    }
+
+    #[test]
+    fn queued_counts_unconsumed_messages() {
+        let mut engine = Engine::new();
+        let (tx, _rx) = channel::<u32>(engine.ctl());
+        let tx2 = tx.clone();
+        engine.spawn("sender", move |h| {
+            tx2.send_delayed(h, 1, SimDuration::from_micros(1000));
+            assert_eq!(tx2.queued(), 1);
+        });
+        // The undelivered message keeps no thread alive, so the run finishes.
+        engine.run().unwrap();
+    }
+}

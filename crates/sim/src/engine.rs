@@ -1,0 +1,632 @@
+//! The discrete-event scheduler.
+//!
+//! The engine owns a priority queue of events ordered by `(virtual time,
+//! sequence number)`. Exactly one simulated thread executes at a time; when a
+//! thread parks, control returns to the scheduler which pops the next event.
+//! Runs are therefore deterministic for a given program, independent of OS
+//! scheduling, which is essential for reproducible protocol experiments.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crate::error::SimError;
+use crate::handle::SimHandle;
+use crate::thread::{ThreadId, ThreadSlot};
+use crate::time::{SimDuration, SimTime};
+
+/// Marker panic payload used to unwind simulated threads during teardown.
+pub(crate) struct ShutdownUnwind;
+
+/// Configuration for an [`Engine`].
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Upper bound on the number of processed events before the run aborts.
+    /// Guards against runaway simulations in tests and benchmarks.
+    pub max_events: u64,
+    /// Human-readable label used in traces.
+    pub name: String,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_events: 50_000_000,
+            name: "sim".to_string(),
+        }
+    }
+}
+
+/// Summary of a completed simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Virtual time at which the last event was processed.
+    pub final_time: SimTime,
+    /// Number of events processed.
+    pub events: u64,
+    /// Number of times the baton was handed to a simulated thread.
+    pub context_switches: u64,
+    /// Total number of simulated threads spawned over the run.
+    pub threads_spawned: u64,
+}
+
+enum EventKind {
+    /// Hand the baton to a parked simulated thread.
+    Wake(ThreadId),
+    /// Execute a closure on the scheduler (used for delayed message delivery).
+    Call(Box<dyn FnOnce(&EngineCtl) + Send>),
+}
+
+struct Event {
+    time: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct ThreadEntry {
+    slot: Arc<ThreadSlot>,
+    join: Option<JoinHandle<()>>,
+    /// Daemon threads (network dispatchers, protocol service loops) do not
+    /// keep the simulation alive and are not reported as deadlocked.
+    daemon: bool,
+}
+
+pub(crate) struct Shared {
+    now: AtomicU64,
+    queue: Mutex<BinaryHeap<Reverse<Event>>>,
+    seq: AtomicU64,
+    threads: Mutex<HashMap<u64, ThreadEntry>>,
+    next_tid: AtomicU64,
+    panic_info: Mutex<Option<(String, String)>>,
+    context_switches: AtomicU64,
+    events_processed: AtomicU64,
+    threads_spawned: AtomicU64,
+    config: EngineConfig,
+}
+
+impl Shared {
+    pub(crate) fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.now.load(Ordering::SeqCst))
+    }
+
+    fn push_event(&self, time: SimTime, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.queue.lock().push(Reverse(Event {
+            time: time.as_nanos(),
+            seq,
+            kind,
+        }));
+    }
+
+    pub(crate) fn schedule_wake(&self, tid: ThreadId, at: SimTime) {
+        self.push_event(at, EventKind::Wake(tid));
+    }
+
+    pub(crate) fn schedule_call(&self, at: SimTime, f: Box<dyn FnOnce(&EngineCtl) + Send>) {
+        self.push_event(at, EventKind::Call(f));
+    }
+
+    pub(crate) fn record_panic(&self, thread: String, message: String) {
+        let mut info = self.panic_info.lock();
+        if info.is_none() {
+            *info = Some((thread, message));
+        }
+    }
+
+    pub(crate) fn spawn_thread<F>(
+        self: &Arc<Self>,
+        name: String,
+        start_at: SimTime,
+        daemon: bool,
+        f: F,
+    ) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let tid = ThreadId(self.next_tid.fetch_add(1, Ordering::SeqCst));
+        let slot = Arc::new(ThreadSlot::new(tid, name.clone()));
+        let shared = Arc::clone(self);
+        let slot_for_thread = Arc::clone(&slot);
+        let join = std::thread::Builder::new()
+            .name(format!("sim-{name}"))
+            .spawn(move || {
+                // Wait for the first grant before touching user code.
+                if !slot_for_thread.park_and_wait() {
+                    slot_for_thread.mark_finished();
+                    return;
+                }
+                let mut handle = SimHandle::new(Arc::clone(&shared), tid, Arc::clone(&slot_for_thread));
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    f(&mut handle);
+                    // Fold any compute charged after the last yield into the
+                    // global clock, so completion times are accurate.
+                    handle.flush();
+                }));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<ShutdownUnwind>().is_none() {
+                        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "panic with non-string payload".to_string()
+                        };
+                        shared.record_panic(slot_for_thread.name.clone(), msg);
+                    }
+                }
+                slot_for_thread.mark_finished();
+            })
+            .expect("failed to spawn backing OS thread for simulated thread");
+
+        self.threads.lock().insert(
+            tid.0,
+            ThreadEntry {
+                slot,
+                join: Some(join),
+                daemon,
+            },
+        );
+        self.threads_spawned.fetch_add(1, Ordering::SeqCst);
+        self.schedule_wake(tid, start_at);
+        tid
+    }
+
+    /// Join and drop the backing OS threads of simulated threads that have
+    /// finished. Message-driven workloads spawn one short-lived handler
+    /// thread per request; without eager reaping a long run accumulates tens
+    /// of thousands of exited-but-unjoined OS threads and eventually exhausts
+    /// the process's thread quota.
+    fn reap_finished(&self) {
+        let mut handles = Vec::new();
+        {
+            let mut threads = self.threads.lock();
+            let finished: Vec<u64> = threads
+                .iter()
+                .filter(|(_, e)| e.slot.is_finished())
+                .map(|(&tid, _)| tid)
+                .collect();
+            for tid in finished {
+                if let Some(entry) = threads.remove(&tid) {
+                    handles.push(entry.join);
+                }
+            }
+        }
+        for handle in handles.into_iter().flatten() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A lightweight, cloneable controller over the engine. It is handed to
+/// scheduler callbacks and embedded in simulation-aware data structures
+/// (channels, wait queues) so they can schedule wake-ups.
+#[derive(Clone)]
+pub struct EngineCtl {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl EngineCtl {
+    /// Current global virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Schedule a wake-up for `tid` at absolute virtual time `at`. Stale
+    /// wake-ups (the thread finished, or is running when the event fires) are
+    /// ignored, so spurious wakes are harmless; all blocking primitives
+    /// re-check their condition in a loop.
+    pub fn wake_at(&self, tid: ThreadId, at: SimTime) {
+        self.shared.schedule_wake(tid, at);
+    }
+
+    /// Schedule a wake-up for `tid` after `delay` from the current global time.
+    pub fn wake_after(&self, tid: ThreadId, delay: SimDuration) {
+        let at = self.now() + delay;
+        self.shared.schedule_wake(tid, at);
+    }
+
+    /// Schedule a closure to run on the scheduler at absolute time `at`.
+    pub fn call_at<F>(&self, at: SimTime, f: F)
+    where
+        F: FnOnce(&EngineCtl) + Send + 'static,
+    {
+        self.shared.schedule_call(at, Box::new(f));
+    }
+
+    /// Spawn a simulated thread that becomes runnable at the current global
+    /// time. Mirrors [`Engine::spawn`] for code that only holds a controller.
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.now();
+        self.shared.spawn_thread(name.into(), now, false, f)
+    }
+
+    /// Spawn a daemon thread (see [`Engine::spawn_daemon`]) from a controller.
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.now();
+        self.shared.spawn_thread(name.into(), now, true, f)
+    }
+}
+
+impl std::fmt::Debug for EngineCtl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EngineCtl(now={})", self.now())
+    }
+}
+
+/// The discrete-event simulation engine.
+pub struct Engine {
+    shared: Arc<Shared>,
+    ran: bool,
+}
+
+impl Engine {
+    /// Create a new engine with the default configuration.
+    pub fn new() -> Self {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// Create a new engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        Engine {
+            shared: Arc::new(Shared {
+                now: AtomicU64::new(0),
+                queue: Mutex::new(BinaryHeap::new()),
+                seq: AtomicU64::new(0),
+                threads: Mutex::new(HashMap::new()),
+                next_tid: AtomicU64::new(0),
+                panic_info: Mutex::new(None),
+                context_switches: AtomicU64::new(0),
+                events_processed: AtomicU64::new(0),
+                threads_spawned: AtomicU64::new(0),
+                config,
+            }),
+            ran: false,
+        }
+    }
+
+    /// A controller that can be stored in simulation-aware data structures.
+    pub fn ctl(&self) -> EngineCtl {
+        EngineCtl {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Current global virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Spawn a simulated thread that becomes runnable at virtual time zero
+    /// (or at the current time if the engine is already running).
+    pub fn spawn<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.shared.now();
+        self.shared.spawn_thread(name.into(), now, false, f)
+    }
+
+    /// Spawn a daemon thread: it behaves like a normal simulated thread but
+    /// does not keep the simulation alive. Used for service loops such as RPC
+    /// dispatchers, which block on their incoming queue forever.
+    pub fn spawn_daemon<F>(&self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.shared.now();
+        self.shared.spawn_thread(name.into(), now, true, f)
+    }
+
+    /// Run the simulation to completion.
+    ///
+    /// Returns a [`RunReport`] on success, or a [`SimError`] if the simulated
+    /// program deadlocked, a thread panicked, or the event budget was hit.
+    pub fn run(&mut self) -> Result<RunReport, SimError> {
+        if self.ran {
+            return Err(SimError::AlreadyRan);
+        }
+        self.ran = true;
+        let result = self.run_inner();
+        self.teardown();
+        result
+    }
+
+    fn run_inner(&self) -> Result<RunReport, SimError> {
+        let shared = &self.shared;
+        loop {
+            if let Some((thread, message)) = shared.panic_info.lock().take() {
+                return Err(SimError::ThreadPanic { thread, message });
+            }
+
+            let next = shared.queue.lock().pop();
+            let Some(Reverse(event)) = next else {
+                let parked: Vec<String> = shared
+                    .threads
+                    .lock()
+                    .values()
+                    .filter(|e| !e.daemon && e.slot.is_parked() && !e.slot.is_finished())
+                    .map(|e| format!("{} ({})", e.slot.name, e.slot.id))
+                    .collect();
+                if parked.is_empty() {
+                    return Ok(self.report());
+                }
+                return Err(SimError::Deadlock {
+                    at: shared.now(),
+                    parked_threads: parked,
+                });
+            };
+
+            let processed = shared.events_processed.fetch_add(1, Ordering::SeqCst) + 1;
+            if processed > shared.config.max_events {
+                return Err(SimError::EventLimitExceeded {
+                    limit: shared.config.max_events,
+                });
+            }
+            // Periodically reclaim the OS threads of finished simulated
+            // threads so message-heavy runs do not exhaust the thread quota.
+            if processed % 512 == 0 {
+                shared.reap_finished();
+            }
+
+            // The clock never moves backwards: events scheduled "in the past"
+            // (e.g. zero-delay wake-ups racing with compute charges) are
+            // processed at the current time.
+            let current = shared.now.load(Ordering::SeqCst);
+            if event.time > current {
+                shared.now.store(event.time, Ordering::SeqCst);
+            }
+
+            match event.kind {
+                EventKind::Wake(tid) => {
+                    let slot = shared.threads.lock().get(&tid.0).map(|e| Arc::clone(&e.slot));
+                    if let Some(slot) = slot {
+                        if !slot.is_finished() {
+                            slot.wait_until_parked_or_finished();
+                            if slot.grant_and_wait() {
+                                shared.context_switches.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                }
+                EventKind::Call(f) => {
+                    let ctl = EngineCtl {
+                        shared: Arc::clone(shared),
+                    };
+                    f(&ctl);
+                }
+            }
+        }
+    }
+
+    fn report(&self) -> RunReport {
+        RunReport {
+            final_time: self.shared.now(),
+            events: self.shared.events_processed.load(Ordering::SeqCst),
+            context_switches: self.shared.context_switches.load(Ordering::SeqCst),
+            threads_spawned: self.shared.threads_spawned.load(Ordering::SeqCst),
+        }
+    }
+
+    fn teardown(&self) {
+        // Release every thread still waiting for the baton so its OS thread
+        // can exit, then join them all.
+        let mut entries: Vec<(Arc<ThreadSlot>, Option<JoinHandle<()>>)> = Vec::new();
+        {
+            let mut threads = self.shared.threads.lock();
+            for entry in threads.values_mut() {
+                entries.push((Arc::clone(&entry.slot), entry.join.take()));
+            }
+        }
+        for (slot, _) in &entries {
+            slot.request_shutdown();
+        }
+        for (_, join) in entries {
+            if let Some(handle) = join {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if !self.ran {
+            self.teardown();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn empty_engine_runs_to_completion() {
+        let mut engine = Engine::new();
+        let report = engine.run().unwrap();
+        assert_eq!(report.final_time, SimTime::ZERO);
+        assert_eq!(report.threads_spawned, 0);
+    }
+
+    #[test]
+    fn single_thread_advances_virtual_time() {
+        let mut engine = Engine::new();
+        let observed = Arc::new(AtomicU64::new(0));
+        let obs = observed.clone();
+        engine.spawn("worker", move |h| {
+            h.sleep(SimDuration::from_micros(100));
+            obs.store(h.now().as_nanos(), Ordering::SeqCst);
+        });
+        let report = engine.run().unwrap();
+        assert_eq!(observed.load(Ordering::SeqCst), 100_000);
+        assert_eq!(report.final_time, SimTime::from_micros(100));
+        assert_eq!(report.threads_spawned, 1);
+    }
+
+    #[test]
+    fn threads_interleave_deterministically_by_time() {
+        let mut engine = Engine::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for (name, delay) in [("late", 30u64), ("early", 10), ("mid", 20)] {
+            let order = order.clone();
+            engine.spawn(name, move |h| {
+                h.sleep(SimDuration::from_micros(delay));
+                order.lock().push(name.to_string());
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(order.lock().clone(), vec!["early", "mid", "late"]);
+    }
+
+    #[test]
+    fn spawn_inside_thread_starts_child() {
+        let mut engine = Engine::new();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        engine.spawn("parent", move |h| {
+            let c2 = c.clone();
+            h.spawn("child", move |h| {
+                h.sleep(SimDuration::from_micros(5));
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        let report = engine.run().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        assert_eq!(report.threads_spawned, 2);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut engine = Engine::new();
+        engine.spawn("stuck", |h| {
+            // Park with no one to ever wake us.
+            h.park();
+        });
+        match engine.run() {
+            Err(SimError::Deadlock { parked_threads, .. }) => {
+                assert_eq!(parked_threads.len(), 1);
+                assert!(parked_threads[0].starts_with("stuck"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn thread_panic_is_reported() {
+        let mut engine = Engine::new();
+        engine.spawn("bad", |_h| panic!("intentional test panic"));
+        match engine.run() {
+            Err(SimError::ThreadPanic { thread, message }) => {
+                assert_eq!(thread, "bad");
+                assert!(message.contains("intentional"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_limit_guard_triggers() {
+        let mut engine = Engine::with_config(EngineConfig {
+            max_events: 10,
+            name: "tiny".into(),
+        });
+        engine.spawn("spinner", |h| loop {
+            h.sleep(SimDuration::from_micros(1));
+        });
+        match engine.run() {
+            Err(SimError::EventLimitExceeded { limit }) => assert_eq!(limit, 10),
+            other => panic!("expected event limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_twice_is_an_error() {
+        let mut engine = Engine::new();
+        engine.run().unwrap();
+        assert!(matches!(engine.run(), Err(SimError::AlreadyRan)));
+    }
+
+    #[test]
+    fn wake_between_threads() {
+        let mut engine = Engine::new();
+        let ctl = engine.ctl();
+        let woken_at = Arc::new(AtomicU64::new(0));
+        let w = woken_at.clone();
+        let sleeper = engine.spawn("sleeper", move |h| {
+            h.park();
+            w.store(h.now().as_nanos(), Ordering::SeqCst);
+        });
+        engine.spawn("waker", move |h| {
+            h.sleep(SimDuration::from_micros(50));
+            ctl.wake_at(sleeper, h.now());
+        });
+        engine.run().unwrap();
+        assert_eq!(woken_at.load(Ordering::SeqCst), 50_000);
+    }
+
+    #[test]
+    fn scheduled_call_runs_at_requested_time() {
+        let mut engine = Engine::new();
+        let ctl = engine.ctl();
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        ctl.call_at(SimTime::from_micros(25), move |c| {
+            s.store(c.now().as_nanos(), Ordering::SeqCst);
+        });
+        engine.run().unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 25_000);
+    }
+
+    #[test]
+    fn charge_accumulates_until_yield() {
+        let mut engine = Engine::new();
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = t.clone();
+        engine.spawn("computer", move |h| {
+            h.charge(SimDuration::from_micros(3));
+            h.charge(SimDuration::from_micros(4));
+            // Local view includes pending compute.
+            assert_eq!(h.now().as_nanos(), 7_000);
+            h.flush();
+            t2.store(h.global_now().as_nanos(), Ordering::SeqCst);
+        });
+        engine.run().unwrap();
+        assert_eq!(t.load(Ordering::SeqCst), 7_000);
+    }
+}

@@ -1,0 +1,240 @@
+//! The per-thread handle through which simulated code interacts with the
+//! virtual clock and the scheduler.
+//!
+//! A [`SimHandle`] is passed (by mutable reference) into every simulated
+//! thread body. It is intentionally *not* `Clone` and not `Send`: it belongs
+//! to exactly one simulated thread, mirroring how a PM2 thread owns its own
+//! Marcel descriptor.
+
+use std::panic;
+use std::sync::Arc;
+
+use crate::engine::{EngineCtl, Shared, ShutdownUnwind};
+use crate::thread::{ThreadId, ThreadSlot};
+use crate::time::{SimDuration, SimTime};
+
+/// Handle owned by a simulated thread.
+pub struct SimHandle {
+    shared: Arc<Shared>,
+    tid: ThreadId,
+    slot: Arc<ThreadSlot>,
+    /// Locally accumulated compute time not yet reflected in the global clock.
+    pending: SimDuration,
+}
+
+impl SimHandle {
+    pub(crate) fn new(shared: Arc<Shared>, tid: ThreadId, slot: Arc<ThreadSlot>) -> Self {
+        SimHandle {
+            shared,
+            tid,
+            slot,
+            pending: SimDuration::ZERO,
+        }
+    }
+
+    /// The identity of this simulated thread.
+    pub fn id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The name this thread was spawned with.
+    pub fn name(&self) -> &str {
+        &self.slot.name
+    }
+
+    /// The thread's local view of virtual time: the global clock plus any
+    /// compute charged since the last yield.
+    pub fn now(&self) -> SimTime {
+        self.shared.now() + self.pending
+    }
+
+    /// The global clock, excluding locally pending compute.
+    pub fn global_now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Compute time charged locally but not yet flushed to the global clock.
+    pub fn pending(&self) -> SimDuration {
+        self.pending
+    }
+
+    /// Charge `d` of local compute time. The charge is folded into the global
+    /// clock at the next yield point (sleep, park, flush, message send...),
+    /// so hot loops pay no scheduler round-trip per charge.
+    pub fn charge(&mut self, d: SimDuration) {
+        self.pending += d;
+    }
+
+    /// Force pending compute into the global clock by yielding.
+    pub fn flush(&mut self) {
+        if !self.pending.is_zero() {
+            self.sleep(SimDuration::ZERO);
+        }
+    }
+
+    /// Advance virtual time by `d` (plus any pending compute), yielding to the
+    /// scheduler so other threads and messages can make progress.
+    pub fn sleep(&mut self, d: SimDuration) {
+        let wake_at = self.shared.now() + self.pending + d;
+        self.pending = SimDuration::ZERO;
+        self.shared.schedule_wake(self.tid, wake_at);
+        self.park_raw();
+    }
+
+    /// Yield the baton without advancing time (other events scheduled at the
+    /// current instant get a chance to run first).
+    pub fn yield_now(&mut self) {
+        self.sleep(SimDuration::ZERO);
+    }
+
+    /// Park this thread until some other party wakes it via
+    /// [`EngineCtl::wake_at`]/[`EngineCtl::wake_after`].
+    ///
+    /// Spurious wake-ups are possible (and harmless): every caller must
+    /// re-check its wait condition in a loop. If compute time is pending, the
+    /// call first behaves like `flush()` and returns, so the caller's loop
+    /// re-evaluates its condition at the correct virtual time before really
+    /// blocking.
+    pub fn park(&mut self) {
+        if !self.pending.is_zero() {
+            self.flush();
+            return;
+        }
+        self.park_raw();
+    }
+
+    fn park_raw(&mut self) {
+        if !self.slot.park_and_wait() {
+            // Engine teardown: unwind the user stack quietly. resume_unwind
+            // (rather than panic!) skips the panic hook, so teardown does not
+            // spam stderr with backtraces.
+            panic::resume_unwind(Box::new(ShutdownUnwind));
+        }
+    }
+
+    /// Schedule a wake-up for another simulated thread after `delay` measured
+    /// from this thread's local time.
+    pub fn wake(&self, tid: ThreadId, delay: SimDuration) {
+        self.shared.schedule_wake(tid, self.now() + delay);
+    }
+
+    /// Spawn a new simulated thread that becomes runnable at this thread's
+    /// current local time.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let start_at = self.now();
+        self.shared.spawn_thread(name.into(), start_at, false, f)
+    }
+
+    /// Spawn a daemon thread (see [`crate::Engine::spawn_daemon`]) starting at
+    /// this thread's current local time.
+    pub fn spawn_daemon<F>(&mut self, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let start_at = self.now();
+        self.shared.spawn_thread(name.into(), start_at, true, f)
+    }
+
+    /// Schedule a closure to run on the scheduler after `delay` from this
+    /// thread's local time (used to model message delivery).
+    pub fn call_after<F>(&self, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&EngineCtl) + Send + 'static,
+    {
+        self.shared.schedule_call(self.now() + delay, Box::new(f));
+    }
+
+    /// A cloneable controller over the engine, usable from shared data
+    /// structures (channels, wait queues, RPC reply slots).
+    pub fn ctl(&self) -> EngineCtl {
+        EngineCtl {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SimHandle({} '{}' now={})",
+            self.tid,
+            self.name(),
+            self.now()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn handle_reports_identity() {
+        let mut engine = Engine::new();
+        engine.spawn("alpha", |h| {
+            assert_eq!(h.name(), "alpha");
+            assert_eq!(h.id().as_u64(), 0);
+            assert_eq!(h.pending(), SimDuration::ZERO);
+        });
+        engine.run().unwrap();
+    }
+
+    #[test]
+    fn park_with_pending_charge_flushes_first() {
+        let mut engine = Engine::new();
+        let seen = Arc::new(AtomicU64::new(0));
+        let s = seen.clone();
+        engine.spawn("t", move |h| {
+            h.charge(SimDuration::from_micros(9));
+            // park() must not lose the 9us of compute and must not block
+            // forever (it flushes and returns, letting us re-check).
+            h.park();
+            s.store(h.global_now().as_nanos(), Ordering::SeqCst);
+        });
+        engine.run().unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 9_000);
+    }
+
+    #[test]
+    fn wake_uses_local_time_of_waker() {
+        let mut engine = Engine::new();
+        let ctl = engine.ctl();
+        let when = Arc::new(AtomicU64::new(0));
+        let w = when.clone();
+        let sleeper = engine.spawn("sleeper", move |h| {
+            h.park();
+            w.store(h.global_now().as_nanos(), Ordering::SeqCst);
+        });
+        let _ = ctl;
+        engine.spawn("waker", move |h| {
+            h.charge(SimDuration::from_micros(12));
+            h.wake(sleeper, SimDuration::from_micros(3));
+            h.flush();
+        });
+        engine.run().unwrap();
+        assert_eq!(when.load(Ordering::SeqCst), 15_000);
+    }
+
+    #[test]
+    fn call_after_runs_relative_to_local_time() {
+        let mut engine = Engine::new();
+        let when = Arc::new(AtomicU64::new(0));
+        let w = when.clone();
+        engine.spawn("t", move |h| {
+            h.charge(SimDuration::from_micros(5));
+            let w2 = w.clone();
+            h.call_after(SimDuration::from_micros(10), move |ctl| {
+                w2.store(ctl.now().as_nanos(), Ordering::SeqCst);
+            });
+            h.flush();
+        });
+        engine.run().unwrap();
+        assert_eq!(when.load(Ordering::SeqCst), 15_000);
+    }
+}

@@ -1,0 +1,53 @@
+//! # dsmpm2-sim — deterministic discrete-event simulation engine
+//!
+//! This crate provides the execution substrate on which the DSM-PM2
+//! reproduction runs. The original system executes on real clusters with the
+//! PM2 user-level thread package; here, "cluster nodes" and "PM2 threads" are
+//! simulated: every simulated thread is backed by an OS thread, but the
+//! scheduler hands control to exactly one of them at a time, in the order
+//! dictated by a virtual-time event queue. The result is a fully
+//! deterministic execution in *virtual time*, which is what the benchmark
+//! harness measures.
+//!
+//! ## Programming model
+//!
+//! ```
+//! use dsmpm2_sim::{Engine, SimDuration};
+//!
+//! let mut engine = Engine::new();
+//! engine.spawn("worker", |h| {
+//!     h.charge(SimDuration::from_micros(10)); // local compute
+//!     h.sleep(SimDuration::from_micros(5));   // yield + advance time
+//!     assert_eq!(h.now().as_micros_f64(), 15.0);
+//! });
+//! engine.run().unwrap();
+//! ```
+//!
+//! Key pieces:
+//!
+//! * [`Engine`] — owns the event queue and the scheduler loop.
+//! * [`SimHandle`] — per-thread handle: virtual clock, compute charging,
+//!   sleeping, parking, spawning.
+//! * [`WaitSet`] — condition-variable-like wait queues for building blocking
+//!   primitives (used by DSM page waits, locks, barriers).
+//! * [`channel`] — virtual-time message channels with per-message delivery
+//!   delays (used by the Madeleine transport model).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod channel;
+mod engine;
+mod error;
+mod handle;
+mod thread;
+mod time;
+mod wait;
+
+pub use channel::{channel, SimReceiver, SimSender};
+pub use engine::{Engine, EngineConfig, EngineCtl, RunReport};
+pub use error::SimError;
+pub use handle::SimHandle;
+pub use thread::ThreadId;
+pub use time::{SimDuration, SimTime};
+pub use wait::WaitSet;

@@ -1,0 +1,197 @@
+//! Simulated thread identity and the scheduler/thread hand-off slot.
+//!
+//! Each simulated thread is backed by one OS thread, but at most one
+//! simulated thread executes at any wall-clock instant: the scheduler hands a
+//! "baton" to the thread chosen by the event queue and waits until the thread
+//! parks again. This makes every run fully deterministic while letting user
+//! code be written as ordinary imperative Rust (the PM2 programming model).
+
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+
+/// Identifier of a simulated thread, unique within one [`crate::Engine`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub(crate) u64);
+
+impl ThreadId {
+    /// Raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Life-cycle of a simulated thread with respect to the scheduler baton.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Phase {
+    /// OS thread spawned but has not yet reached its first park.
+    Created,
+    /// Waiting for the scheduler to grant the baton.
+    Parked,
+    /// The scheduler has granted the baton; the thread has not resumed yet.
+    Granted,
+    /// Currently executing user code.
+    Running,
+    /// The thread body returned (or panicked); it will never run again.
+    Finished,
+}
+
+pub(crate) struct SlotState {
+    pub phase: Phase,
+    /// Set when the engine is tearing down; a granted thread must unwind
+    /// instead of resuming user code.
+    pub shutdown: bool,
+}
+
+/// Hand-off slot shared between the scheduler and one simulated thread.
+pub(crate) struct ThreadSlot {
+    pub id: ThreadId,
+    pub name: String,
+    pub state: Mutex<SlotState>,
+    pub cond: Condvar,
+}
+
+impl ThreadSlot {
+    pub fn new(id: ThreadId, name: String) -> Self {
+        ThreadSlot {
+            id,
+            name,
+            state: Mutex::new(SlotState {
+                phase: Phase::Created,
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Called by the backing OS thread: announce that we are parked and wait
+    /// until the scheduler grants the baton. Returns `false` if the engine is
+    /// shutting down and the thread must unwind without running user code.
+    pub fn park_and_wait(&self) -> bool {
+        let mut st = self.state.lock();
+        st.phase = Phase::Parked;
+        self.cond.notify_all();
+        while st.phase != Phase::Granted {
+            if st.shutdown {
+                return false;
+            }
+            self.cond.wait(&mut st);
+        }
+        if st.shutdown {
+            return false;
+        }
+        st.phase = Phase::Running;
+        true
+    }
+
+    /// Called by the scheduler: wait until the OS thread has reached its
+    /// first park (right after spawn, the thread may not have started yet).
+    pub fn wait_until_parked_or_finished(&self) {
+        let mut st = self.state.lock();
+        while st.phase != Phase::Parked && st.phase != Phase::Finished {
+            self.cond.wait(&mut st);
+        }
+    }
+
+    /// Called by the scheduler: grant the baton to a parked thread and block
+    /// until it parks again or finishes. Returns `false` if the thread was
+    /// already finished (stale wake event).
+    pub fn grant_and_wait(&self) -> bool {
+        let mut st = self.state.lock();
+        while st.phase == Phase::Created {
+            self.cond.wait(&mut st);
+        }
+        if st.phase == Phase::Finished {
+            return false;
+        }
+        debug_assert_eq!(st.phase, Phase::Parked, "thread {} not parked", self.name);
+        st.phase = Phase::Granted;
+        self.cond.notify_all();
+        while st.phase != Phase::Parked && st.phase != Phase::Finished {
+            self.cond.wait(&mut st);
+        }
+        true
+    }
+
+    /// Called by the backing OS thread when its body has returned or panicked.
+    pub fn mark_finished(&self) {
+        let mut st = self.state.lock();
+        st.phase = Phase::Finished;
+        self.cond.notify_all();
+    }
+
+    /// Called by the scheduler during teardown: release any thread that is
+    /// still waiting for the baton so its OS thread can exit.
+    pub fn request_shutdown(&self) {
+        let mut st = self.state.lock();
+        st.shutdown = true;
+        self.cond.notify_all();
+    }
+
+    /// True if the thread is currently parked (used for deadlock reporting).
+    pub fn is_parked(&self) -> bool {
+        matches!(self.state.lock().phase, Phase::Parked | Phase::Created)
+    }
+
+    /// True if the thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().phase == Phase::Finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn thread_id_display() {
+        assert_eq!(format!("{}", ThreadId(3)), "T3");
+        assert_eq!(format!("{:?}", ThreadId(3)), "T3");
+        assert_eq!(ThreadId(9).as_u64(), 9);
+    }
+
+    #[test]
+    fn slot_handoff_roundtrip() {
+        let slot = Arc::new(ThreadSlot::new(ThreadId(1), "t".into()));
+        let s2 = slot.clone();
+        let h = std::thread::spawn(move || {
+            // First park, then run once, then finish.
+            assert!(s2.park_and_wait());
+            s2.mark_finished();
+        });
+        slot.wait_until_parked_or_finished();
+        assert!(slot.is_parked());
+        assert!(slot.grant_and_wait());
+        assert!(slot.is_finished());
+        // A second grant on a finished thread reports staleness.
+        assert!(!slot.grant_and_wait());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_releases_parked_thread() {
+        let slot = Arc::new(ThreadSlot::new(ThreadId(2), "t".into()));
+        let s2 = slot.clone();
+        let h = std::thread::spawn(move || {
+            let resumed = s2.park_and_wait();
+            assert!(!resumed);
+            s2.mark_finished();
+        });
+        slot.wait_until_parked_or_finished();
+        slot.request_shutdown();
+        h.join().unwrap();
+        assert!(slot.is_finished());
+    }
+}

@@ -1,0 +1,207 @@
+//! Blocked dense matrix multiply: a read-mostly SPLASH-2-style kernel.
+//!
+//! `C = A × B` with the three matrices in shared memory. Rows of `A` and `C`
+//! are distributed block-wise across the nodes (each node computes its own
+//! row block of `C`), while every node reads all of `B` — the classic
+//! "replicate the read-only operand" sharing pattern that page replication
+//! handles well and thread migration handles poorly. The paper's outlook
+//! calls for exactly this kind of sharing-pattern study (SPLASH-2).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsmpm2_core::{DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, HomePolicy, NodeId, Pm2Config};
+use dsmpm2_madeleine::NetworkModel;
+use dsmpm2_pm2::Engine;
+use dsmpm2_protocols::register_all_protocols;
+use dsmpm2_sim::{SimDuration, SimTime};
+
+/// Configuration of a matrix-multiply run.
+#[derive(Clone, Debug)]
+pub struct MatmulConfig {
+    /// Matrices are `n x n` `f64`.
+    pub n: usize,
+    /// Number of cluster nodes (one worker thread per node).
+    pub nodes: usize,
+    /// Network profile.
+    pub network: NetworkModel,
+    /// Virtual compute time charged per multiply-add, in µs.
+    pub compute_per_madd_us: f64,
+}
+
+impl MatmulConfig {
+    /// A small configuration usable in tests.
+    pub fn small(nodes: usize) -> Self {
+        MatmulConfig {
+            n: 16,
+            nodes,
+            network: dsmpm2_madeleine::profiles::bip_myrinet(),
+            compute_per_madd_us: 0.01,
+        }
+    }
+}
+
+/// Result of a matrix-multiply run.
+#[derive(Clone, Debug)]
+pub struct MatmulResult {
+    /// Virtual completion time.
+    pub elapsed: SimTime,
+    /// Sum of all entries of `C` (checked against the sequential oracle).
+    pub checksum: f64,
+    /// DSM statistics.
+    pub stats: DsmStatsSnapshot,
+}
+
+/// Deterministic input entry of `A`.
+pub fn a_entry(n: usize, row: usize, col: usize) -> f64 {
+    ((row * n + col) % 7) as f64 + 0.5
+}
+
+/// Deterministic input entry of `B`.
+pub fn b_entry(_n: usize, row: usize, col: usize) -> f64 {
+    ((row + 2 * col) % 5) as f64 - 1.0
+}
+
+/// Sequential oracle: the checksum of `C = A × B` computed without any DSM.
+pub fn sequential_checksum(n: usize) -> f64 {
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut c = 0.0;
+            for k in 0..n {
+                c += a_entry(n, i, k) * b_entry(n, k, j);
+            }
+            sum += c;
+        }
+    }
+    sum
+}
+
+fn cell(base: DsmAddr, n: usize, row: usize, col: usize) -> DsmAddr {
+    base.add(((row * n + col) * 8) as u64)
+}
+
+/// Run the blocked matrix multiply under `protocol_name` (any registered
+/// built-in or extension protocol).
+pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
+    assert!(config.n >= config.nodes && config.n % config.nodes == 0);
+    let engine = Engine::new();
+    let rt = DsmRuntime::new(
+        &engine,
+        Pm2Config::new(config.nodes, config.network.clone()),
+    );
+    let _ = register_all_protocols(&rt);
+    let protocol = rt
+        .protocol_by_name(protocol_name)
+        .unwrap_or_else(|| panic!("unknown protocol {protocol_name}"));
+    rt.set_default_protocol(protocol);
+
+    let bytes = (config.n * config.n * 8) as u64;
+    // A and C are distributed block-wise (each node owns its row block); B is
+    // homed round-robin and replicated on demand.
+    let a = rt.dsm_malloc(bytes, DsmAttr::default().home(HomePolicy::Block));
+    let b = rt.dsm_malloc(bytes, DsmAttr::default().home(HomePolicy::RoundRobin));
+    let c = rt.dsm_malloc(bytes, DsmAttr::default().home(HomePolicy::Block));
+    let barrier = rt.create_barrier(config.nodes, None);
+    let finish = Arc::new(Mutex::new(Vec::new()));
+    let checksum = Arc::new(Mutex::new(0.0f64));
+
+    let rows_per_node = config.n / config.nodes;
+    for node in 0..config.nodes {
+        let finish = finish.clone();
+        let checksum = checksum.clone();
+        let config = config.clone();
+        rt.spawn_dsm_thread(NodeId(node), format!("matmul-{node}"), move |ctx| {
+            let n = config.n;
+            let first = node * rows_per_node;
+            let last = first + rows_per_node;
+            // Initialise the owned row block of A and the corresponding
+            // columns of B (the B rows are split the same way so that every
+            // node contributes to initialising it exactly once).
+            for row in first..last {
+                for col in 0..n {
+                    ctx.write::<f64>(cell(a, n, row, col), a_entry(n, row, col));
+                    ctx.write::<f64>(cell(b, n, row, col), b_entry(n, row, col));
+                }
+            }
+            ctx.dsm_barrier(barrier);
+
+            let mut madds = 0u64;
+            let mut local_sum = 0.0;
+            for row in first..last {
+                for col in 0..n {
+                    let mut acc = 0.0;
+                    for k in 0..n {
+                        let x = ctx.read::<f64>(cell(a, n, row, k));
+                        let y = ctx.read::<f64>(cell(b, n, k, col));
+                        acc += x * y;
+                        madds += 1;
+                    }
+                    ctx.write::<f64>(cell(c, n, row, col), acc);
+                    local_sum += acc;
+                }
+            }
+            ctx.compute(SimDuration::from_micros_f64(
+                config.compute_per_madd_us * madds as f64,
+            ));
+            ctx.dsm_barrier(barrier);
+            *checksum.lock() += local_sum;
+            finish.lock().push(ctx.pm2.now());
+        });
+    }
+
+    let mut engine = engine;
+    engine.run().expect("matmul must not deadlock");
+    let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
+    let checksum = *checksum.lock();
+    MatmulResult {
+        elapsed,
+        checksum,
+        stats: rt.stats().snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_oracle_is_deterministic() {
+        assert_eq!(sequential_checksum(8), sequential_checksum(8));
+        assert_ne!(sequential_checksum(8), 0.0);
+    }
+
+    #[test]
+    fn matmul_matches_the_sequential_oracle_under_page_protocols() {
+        let config = MatmulConfig::small(2);
+        let oracle = sequential_checksum(config.n);
+        for proto in ["li_hudak", "li_hudak_fixed", "hbrc_mw"] {
+            let result = run_matmul(&config, proto);
+            assert!(
+                (result.checksum - oracle).abs() < 1e-6,
+                "{proto}: {} != oracle {}",
+                result.checksum,
+                oracle
+            );
+            assert!(result.elapsed > SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn matmul_replicates_b_rather_than_migrating_threads() {
+        let config = MatmulConfig::small(2);
+        let result = run_matmul(&config, "li_hudak");
+        assert!(result.stats.page_transfers > 0, "B must be replicated");
+        assert_eq!(result.stats.thread_migrations, 0);
+    }
+
+    #[test]
+    fn more_nodes_agree_on_the_checksum() {
+        let c2 = MatmulConfig::small(2);
+        let c4 = MatmulConfig::small(4);
+        let r2 = run_matmul(&c2, "li_hudak");
+        let r4 = run_matmul(&c4, "li_hudak");
+        assert!((r2.checksum - r4.checksum).abs() < 1e-6);
+    }
+}

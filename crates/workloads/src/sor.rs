@@ -1,0 +1,228 @@
+//! Red-black successive over-relaxation (SOR): a barrier-heavy stencil with
+//! nearest-neighbour sharing, in the style of the SPLASH-2 `ocean`/`sor`
+//! kernels the paper lists as future evaluation targets.
+//!
+//! The grid is distributed block-wise by rows. Every iteration has two
+//! half-sweeps (red cells, then black cells) separated by barriers, so only
+//! the halo rows at block boundaries are ever shared between nodes — the
+//! pattern release-consistency protocols are designed to exploit.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsmpm2_core::{DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, HomePolicy, NodeId, Pm2Config};
+use dsmpm2_madeleine::NetworkModel;
+use dsmpm2_pm2::Engine;
+use dsmpm2_protocols::register_all_protocols;
+use dsmpm2_sim::{SimDuration, SimTime};
+
+/// Configuration of a red-black SOR run.
+#[derive(Clone, Debug)]
+pub struct SorConfig {
+    /// Grid is `size x size` `f64` cells.
+    pub size: usize,
+    /// Number of red+black iterations.
+    pub iterations: usize,
+    /// Over-relaxation factor (0 < omega < 2).
+    pub omega: f64,
+    /// Number of cluster nodes (one thread per node).
+    pub nodes: usize,
+    /// Network profile.
+    pub network: NetworkModel,
+    /// Virtual compute time charged per updated cell, in µs.
+    pub compute_per_cell_us: f64,
+}
+
+impl SorConfig {
+    /// A small configuration usable in tests.
+    pub fn small(nodes: usize) -> Self {
+        SorConfig {
+            size: 24,
+            iterations: 3,
+            omega: 1.25,
+            nodes,
+            network: dsmpm2_madeleine::profiles::sisci_sci(),
+            compute_per_cell_us: 0.05,
+        }
+    }
+}
+
+/// Result of a SOR run.
+#[derive(Clone, Debug)]
+pub struct SorResult {
+    /// Virtual completion time.
+    pub elapsed: SimTime,
+    /// Sum of the final grid.
+    pub checksum: f64,
+    /// DSM statistics.
+    pub stats: DsmStatsSnapshot,
+}
+
+fn initial(size: usize, row: usize, col: usize) -> f64 {
+    if row == 0 || row == size - 1 || col == 0 || col == size - 1 {
+        100.0
+    } else {
+        0.0
+    }
+}
+
+/// Sequential oracle: run the same red-black sweeps without any DSM and
+/// return the grid checksum.
+pub fn sequential_checksum(config: &SorConfig) -> f64 {
+    let size = config.size;
+    let mut grid = vec![0.0f64; size * size];
+    for row in 0..size {
+        for col in 0..size {
+            grid[row * size + col] = initial(size, row, col);
+        }
+    }
+    for _ in 0..config.iterations {
+        for colour in 0..2usize {
+            for row in 1..size - 1 {
+                for col in 1..size - 1 {
+                    if (row + col) % 2 != colour {
+                        continue;
+                    }
+                    let neighbours = grid[(row - 1) * size + col]
+                        + grid[(row + 1) * size + col]
+                        + grid[row * size + col - 1]
+                        + grid[row * size + col + 1];
+                    let old = grid[row * size + col];
+                    grid[row * size + col] = old + config.omega * (neighbours / 4.0 - old);
+                }
+            }
+        }
+    }
+    grid.iter().sum()
+}
+
+fn cell(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
+    base.add(((row * size + col) * 8) as u64)
+}
+
+/// Run red-black SOR under `protocol_name` (any registered built-in or
+/// extension protocol).
+pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
+    assert!(config.size >= 4 && config.size % config.nodes == 0);
+    let engine = Engine::new();
+    let rt = DsmRuntime::new(
+        &engine,
+        Pm2Config::new(config.nodes, config.network.clone()),
+    );
+    let _ = register_all_protocols(&rt);
+    let protocol = rt
+        .protocol_by_name(protocol_name)
+        .unwrap_or_else(|| panic!("unknown protocol {protocol_name}"));
+    rt.set_default_protocol(protocol);
+
+    let bytes = (config.size * config.size * 8) as u64;
+    let grid = rt.dsm_malloc(bytes, DsmAttr::default().home(HomePolicy::Block));
+    let barrier = rt.create_barrier(config.nodes, None);
+    let finish = Arc::new(Mutex::new(Vec::new()));
+    let checksum = Arc::new(Mutex::new(0.0f64));
+
+    let rows_per_node = config.size / config.nodes;
+    for node in 0..config.nodes {
+        let finish = finish.clone();
+        let checksum = checksum.clone();
+        let config = config.clone();
+        rt.spawn_dsm_thread(NodeId(node), format!("sor-{node}"), move |ctx| {
+            let size = config.size;
+            let first = node * rows_per_node;
+            let last = first + rows_per_node;
+            for row in first..last {
+                for col in 0..size {
+                    ctx.write::<f64>(cell(grid, size, row, col), initial(size, row, col));
+                }
+            }
+            ctx.dsm_barrier(barrier);
+
+            for _iter in 0..config.iterations {
+                for colour in 0..2usize {
+                    let mut updated = 0u64;
+                    for row in first.max(1)..last.min(size - 1) {
+                        for col in 1..size - 1 {
+                            if (row + col) % 2 != colour {
+                                continue;
+                            }
+                            let neighbours = ctx.read::<f64>(cell(grid, size, row - 1, col))
+                                + ctx.read::<f64>(cell(grid, size, row + 1, col))
+                                + ctx.read::<f64>(cell(grid, size, row, col - 1))
+                                + ctx.read::<f64>(cell(grid, size, row, col + 1));
+                            let old = ctx.read::<f64>(cell(grid, size, row, col));
+                            ctx.write::<f64>(
+                                cell(grid, size, row, col),
+                                old + config.omega * (neighbours / 4.0 - old),
+                            );
+                            updated += 1;
+                        }
+                    }
+                    ctx.compute(SimDuration::from_micros_f64(
+                        config.compute_per_cell_us * updated as f64,
+                    ));
+                    ctx.dsm_barrier(barrier);
+                }
+            }
+
+            let mut local = 0.0;
+            for row in first..last {
+                for col in 0..size {
+                    local += ctx.read::<f64>(cell(grid, size, row, col));
+                }
+            }
+            *checksum.lock() += local;
+            finish.lock().push(ctx.pm2.now());
+        });
+    }
+
+    let mut engine = engine;
+    engine.run().expect("sor must not deadlock");
+    let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
+    let checksum = *checksum.lock();
+    SorResult {
+        elapsed,
+        checksum,
+        stats: rt.stats().snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_oracle_heats_the_interior() {
+        let config = SorConfig::small(2);
+        let boundary_only: f64 = (0..config.size)
+            .flat_map(|r| (0..config.size).map(move |c| (r, c)))
+            .map(|(r, c)| initial(config.size, r, c))
+            .sum();
+        assert!(sequential_checksum(&config) > boundary_only);
+    }
+
+    #[test]
+    fn sor_matches_the_sequential_oracle_across_protocols() {
+        let config = SorConfig::small(2);
+        let oracle = sequential_checksum(&config);
+        for proto in ["li_hudak", "erc_sw", "hbrc_mw", "hlrc_notices"] {
+            let result = run_sor(&config, proto);
+            assert!(
+                (result.checksum - oracle).abs() < 1e-6,
+                "{proto}: {} != oracle {}",
+                result.checksum,
+                oracle
+            );
+        }
+    }
+
+    #[test]
+    fn sor_shares_only_halo_rows() {
+        let config = SorConfig::small(2);
+        let result = run_sor(&config, "hbrc_mw");
+        // Sharing exists (halo rows cross the block boundary) but the bulk of
+        // the accesses are local.
+        assert!(result.stats.page_transfers + result.stats.diffs_sent > 0);
+        assert!(result.stats.local_accesses > result.stats.total_faults() * 10);
+    }
+}

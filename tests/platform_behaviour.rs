@@ -1,0 +1,172 @@
+//! Integration tests of the platform-level claims of the paper: portability
+//! across interconnects, reproduction of the microbenchmark tables' shape,
+//! the Figure 4 / Figure 5 orderings on reduced instances, and the
+//! post-mortem monitoring facilities.
+
+use dsm_pm2::madeleine::profiles;
+use dsm_pm2::workloads::map_coloring::{run_map_coloring, ColoringConfig};
+use dsm_pm2::workloads::tsp::{run_tsp, TspConfig, TspInstance};
+use dsm_pm2::workloads::{measure_read_fault, run_shared_counter, FaultPolicy};
+
+/// Table 3 / Table 4 shape on every profile: totals ordered like the paper's
+/// columns, overhead bounded, migration always cheaper than page transfer for
+/// the single-fault microbenchmark.
+#[test]
+fn fault_tables_shape_on_all_networks() {
+    let mut page_totals = Vec::new();
+    for net in profiles::all() {
+        let page = measure_read_fault(net.clone(), FaultPolicy::PageTransfer);
+        let mig = measure_read_fault(net.clone(), FaultPolicy::ThreadMigration);
+        assert!(mig.total_us < page.total_us, "{}", net.name);
+        assert!(
+            page.overhead_us / page.total_us <= 0.20,
+            "{}: protocol overhead must stay a small fraction (paper: <=15%)",
+            net.name
+        );
+        page_totals.push((net.name.clone(), page.total_us));
+    }
+    let get = |name: &str| {
+        page_totals
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| *t)
+            .unwrap()
+    };
+    // Paper's Table 3 ordering: SCI (194) < BIP (198) < TCP/Myrinet (600) < FastEthernet (993).
+    assert!(get("SISCI/SCI") < get("BIP/Myrinet"));
+    assert!(get("BIP/Myrinet") < get("TCP/Myrinet"));
+    assert!(get("TCP/Myrinet") < get("TCP/FastEthernet"));
+}
+
+/// Figure 4 shape on a reduced instance: page-based protocols beat
+/// migrate_thread, and the distributed result matches the sequential oracle.
+#[test]
+fn figure4_shape_on_reduced_instance() {
+    let config = TspConfig::small(4, 9);
+    let oracle = TspInstance::random(config.cities, config.seed).solve_sequential();
+    let mut times = Vec::new();
+    for proto in ["li_hudak", "migrate_thread", "erc_sw", "hbrc_mw"] {
+        let r = run_tsp(&config, proto);
+        assert_eq!(r.best, oracle, "{proto}");
+        times.push((proto, r.elapsed));
+    }
+    let migrate_time = times
+        .iter()
+        .find(|(p, _)| *p == "migrate_thread")
+        .unwrap()
+        .1;
+    for (proto, t) in &times {
+        if *proto != "migrate_thread" {
+            assert!(
+                *t < migrate_time,
+                "{proto} ({t}) should beat migrate_thread ({migrate_time})"
+            );
+        }
+    }
+}
+
+/// Figure 5 shape on a reduced instance: java_pf beats java_ic and both find
+/// the same optimum.
+#[test]
+fn figure5_shape_on_reduced_instance() {
+    let config = ColoringConfig::small(4, 22);
+    let ic = run_map_coloring(&config, "java_ic");
+    let pf = run_map_coloring(&config, "java_pf");
+    assert_eq!(ic.best_cost, pf.best_cost);
+    assert!(pf.elapsed < ic.elapsed, "pf {} vs ic {}", pf.elapsed, ic.elapsed);
+    assert!(ic.inline_checks > pf.inline_checks);
+    assert!(pf.faults > 0);
+}
+
+/// Portability: the same shared-counter program produces the same result on
+/// every interconnect profile; only its timing changes (and it changes in the
+/// direction the profiles predict).
+#[test]
+fn portability_same_result_different_cost() {
+    let mut results = Vec::new();
+    for net in profiles::all() {
+        let v = run_shared_counter(2, 5, net.clone(), "li_hudak");
+        assert_eq!(v, 10, "{}", net.name);
+        results.push(net.name);
+    }
+    assert_eq!(results.len(), 4);
+}
+
+/// The §2.1 micro-measurements are reproduced by the PM2 substrate.
+#[test]
+fn pm2_micro_measurements_match_paper() {
+    use dsm_pm2::pm2::{service_fn, NodeId, Pm2Cluster, Pm2Config, RpcClass, RpcReply};
+    use dsm_pm2::sim::{Engine, SimDuration};
+    use parking_lot::Mutex;
+    use std::sync::Arc;
+
+    for (profile, rpc_us, mig_us) in [
+        (profiles::bip_myrinet(), 8.0, 75.0),
+        (profiles::sisci_sci(), 6.0, 62.0),
+    ] {
+        // RPC latency.
+        let engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::new(2, profile.clone()));
+        cluster.register_service(service_fn("null", false, |_c, _p| Some(RpcReply::minimal(()))));
+        let rpc_elapsed = Arc::new(Mutex::new(SimDuration::ZERO));
+        let e = rpc_elapsed.clone();
+        let c = cluster.clone();
+        engine.spawn("caller", move |h| {
+            let start = h.now();
+            let _ = c.rpc_call(h, NodeId(0), NodeId(1), "null", Box::new(()), RpcClass::Minimal);
+            *e.lock() = h.now().since(start);
+        });
+        let mut engine = engine;
+        engine.run().unwrap();
+        let measured_rpc = rpc_elapsed.lock().as_micros_f64();
+        assert!(
+            (measured_rpc - rpc_us).abs() < 4.0,
+            "{}: RPC {measured_rpc}us vs paper {rpc_us}us",
+            profile.name
+        );
+
+        // Thread migration latency.
+        let engine = Engine::new();
+        let cluster = Pm2Cluster::new(&engine, Pm2Config::new(2, profile.clone()));
+        let mig_elapsed = Arc::new(Mutex::new(SimDuration::ZERO));
+        let e = mig_elapsed.clone();
+        cluster.spawn_thread_on(NodeId(0), "mover", move |ctx| {
+            let start = ctx.now();
+            ctx.migrate_to(NodeId(1));
+            *e.lock() = ctx.now().since(start);
+        });
+        let mut engine = engine;
+        engine.run().unwrap();
+        let measured_mig = mig_elapsed.lock().as_micros_f64();
+        assert!(
+            (measured_mig - mig_us).abs() < 2.0,
+            "{}: migration {measured_mig}us vs paper {mig_us}us",
+            profile.name
+        );
+    }
+}
+
+/// Post-mortem monitoring: after a run, the monitor reports time spent in the
+/// elementary DSM functions (the facility §4 highlights).
+#[test]
+fn post_mortem_monitor_reports_elementary_functions() {
+    use dsm_pm2::core::{DsmAttr, DsmRuntime, HomePolicy};
+    use dsm_pm2::prelude::*;
+
+    let engine = Engine::new();
+    let rt = DsmRuntime::new(&engine, Pm2Config::bip_myrinet(2));
+    let protos = register_builtin_protocols(&rt);
+    rt.set_default_protocol(protos.li_hudak);
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    rt.spawn_dsm_thread(NodeId(1), "toucher", move |ctx| {
+        let _ = ctx.read::<u64>(addr);
+        ctx.write::<u64>(addr, 1);
+    });
+    let mut engine = engine;
+    engine.run().unwrap();
+    let report = rt.cluster().monitor().report();
+    assert!(report.get("dsm_page_fault").is_some());
+    assert!(report.get("rpc_oneway:dsm").is_some() || report.get("rpc_handler:dsm").is_some());
+    let rendered = report.to_string();
+    assert!(rendered.contains("dsm_page_fault"));
+}

@@ -1,0 +1,241 @@
+//! Integration tests for §2.3 of the paper: several protocols coexisting in
+//! one application, protocols assembled at run time, and switching the
+//! protocol of a memory region between two barriers.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dsm_pm2::core::{protolib, Access, CustomProtocol, DsmAttr, DsmRuntime, HomePolicy};
+use dsm_pm2::prelude::*;
+
+fn setup(nodes: usize) -> (Engine, DsmRuntime, BuiltinProtocols, ExtensionProtocols) {
+    let engine = Engine::new();
+    let rt = DsmRuntime::new(&engine, Pm2Config::sisci_sci(nodes));
+    let (builtins, extensions) = register_all_protocols(&rt);
+    (engine, rt, builtins, extensions)
+}
+
+/// The paper: "this can be achieved if needed through a careful
+/// synchronization at the program level (e.g. through barriers)". A region
+/// starts under `li_hudak`, is switched to `migrate_thread` between two
+/// barriers, and the application keeps observing consistent values while the
+/// protocol actually changes behaviour (pages stop moving, threads start
+/// moving).
+#[test]
+fn region_switches_from_page_replication_to_thread_migration_at_a_barrier() {
+    let (mut engine, rt, protos, _ext) = setup(2);
+    rt.set_default_protocol(protos.li_hudak);
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let b = rt.create_barrier(2, None);
+    let observations = Arc::new(Mutex::new(Vec::new()));
+
+    // Node 0 performs the switch while both threads are between barriers.
+    let rt_for_switch = rt.clone();
+    let obs = observations.clone();
+    rt.spawn_dsm_thread(NodeId(0), "switcher", move |ctx| {
+        ctx.write::<u64>(addr, 5);
+        ctx.dsm_barrier(b);
+        // Phase 1 (li_hudak) done on both nodes.
+        ctx.dsm_barrier(b);
+        // Quiescent point: no other thread touches the region here.
+        let pages = rt_for_switch.switch_region_protocol(
+            addr,
+            4096,
+            rt_for_switch.protocol_by_name("migrate_thread").unwrap(),
+        );
+        assert_eq!(pages, 1);
+        ctx.dsm_barrier(b);
+        // Phase 2 (migrate_thread).
+        let v = ctx.read::<u64>(addr);
+        obs.lock().push(("node0-after", v, ctx.node()));
+        ctx.dsm_barrier(b);
+    });
+
+    let obs = observations.clone();
+    let migrations = Arc::new(Mutex::new(0u64));
+    let mig = migrations.clone();
+    let state = rt.spawn_dsm_thread(NodeId(1), "worker", move |ctx| {
+        ctx.dsm_barrier(b);
+        // Phase 1: replicate the page to node 1 and read it there.
+        let v = ctx.read::<u64>(addr);
+        obs.lock().push(("node1-replicated", v, ctx.node()));
+        assert_eq!(ctx.node(), NodeId(1), "li_hudak replicates, no migration");
+        ctx.dsm_barrier(b);
+        // Switch happens here (node 0 is the only one touching the table).
+        ctx.dsm_barrier(b);
+        // Phase 2: under migrate_thread the same access drags the thread to
+        // the data instead of copying the page.
+        let v = ctx.read::<u64>(addr);
+        obs.lock().push(("node1-migrated", v, ctx.node()));
+        *mig.lock() = ctx.pm2.state().migrations();
+        ctx.dsm_barrier(b);
+    });
+    let _ = state;
+
+    engine.run().unwrap();
+    let observations = observations.lock();
+    for &(label, v, _) in observations.iter() {
+        assert_eq!(v, 5, "{label} must still observe the value written before the switch");
+    }
+    let (_, _, node_after) = observations
+        .iter()
+        .find(|(l, _, _)| *l == "node1-migrated")
+        .copied()
+        .unwrap();
+    assert_eq!(
+        node_after,
+        NodeId(0),
+        "after the switch the worker thread migrates to the data"
+    );
+    assert!(*migrations.lock() >= 1);
+}
+
+/// Switching to the protocol a region already uses is a harmless no-op, and
+/// switching an unknown region panics.
+#[test]
+fn switch_validates_its_inputs() {
+    let (_engine, rt, protos, _ext) = setup(2);
+    rt.set_default_protocol(protos.li_hudak);
+    let addr = rt.dsm_malloc(8192, DsmAttr::default());
+    assert_eq!(rt.switch_region_protocol(addr, 8192, protos.li_hudak), 2);
+    assert_eq!(
+        rt.page_meta(addr.page()).protocol,
+        protos.li_hudak,
+        "identity switch keeps the protocol"
+    );
+}
+
+#[test]
+#[should_panic(expected = "not part of any DSM allocation")]
+fn switching_an_unallocated_region_panics() {
+    let (_engine, rt, protos, _ext) = setup(2);
+    rt.set_default_protocol(protos.li_hudak);
+    let addr = rt.dsm_malloc(4096, DsmAttr::default());
+    // One page past the end of the allocation.
+    rt.switch_region_protocol(addr.add(4096), 4096, protos.li_hudak);
+}
+
+/// Values published before the switch remain visible after it, and a replica
+/// that still carries an unflushed twin diff when the switch happens is
+/// folded into the home copy rather than silently dropped.
+#[test]
+fn switch_preserves_values_and_folds_pending_diffs_into_the_home() {
+    let (mut engine, rt, protos, _ext) = setup(2);
+    rt.set_default_protocol(protos.hbrc_mw);
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let page = addr.page();
+    let b = rt.create_barrier(2, None);
+    let seen = Arc::new(Mutex::new((0u64, 0u64)));
+
+    // Simulate a node-1 replica with an unflushed modification, exactly the
+    // state a multiple-writer protocol leaves between a write and the next
+    // release: a twin plus a dirtied working copy.
+    rt.frames(NodeId(1)).install(page, rt.frames(NodeId(0)).snapshot(page));
+    rt.page_table(NodeId(1)).update(page, |e| {
+        e.access = dsm_pm2::core::Access::Write;
+        e.modified_since_release = true;
+    });
+    rt.frames(NodeId(1)).make_twin(page);
+    let mut bytes = [0u8; 8];
+    99u64.store_le_for_test(&mut bytes);
+    rt.frames(NodeId(1)).write(page, 16, &bytes);
+
+    let pages = rt.switch_region_protocol(addr, 4096, protos.li_hudak);
+    assert_eq!(pages, 1);
+
+    // After the switch: the home copy holds the folded modification, node 1
+    // holds nothing, and the region runs under the new protocol.
+    assert!(!rt.frames(NodeId(1)).has(page));
+    assert_eq!(rt.page_meta(page).protocol, protos.li_hudak);
+
+    let s = seen.clone();
+    rt.spawn_dsm_thread(NodeId(0), "home-reader", move |ctx| {
+        s.lock().0 = ctx.read::<u64>(addr.add(16));
+        ctx.dsm_barrier(b);
+    });
+    let s = seen.clone();
+    rt.spawn_dsm_thread(NodeId(1), "remote-reader", move |ctx| {
+        ctx.dsm_barrier(b);
+        s.lock().1 = ctx.read::<u64>(addr.add(16));
+    });
+    engine.run().unwrap();
+    assert_eq!(*seen.lock(), (99, 99), "the pending diff reached the home across the switch");
+}
+
+/// Little helper so the white-box test above can build raw page bytes without
+/// depending on private APIs.
+trait StoreLe {
+    fn store_le_for_test(self, out: &mut [u8]);
+}
+
+impl StoreLe for u64 {
+    fn store_le_for_test(self, out: &mut [u8]) {
+        out.copy_from_slice(&self.to_le_bytes());
+    }
+}
+
+/// §2.3: several protocols can be *defined* in one program and selected
+/// dynamically without recompilation; a user-assembled protocol is usable
+/// exactly like the built-in ones.
+#[test]
+fn user_defined_protocol_is_selected_dynamically() {
+    let (mut engine, rt, protos, _ext) = setup(2);
+    // A write-through-to-home protocol assembled from library routines: read
+    // faults fetch a copy from the home, write faults fetch a writable copy,
+    // no invalidations ever happen (single-phase programs only).
+    let home_fetch = CustomProtocol::builder("home_fetch")
+        .read_fault_handler(|ctx, fault| {
+            let rt = ctx.runtime().clone();
+            let node = ctx.node();
+            protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+        })
+        .write_fault_handler(|ctx, fault| {
+            let rt = ctx.runtime().clone();
+            let node = ctx.node();
+            protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Write);
+        })
+        .read_server(|ctx, req| {
+            let rt = ctx.runtime.clone();
+            let node = ctx.local_node;
+            protolib::serve_copy_from_home(ctx.sim, node, &rt, &req, Access::Read);
+        })
+        .write_server(|ctx, req| {
+            let rt = ctx.runtime.clone();
+            let node = ctx.local_node;
+            protolib::serve_copy_from_home(ctx.sim, node, &rt, &req, Access::Write);
+        })
+        .invalidate_server(|ctx, inv| {
+            let rt = ctx.runtime.clone();
+            let node = ctx.local_node;
+            protolib::apply_invalidation(ctx.sim, node, &rt, &inv);
+        })
+        .receive_page_server(|ctx, transfer| {
+            let rt = ctx.runtime.clone();
+            let node = ctx.local_node;
+            protolib::install_received_page(ctx.sim, node, &rt, &transfer);
+        })
+        .build();
+    let custom = rt.register_protocol(home_fetch);
+
+    // Select the protocol "according to the arguments provided by the user
+    // without any recompilation".
+    let use_custom = true;
+    rt.set_default_protocol(if use_custom { custom } else { protos.li_hudak });
+
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let b = rt.create_barrier(2, None);
+    let ok = Arc::new(Mutex::new(false));
+    rt.spawn_dsm_thread(NodeId(0), "w", move |ctx| {
+        ctx.write::<u32>(addr, 9);
+        ctx.dsm_barrier(b);
+    });
+    let ok2 = ok.clone();
+    rt.spawn_dsm_thread(NodeId(1), "r", move |ctx| {
+        ctx.dsm_barrier(b);
+        *ok2.lock() = ctx.read::<u32>(addr) == 9;
+    });
+    engine.run().unwrap();
+    assert!(*ok.lock());
+    assert_eq!(rt.protocol_by_name("home_fetch"), Some(custom));
+}
