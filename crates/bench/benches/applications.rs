@@ -24,10 +24,14 @@ fn bench_coloring(c: &mut Criterion) {
     let mut group = c.benchmark_group("map_coloring_small");
     group.sample_size(10);
     for proto in ["java_ic", "java_pf"] {
-        group.bench_with_input(BenchmarkId::new("14states_2nodes", proto), &proto, |b, p| {
-            let config = ColoringConfig::small(2, 14);
-            b.iter(|| run_map_coloring(&config, p))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("14states_2nodes", proto),
+            &proto,
+            |b, p| {
+                let config = ColoringConfig::small(2, 14);
+                b.iter(|| run_map_coloring(&config, p))
+            },
+        );
     }
     group.finish();
 }

@@ -11,14 +11,10 @@ fn bench_diffs(c: &mut Criterion) {
     let twin = vec![0u8; PAGE_SIZE];
     for modified in [4usize, 64, 1024, PAGE_SIZE] {
         let mut cur = twin.clone();
-        for i in 0..modified {
-            cur[i] = 1;
-        }
-        group.bench_with_input(
-            BenchmarkId::new("compute", modified),
-            &modified,
-            |b, _| b.iter(|| PageDiff::compute(PageId(0), &twin, &cur)),
-        );
+        cur[..modified].fill(1);
+        group.bench_with_input(BenchmarkId::new("compute", modified), &modified, |b, _| {
+            b.iter(|| PageDiff::compute(PageId(0), &twin, &cur))
+        });
         let diff = PageDiff::compute(PageId(0), &twin, &cur);
         group.bench_with_input(BenchmarkId::new("apply", modified), &modified, |b, _| {
             b.iter(|| {

@@ -20,7 +20,14 @@ fn null_rpc(network: dsmpm2_madeleine::NetworkModel, calls: u32) -> f64 {
     engine.spawn("caller", move |h| {
         let start = h.now();
         for _ in 0..calls {
-            let _ = c.rpc_call(h, NodeId(0), NodeId(1), "null", Box::new(()), RpcClass::Minimal);
+            let _ = c.rpc_call(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "null",
+                Box::new(()),
+                RpcClass::Minimal,
+            );
         }
         *t.lock() = h.now().since(start).as_micros_f64();
     });
@@ -52,9 +59,11 @@ fn bench_pm2(c: &mut Criterion) {
     let mut group = c.benchmark_group("pm2_micro");
     group.sample_size(20);
     for net in [profiles::bip_myrinet(), profiles::sisci_sci()] {
-        group.bench_with_input(BenchmarkId::new("null_rpc_x32", &net.name), &net, |b, net| {
-            b.iter(|| null_rpc(net.clone(), 32))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("null_rpc_x32", &net.name),
+            &net,
+            |b, net| b.iter(|| null_rpc(net.clone(), 32)),
+        );
         group.bench_with_input(
             BenchmarkId::new("migration_pingpong_x16", &net.name),
             &net,

@@ -123,10 +123,15 @@ fn main() {
         );
         rows.push(vec![net.name.clone(), format!("{:.0}", b.total_us)]);
     }
-    println!("{}", markdown_table(&["Network", "Read-fault total (us)"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["Network", "Read-fault total (us)"], &rows)
+    );
 
     // --- Ablation 4: fixed vs dynamic distributed manager ------------------
-    println!("\nAblation 4: fixed vs dynamic distributed manager (ownership migrates around 4 nodes)\n");
+    println!(
+        "\nAblation 4: fixed vs dynamic distributed manager (ownership migrates around 4 nodes)\n"
+    );
     let mut rows = Vec::new();
     let mut manager_points = Vec::new();
     for proto in ["li_hudak", "li_hudak_fixed"] {
@@ -143,7 +148,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Protocol", "Faults", "Request forwards", "Forwards/fault", "Run time (ms)"],
+            &[
+                "Protocol",
+                "Faults",
+                "Request forwards",
+                "Forwards/fault",
+                "Run time (ms)"
+            ],
             &rows
         )
     );
@@ -174,7 +185,13 @@ fn main() {
 
     // --- Ablation 6: SPLASH-2-style kernel x protocol matrix ----------------
     println!("\nAblation 6: SPLASH-2-style kernels under five protocols (virtual ms)\n");
-    let kernel_protocols = ["li_hudak", "li_hudak_fixed", "erc_sw", "hbrc_mw", "hlrc_notices"];
+    let kernel_protocols = [
+        "li_hudak",
+        "li_hudak_fixed",
+        "erc_sw",
+        "hbrc_mw",
+        "hlrc_notices",
+    ];
     let nodes = if quick { 2 } else { 4 };
     let mut rows = Vec::new();
     let mut kernel_points = Vec::new();

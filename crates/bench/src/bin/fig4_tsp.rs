@@ -43,7 +43,10 @@ fn main() {
             let mut config = TspConfig::paper(nodes);
             config.cities = cities;
             let result = run_tsp(&config, proto);
-            assert_eq!(result.best, oracle, "distributed result must match the oracle");
+            assert_eq!(
+                result.best, oracle,
+                "distributed result must match the oracle"
+            );
             rows.push(vec![
                 proto.to_string(),
                 nodes.to_string(),

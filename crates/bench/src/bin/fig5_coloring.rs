@@ -27,7 +27,10 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let states: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(29);
     let max_nodes: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
-    let node_counts: Vec<usize> = [1usize, 2, 4].into_iter().filter(|&n| n <= max_nodes).collect();
+    let node_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&n| n <= max_nodes)
+        .collect();
 
     println!(
         "Figure 5: minimal-cost map colouring, {states} states, SISCI/SCI, java_ic vs java_pf\n"

@@ -30,7 +30,14 @@ fn measure_rpc(network: dsmpm2_madeleine::NetworkModel) -> f64 {
     let c = cluster.clone();
     engine.spawn("rpc-caller", move |h| {
         let start = h.now();
-        let _ = c.rpc_call(h, NodeId(0), NodeId(1), "null", Box::new(()), RpcClass::Minimal);
+        let _ = c.rpc_call(
+            h,
+            NodeId(0),
+            NodeId(1),
+            "null",
+            Box::new(()),
+            RpcClass::Minimal,
+        );
         *e.lock() = h.now().since(start);
     });
     let mut engine = engine;
@@ -76,7 +83,11 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Network", "Minimal RPC (us)", "Thread migration, ~1kB stack (us)"],
+            &[
+                "Network",
+                "Minimal RPC (us)",
+                "Thread migration, ~1kB stack (us)"
+            ],
             &rows
         )
     );

@@ -102,7 +102,9 @@ impl DsmThreadCtx<'_, '_> {
         let rt = self.runtime().clone();
         rt.stats().incr_inline_check();
         self.pm2.sim.charge(rt.costs().inline_check());
-        rt.page_table(self.node()).access(addr.page()).permits(needed)
+        rt.page_table(self.node())
+            .access(addr.page())
+            .permits(needed)
     }
 
     /// Read a scalar from shared memory (faulting as needed).

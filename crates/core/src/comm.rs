@@ -151,6 +151,30 @@ fn handle_dsm_msg(rt: &DsmRuntime, rpc: &mut RpcRequestCtx<'_>, msg: DsmMsg) {
         DsmMsg::DiffAck { page } => {
             acknowledge(rt, &mut ctx, page);
         }
+        DsmMsg::AcquireDone {
+            page,
+            owner,
+            version,
+        } => {
+            // Generic-core handling at the home node: record the new owner
+            // (version-gated against late arrivals), mark the acquisition
+            // complete, and wake any write requests queued at the manager.
+            let table = rt.page_table(ctx.local_node);
+            table.update(page, |e| {
+                if version >= e.owner_version {
+                    e.owner_version = version;
+                    if !e.owned {
+                        e.prob_owner = owner;
+                    }
+                }
+                if e.queue_tail == Some(owner) {
+                    e.queue_tail = None;
+                }
+            });
+            table
+                .waiters(page)
+                .notify_all(&ctx.sim.ctl(), SimDuration::ZERO);
+        }
     }
 }
 
@@ -260,6 +284,31 @@ impl DsmRuntime {
         );
     }
 
+    /// Notify a page's home node that `owner` finished installing write
+    /// ownership at `version`.
+    pub fn send_acquire_done(
+        &self,
+        sim: &mut SimHandle,
+        from: NodeId,
+        to: NodeId,
+        page: PageId,
+        owner: NodeId,
+        version: u64,
+    ) {
+        self.cluster().rpc_oneway(
+            sim,
+            from,
+            to,
+            SVC_DSM,
+            Box::new(DsmMsg::AcquireDone {
+                page,
+                owner,
+                version,
+            }),
+            RpcClass::Control,
+        );
+    }
+
     /// Acknowledge a diff back to `to`.
     pub fn send_diff_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
         self.cluster().rpc_oneway(
@@ -283,8 +332,12 @@ impl DsmThreadCtx<'_, '_> {
     pub fn dsm_lock(&mut self, lock: LockId) {
         let rt = self.runtime().clone();
         let manager = rt.lock_manager(lock);
-        self.pm2
-            .rpc_call(manager, SVC_LOCK_ACQUIRE, Box::new(lock.0), RpcClass::Control);
+        self.pm2.rpc_call(
+            manager,
+            SVC_LOCK_ACQUIRE,
+            Box::new(lock.0),
+            RpcClass::Control,
+        );
         rt.stats().incr_lock_acquire();
         for id in rt.protocols_in_use() {
             rt.protocol(id).lock_acquire(self, lock);
@@ -300,8 +353,12 @@ impl DsmThreadCtx<'_, '_> {
         }
         rt.stats().incr_lock_release();
         let manager = rt.lock_manager(lock);
-        self.pm2
-            .rpc_oneway(manager, SVC_LOCK_RELEASE, Box::new(lock.0), RpcClass::Control);
+        self.pm2.rpc_oneway(
+            manager,
+            SVC_LOCK_RELEASE,
+            Box::new(lock.0),
+            RpcClass::Control,
+        );
     }
 
     /// Wait at a DSM barrier. For the consistency protocols this behaves as a

@@ -76,11 +76,7 @@ impl PageDiff {
     /// Build a diff from explicitly recorded modified ranges (the
     /// on-the-fly recording used by the Java protocols), reading the new
     /// bytes from `current`.
-    pub fn from_recorded_ranges(
-        page: PageId,
-        ranges: &[(usize, usize)],
-        current: &[u8],
-    ) -> Self {
+    pub fn from_recorded_ranges(page: PageId, ranges: &[(usize, usize)], current: &[u8]) -> Self {
         assert_eq!(current.len(), PAGE_SIZE);
         let mut sorted: Vec<(usize, usize)> = ranges.to_vec();
         sorted.sort_unstable();
@@ -172,8 +168,7 @@ mod tests {
         cur[10..20].fill(5);
         cur[20..30].fill(6);
         cur[100..104].fill(7);
-        let diff =
-            PageDiff::from_recorded_ranges(PageId(3), &[(20, 10), (10, 10), (100, 4)], &cur);
+        let diff = PageDiff::from_recorded_ranges(PageId(3), &[(20, 10), (10, 10), (100, 4)], &cur);
         assert_eq!(diff.runs.len(), 2, "adjacent ranges merge");
         let mut home = page_of(0);
         diff.apply(&mut home);

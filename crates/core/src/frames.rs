@@ -69,7 +69,11 @@ impl FrameStore {
 
     /// Install (or replace) the local copy of `page` with `data`.
     pub fn install(&self, page: PageId, data: Vec<u8>) {
-        assert_eq!(data.len(), PAGE_SIZE, "installed page must be {PAGE_SIZE} bytes");
+        assert_eq!(
+            data.len(),
+            PAGE_SIZE,
+            "installed page must be {PAGE_SIZE} bytes"
+        );
         let mut frames = self.frames.lock();
         let frame = frames.entry(page).or_insert_with(Frame::zeroed);
         frame.data = data;

@@ -50,6 +50,12 @@ pub struct Invalidation {
     pub new_owner: Option<NodeId>,
     /// True if the sender waits for an acknowledgement.
     pub needs_ack: bool,
+    /// Ownership-succession version at the sender (the page version counter,
+    /// bumped on every write transfer). Receivers only rewind their
+    /// probable-owner hint for strictly newer versions: a late-arriving
+    /// invalidation from an old reign must not clobber fresher hints, or the
+    /// hint graph can cycle and deadlock the request chain.
+    pub version: u64,
 }
 
 /// Messages handled by the `dsm` service. Each variant maps to one of the
@@ -82,6 +88,20 @@ pub enum DsmMsg {
         /// Acknowledged page.
         page: PageId,
     },
+    /// Sent to a page's home node when a node finishes installing write
+    /// ownership. The home is the serialization point for ownership
+    /// acquisitions (Li & Hudak's improved centralized manager): it forwards
+    /// one write request at a time and waits for this notice before
+    /// forwarding the next, so write requests are never routed at a node
+    /// that is still fetching.
+    AcquireDone {
+        /// The acquired page.
+        page: PageId,
+        /// The new owner.
+        owner: NodeId,
+        /// Ownership-succession version of the acquisition.
+        version: u64,
+    },
 }
 
 impl DsmMsg {
@@ -94,6 +114,7 @@ impl DsmMsg {
             DsmMsg::InvalidateAck { .. } => 0,
             DsmMsg::Diff { diff, .. } => diff.payload_bytes(),
             DsmMsg::DiffAck { .. } => 0,
+            DsmMsg::AcquireDone { .. } => 0,
         }
     }
 }

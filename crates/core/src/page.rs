@@ -55,6 +55,7 @@ impl DsmAddr {
     }
 
     /// Address `bytes` further.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, bytes: u64) -> DsmAddr {
         DsmAddr(self.0 + bytes)
     }

@@ -41,9 +41,25 @@ pub struct PageEntry {
     pub copyset: BTreeSet<NodeId>,
     /// Version counter bumped whenever the reference copy changes.
     pub version: u64,
+    /// Highest ownership-succession version this node has heard of; guards
+    /// `prob_owner` against rewinds by late invalidations (see
+    /// [`crate::msg::Invalidation::version`]).
+    pub owner_version: u64,
     /// True while a fetch for this page is in flight from this node (avoids
     /// duplicate requests when several local threads fault concurrently).
     pub pending_fetch: bool,
+    /// Tail of the distributed write-acquisition queue as last seen by this
+    /// node: the requester of the most recent write request it forwarded (or
+    /// sent). Write requests chain behind it (and may be parked at it, see
+    /// [`crate::msg::PageRequest::queued`]); `prob_owner` itself only ever
+    /// records ownership *history*, so routing always has a terminating
+    /// fallback even when the queue information is stale.
+    pub queue_tail: Option<NodeId>,
+    /// Bumped every time a new fetch starts. Lets a deferred server request
+    /// wait for exactly the fetch that was in flight when it arrived, rather
+    /// than being re-trapped by a later fetch (whose completion may depend on
+    /// the deferred request itself — a deadlock).
+    pub fetch_seq: u64,
     /// Outstanding acknowledgements this node is waiting for (invalidations,
     /// diff acks).
     pub pending_acks: usize,
@@ -68,6 +84,9 @@ impl PageEntry {
             protocol,
             copyset: BTreeSet::new(),
             version: 0,
+            owner_version: 0,
+            queue_tail: None,
+            fetch_seq: 0,
             pending_fetch: false,
             pending_acks: 0,
             modified_since_release: false,

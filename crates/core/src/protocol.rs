@@ -227,7 +227,9 @@ impl CustomProtocolBuilder {
 }
 
 fn missing(action: &str, proto: &str) -> ! {
-    panic!("protocol '{proto}' does not define the '{action}' action but the generic core needed it")
+    panic!(
+        "protocol '{proto}' does not define the '{action}' action but the generic core needed it"
+    )
 }
 
 impl DsmProtocol for CustomProtocol {

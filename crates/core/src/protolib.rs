@@ -33,11 +33,16 @@ pub fn request_page_and_wait(
             return;
         }
         if !entry.pending_fetch {
-            table.update(page, |e| e.pending_fetch = true);
+            table.update(page, |e| {
+                e.pending_fetch = true;
+                e.fetch_seq += 1;
+            });
             sim.charge(rt.costs().table_update());
-            let target = if entry.prob_owner == node {
-                // Our hint points at ourselves but we do not have the rights:
-                // fall back to the page's home node.
+            // Write requests go to the page's home node, which acts as the
+            // acquisition manager (Li & Hudak's improved centralized
+            // manager); reads follow the ownership-history hint with the
+            // home as fallback.
+            let target = if access == Access::Write || entry.prob_owner == node {
                 rt.page_meta(page).home
             } else {
                 entry.prob_owner
@@ -65,31 +70,35 @@ pub fn request_page_and_wait(
     }
 }
 
-/// Server-side guard for the distributed-manager protocols: if this node is
-/// itself waiting for a copy of `page` (a fetch is in flight), hold the
-/// incoming request until that fetch completes instead of forwarding it along
-/// ownership hints that are about to change.
+/// Server-side guard: if this node is itself waiting for a copy of `page`
+/// (a fetch is in flight), hold an incoming *read* request for the duration
+/// of exactly that fetch instead of forwarding it along ownership hints that
+/// are about to change.
 ///
-/// This implements the distributed request queue of the Li & Hudak dynamic
-/// manager: concurrent write requests chain up behind the node that is about
-/// to become the owner rather than chasing each other's stale hints around
-/// the cluster (which can cycle forever). The small re-dispatch charge also
-/// lets the local faulting thread complete the access it was waiting for
-/// before the page can be snatched away again, which guarantees global
-/// progress under heavy write contention.
+/// Write requests never park here: they are serialized by the page's home
+/// manager (see [`forward_request`]) and only ever routed to a node that has
+/// finished acquiring ownership. Parking writes at arbitrary fetching nodes
+/// is how wait-for cycles (and deadlocks) form under concurrent write
+/// faults. The small re-dispatch charge after the wait lets the local
+/// faulting thread complete the access it was waiting for before the page
+/// can be served away again, which keeps heavy contention starvation-free.
 pub fn defer_while_fetching(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
     let page = req.page;
     let table = rt.page_table(node);
     let entry = table.get(page);
-    // Upgrade requests a node sends to itself (write upgrade of an owned,
-    // read-shared page) and requests a current owner can serve on the spot
-    // must not wait behind the node's own fetch, or nothing would ever clear
-    // that fetch.
-    if req.requester == node || entry.owned || !entry.pending_fetch {
+    // Write requests are serialized by the home manager and only ever routed
+    // to a node that finished acquiring ownership, so they never need to
+    // park here. Read requests may race an in-flight fetch; park them for
+    // the duration of exactly that fetch (same fetch_seq), then forward
+    // along the refreshed hints.
+    if req.requester == node || entry.owned || !entry.pending_fetch || req.access == Access::Write {
         return;
     }
     let waiters = table.waiters(page);
-    waiters.wait_until(sim, || !table.get(page).pending_fetch);
+    waiters.wait_until(sim, || {
+        let e = table.get(page);
+        !e.pending_fetch || e.fetch_seq != entry.fetch_seq
+    });
     // Yield for a short re-dispatch delay so the local threads woken by the
     // page installation run strictly before this handler serves the page
     // away again: the node is guaranteed at least one successful local access
@@ -108,12 +117,15 @@ pub fn install_received_page(
     transfer: &PageTransfer,
 ) {
     let table = rt.page_table(node);
-    rt.frames(node).install(transfer.page, transfer.data.clone());
+    rt.frames(node)
+        .install(transfer.page, transfer.data.clone());
     table.update(transfer.page, |e| {
         e.access = transfer.grant;
         e.prob_owner = transfer.owner;
+        e.queue_tail = None;
         e.owned = transfer.owner == node;
         e.version = transfer.version;
+        e.owner_version = e.owner_version.max(transfer.version);
         e.pending_fetch = false;
         if transfer.owner == node {
             e.copyset = transfer.copyset.iter().copied().collect();
@@ -122,6 +134,9 @@ pub fn install_received_page(
     });
     sim.charge(rt.costs().install_overhead());
     sim.charge(rt.costs().table_update());
+    if transfer.grant == Access::Write && transfer.owner == node {
+        notify_home_acquired(sim, node, rt, transfer.page, transfer.version);
+    }
     table
         .waiters(transfer.page)
         .notify_all(&sim.ctl(), dsmpm2_sim::SimDuration::ZERO);
@@ -168,7 +183,16 @@ pub fn serve_write_transfer(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, 
         e.access = Access::None;
         e.owned = false;
         e.prob_owner = req.requester;
+        e.queue_tail = if e.home == node {
+            // Serving from the home: this acquisition is now in flight; the
+            // manager admits the next write request once the requester's
+            // AcquireDone arrives.
+            Some(req.requester)
+        } else {
+            None
+        };
         e.version += 1;
+        e.owner_version = e.version;
         (copyset, e.version)
     });
     let data = rt.frames(node).snapshot(req.page);
@@ -193,16 +217,63 @@ pub fn serve_write_transfer(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, 
 /// path-compression rule of the Li & Hudak algorithm.
 pub fn forward_request(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
     let table = rt.page_table(node);
-    let target = table.get(req.page).prob_owner;
+    let home = rt.page_meta(req.page).home;
     rt.stats().incr_request_forward();
     if req.access == Access::Write {
-        table.update(req.page, |e| e.prob_owner = req.requester);
+        if node != home {
+            // Ordinary nodes route write acquisitions to the manager.
+            rt.send_page_request(sim, node, home, req.clone());
+            return;
+        }
+        // Home manager (Li & Hudak's improved centralized manager): admit
+        // one acquisition at a time and only hand requests to a node the
+        // record proves holds ownership. Anything in between — an
+        // acquisition in flight, a record still pointing at this node or at
+        // the requester's *own* in-flight acquisition — is waited out; the
+        // pending AcquireDone is what refreshes the record and wakes us.
+        let page = req.page;
+        let waiters = table.waiters(page);
+        loop {
+            let entry = table.get(page);
+            if entry.owned {
+                // The home itself owns the page: serve directly
+                // (serve_write_transfer marks the new acquisition in flight).
+                serve_write_transfer(sim, node, rt, req);
+                return;
+            }
+            let own_admission = entry.queue_tail == Some(req.requester);
+            if entry.queue_tail.is_some() && !own_admission {
+                waiters.wait_until(sim, || {
+                    let e = table.get(page);
+                    e.owned || e.queue_tail.is_none() || e.queue_tail == Some(req.requester)
+                });
+                continue;
+            }
+            if entry.prob_owner == node || (own_admission && entry.prob_owner == req.requester) {
+                // Record is stale (points at this non-owning node) or at the
+                // requester's own unfinished acquisition: wait for fresher
+                // ownership information.
+                waiters.wait_until(sim, || {
+                    let e = table.get(page);
+                    e.owned
+                        || (e.prob_owner != node
+                            && !(e.queue_tail == Some(req.requester)
+                                && e.prob_owner == req.requester))
+                });
+                continue;
+            }
+            table.update(page, |e| e.queue_tail = Some(req.requester));
+            rt.send_page_request(sim, node, entry.prob_owner, req.clone());
+            return;
+        }
     }
-    // Avoid forwarding to ourselves (stale hint): fall back to the home node.
-    let target = if target == node {
-        rt.page_meta(req.page).home
+    // Reads follow ownership history, which cannot cycle; fall back to the
+    // home node on self- or requester-references.
+    let entry = table.get(req.page);
+    let target = if entry.prob_owner != node && entry.prob_owner != req.requester {
+        entry.prob_owner
     } else {
-        target
+        home
     };
     rt.send_page_request(sim, node, target, req.clone());
 }
@@ -217,6 +288,7 @@ pub fn invalidate_copyset_and_wait(
     page: PageId,
     targets: &[NodeId],
     new_owner: Option<NodeId>,
+    version: u64,
 ) {
     let targets: Vec<NodeId> = targets.iter().copied().filter(|&n| n != node).collect();
     if targets.is_empty() {
@@ -234,6 +306,7 @@ pub fn invalidate_copyset_and_wait(
                 from: node,
                 new_owner,
                 needs_ack: true,
+                version,
             },
         );
     }
@@ -249,10 +322,18 @@ pub fn apply_invalidation(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, in
         e.access = Access::None;
         e.owned = false;
         e.modified_since_release = false;
-        if let Some(owner) = inv.new_owner {
-            e.prob_owner = owner;
-        } else {
-            e.prob_owner = inv.from;
+        // Only a strictly newer succession version may move the hint (a
+        // late invalidation from an earlier reign would point it backwards,
+        // letting request routing cycle) — except that a self-pointing
+        // record on a non-owner is always worse than the sender's info.
+        if inv.version > e.owner_version || e.prob_owner == node {
+            e.owner_version = e.owner_version.max(inv.version);
+            e.queue_tail = None;
+            if let Some(owner) = inv.new_owner {
+                e.prob_owner = owner;
+            } else {
+                e.prob_owner = inv.from;
+            }
         }
         e.copyset.clear();
     });
@@ -260,6 +341,31 @@ pub fn apply_invalidation(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, in
     sim.charge(rt.costs().table_update());
     if inv.needs_ack {
         rt.send_invalidate_ack(sim, node, inv.from, inv.page);
+    }
+}
+
+/// Report a completed write acquisition to the page's home manager (or
+/// record it directly when the new owner *is* the home).
+pub fn notify_home_acquired(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    page: PageId,
+    version: u64,
+) {
+    let home = rt.page_meta(page).home;
+    if home == node {
+        let table = rt.page_table(node);
+        table.update(page, |e| {
+            if e.queue_tail == Some(node) {
+                e.queue_tail = None;
+            }
+        });
+        table
+            .waiters(page)
+            .notify_all(&sim.ctl(), dsmpm2_sim::SimDuration::ZERO);
+    } else {
+        rt.send_acquire_done(sim, node, home, page, node, version);
     }
 }
 
@@ -271,6 +377,34 @@ pub fn migrate_thread_to_page(ctx: &mut DsmThreadCtx<'_, '_>, page: PageId) {
     let rt = ctx.runtime().clone();
     let node = ctx.node();
     let entry = rt.page_table(node).get(page);
+    if entry.owned {
+        // The thread is already where the data lives; the fault means the
+        // owner's copy was downgraded to read-only when read replicas were
+        // handed out. Migrating "to the data" would land back here and fault
+        // forever — reclaim exclusive access by invalidating the replicas.
+        let targets: Vec<NodeId> = entry
+            .copyset
+            .iter()
+            .copied()
+            .filter(|&n| n != node)
+            .collect();
+        invalidate_copyset_and_wait(
+            ctx.pm2.sim,
+            node,
+            &rt,
+            page,
+            &targets,
+            Some(node),
+            entry.version,
+        );
+        rt.page_table(node).update(page, |e| {
+            e.access = Access::Write;
+            e.copyset.retain(|n| !targets.contains(n));
+            e.copyset.insert(node);
+        });
+        ctx.pm2.sim.charge(rt.costs().table_update());
+        return;
+    }
     let target = if entry.prob_owner == node {
         rt.page_meta(page).home
     } else {
@@ -343,8 +477,8 @@ pub fn home_invalidate_other_copies(
     except: NodeId,
 ) {
     let table = rt.page_table(node);
-    let targets: Vec<NodeId> = table
-        .get(page)
+    let entry = table.get(page);
+    let targets: Vec<NodeId> = entry
         .copyset
         .iter()
         .copied()
@@ -360,6 +494,7 @@ pub fn home_invalidate_other_copies(
                 from: node,
                 new_owner: Some(node),
                 needs_ack: false,
+                version: entry.version,
             },
         );
     }

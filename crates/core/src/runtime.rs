@@ -378,52 +378,63 @@ impl DsmRuntime {
             let home = meta.home;
             meta.protocol = new_protocol;
             for node in self.inner.cluster.topology().nodes() {
-                let table = self.page_table(node);
-                let entry = table.get(page);
+                let entry = self.page_table(node).get(page);
                 assert!(
                     !entry.pending_fetch && entry.pending_acks == 0,
                     "protocol switch of {page} raced with in-flight protocol activity on node \
                      {node}; synchronize (e.g. with barriers) before switching"
                 );
+            }
+            // Consolidate every remote copy into the home frame before
+            // resetting rights, so no write is lost across the switch.
+            self.frames(home).ensure_zeroed(page);
+            for node in self.inner.cluster.topology().nodes() {
                 if node == home {
-                    table.update(page, |e| {
-                        e.protocol = new_protocol;
-                        e.access = Access::Write;
-                        e.owned = true;
-                        e.prob_owner = home;
-                        e.copyset.clear();
-                        e.copyset.insert(home);
-                        e.modified_since_release = false;
-                        e.version += 1;
-                    });
-                    self.frames(home).ensure_zeroed(page);
-                } else {
-                    // Push any locally modified bytes back to the home copy
-                    // before dropping the replica, so no write is lost across
-                    // the switch even under a multiple-writer protocol.
-                    if self.frames(node).has(page) {
-                        let diff = if self.frames(node).has_twin(page) {
-                            self.frames(node).take_twin_diff(page)
-                        } else if self.frames(node).has_recorded(page) {
-                            self.frames(node).take_recorded_diff(page)
-                        } else {
-                            crate::diff::PageDiff::empty(page)
-                        };
+                    continue;
+                }
+                let entry = self.page_table(node).get(page);
+                if self.frames(node).has(page) {
+                    if self.frames(node).has_twin(page) {
+                        // Multiple-writer replica: its modifications relative
+                        // to the twin merge into the home copy.
+                        let diff = self.frames(node).take_twin_diff(page);
                         if !diff.is_empty() {
                             self.frames(home).apply_diff(page, &diff);
                         }
-                        self.frames(node).evict(page);
+                    } else if self.frames(node).has_recorded(page) {
+                        let diff = self.frames(node).take_recorded_diff(page);
+                        if !diff.is_empty() {
+                            self.frames(home).apply_diff(page, &diff);
+                        }
+                    } else if entry.access == Access::Write || entry.owned {
+                        // Owner under a single-writer protocol: there is no
+                        // twin, the whole frame is authoritative — also when
+                        // serving read copies downgraded the owner's own
+                        // access to read-only.
+                        let data = self.frames(node).snapshot(page);
+                        self.frames(home).install(page, data);
                     }
-                    table.update(page, |e| {
-                        e.protocol = new_protocol;
-                        e.access = Access::None;
-                        e.owned = false;
-                        e.prob_owner = home;
-                        e.copyset.clear();
-                        e.modified_since_release = false;
-                    });
+                    self.frames(node).evict(page);
                 }
+                self.page_table(node).update(page, |e| {
+                    e.protocol = new_protocol;
+                    e.access = Access::None;
+                    e.owned = false;
+                    e.prob_owner = home;
+                    e.copyset.clear();
+                    e.modified_since_release = false;
+                });
             }
+            self.page_table(home).update(page, |e| {
+                e.protocol = new_protocol;
+                e.access = Access::Write;
+                e.owned = true;
+                e.prob_owner = home;
+                e.copyset.clear();
+                e.copyset.insert(home);
+                e.modified_since_release = false;
+                e.version += 1;
+            });
         }
         pages.len()
     }

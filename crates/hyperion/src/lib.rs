@@ -121,7 +121,10 @@ impl HyperionHeap {
     pub fn alloc_object_on(&self, home: NodeId, fields: usize) -> ObjectRef {
         assert!(fields > 0, "objects need at least one field");
         let bytes = fields * FIELD_BYTES;
-        assert!(bytes <= PAGE_SIZE, "objects larger than a page are not supported");
+        assert!(
+            bytes <= PAGE_SIZE,
+            "objects larger than a page are not supported"
+        );
         let rt = &self.inner.runtime;
         let mut bumps = self.inner.bumps.lock();
         let bump = bumps.entry(home).or_insert_with(|| NodeBump {
@@ -315,7 +318,10 @@ mod tests {
     fn java_pf_put_is_visible_after_monitor_roundtrip() {
         let (v, stats) = roundtrip_scenario(false);
         assert_eq!(v, 777);
-        assert!(stats.write_faults >= 1, "java_pf detects the remote put via a fault");
+        assert!(
+            stats.write_faults >= 1,
+            "java_pf detects the remote put via a fault"
+        );
         assert_eq!(stats.inline_checks, 0);
     }
 

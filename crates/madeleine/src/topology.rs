@@ -9,9 +9,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 /// Identity of a cluster node. Nodes are numbered `0..num_nodes`.
-#[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
 pub struct NodeId(pub usize);
 
 impl NodeId {

@@ -106,14 +106,7 @@ impl<M: Send + 'static> Network<M> {
     /// The message is delivered after the model's transfer time; messages on
     /// the same link are delivered in FIFO order because delivery times are
     /// monotonic in send time for a fixed size... and ties preserve send order.
-    pub fn send(
-        &self,
-        handle: &SimHandle,
-        from: NodeId,
-        to: NodeId,
-        msg: M,
-        payload_bytes: usize,
-    ) {
+    pub fn send(&self, handle: &SimHandle, from: NodeId, to: NodeId, msg: M, payload_bytes: usize) {
         assert!(
             self.inner.topology.contains(from) && self.inner.topology.contains(to),
             "send between unknown nodes {from} -> {to}"
@@ -194,7 +187,13 @@ mod tests {
         });
         let net2 = net.clone();
         engine.spawn("sender", move |h| {
-            net2.send(h, NodeId(0), NodeId(1), "page", 4096 + CONTROL_MESSAGE_BYTES);
+            net2.send(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "page",
+                4096 + CONTROL_MESSAGE_BYTES,
+            );
         });
         engine.run().unwrap();
         assert_eq!(arrived.load(Ordering::SeqCst), expected.as_nanos());

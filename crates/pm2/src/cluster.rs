@@ -14,7 +14,9 @@ use crate::config::{Pm2Config, Pm2Costs};
 use crate::context::{Pm2Context, Pm2ThreadState};
 use crate::isomalloc::IsoAllocator;
 use crate::monitor::Monitor;
-use crate::rpc::{ReplyTable, RpcClass, RpcMessage, RpcPayload, RpcReply, RpcRequestCtx, RpcService};
+use crate::rpc::{
+    ReplyTable, RpcClass, RpcMessage, RpcPayload, RpcReply, RpcRequestCtx, RpcService,
+};
 
 struct ClusterInner {
     config: Pm2Config,
@@ -67,7 +69,9 @@ impl Pm2Cluster {
                 iso,
                 ctl: engine.ctl(),
                 app_threads: Mutex::new(Vec::new()),
-                cpu_free: (0..config.num_nodes).map(|_| Mutex::new(SimTime::ZERO)).collect(),
+                cpu_free: (0..config.num_nodes)
+                    .map(|_| Mutex::new(SimTime::ZERO))
+                    .collect(),
                 config,
             }),
         };
@@ -285,9 +289,10 @@ impl Pm2Cluster {
             };
             svc.handle(&mut ctx, payload)
         };
-        self.inner
-            .monitor
-            .record(&format!("rpc_handler:{}", svc.name()), sim.now().since(start));
+        self.inner.monitor.record(
+            &format!("rpc_handler:{}", svc.name()),
+            sim.now().since(start),
+        );
         if needs_reply {
             let reply = reply.unwrap_or_else(|| {
                 panic!(
@@ -299,14 +304,7 @@ impl Pm2Cluster {
         }
     }
 
-    fn send_reply(
-        &self,
-        sim: &mut SimHandle,
-        from: NodeId,
-        to: NodeId,
-        id: u64,
-        reply: RpcReply,
-    ) {
+    fn send_reply(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, id: u64, reply: RpcReply) {
         let delay = self.message_delay(from, to, reply.class);
         self.inner.network.send_with_delay(
             sim,
@@ -434,7 +432,14 @@ mod tests {
         let c2 = c.clone();
         engine.spawn("caller", move |h| {
             let start = h.now();
-            let _ = c2.rpc_call(h, NodeId(0), NodeId(1), "echo", Box::new(7u32), RpcClass::Control);
+            let _ = c2.rpc_call(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "echo",
+                Box::new(7u32),
+                RpcClass::Control,
+            );
             e.store(h.now().since(start).as_nanos(), Ordering::SeqCst);
         });
         engine.run().unwrap();
@@ -454,14 +459,21 @@ mod tests {
         let c2 = c.clone();
         engine.spawn("caller", move |h| {
             let start = h.now();
-            let _ = c2.rpc_call(h, NodeId(0), NodeId(1), "null", Box::new(()), RpcClass::Minimal);
+            let _ = c2.rpc_call(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "null",
+                Box::new(()),
+                RpcClass::Minimal,
+            );
             e.store(h.now().since(start).as_nanos(), Ordering::SeqCst);
         });
         engine.run().unwrap();
         let us = elapsed.load(Ordering::SeqCst) as f64 / 1000.0;
         // Paper §2.1: 6us minimal RPC latency on SISCI/SCI. Allow the small
         // dispatch overhead on top.
-        assert!(us >= 6.0 && us < 12.0, "null RPC took {us}us");
+        assert!((6.0..12.0).contains(&us), "null RPC took {us}us");
     }
 
     #[test]
@@ -476,8 +488,22 @@ mod tests {
         }));
         let c2 = c.clone();
         engine.spawn("caller", move |h| {
-            c2.rpc_oneway(h, NodeId(0), NodeId(1), "notify", Box::new(()), RpcClass::Control);
-            c2.rpc_oneway(h, NodeId(0), NodeId(1), "notify", Box::new(()), RpcClass::Control);
+            c2.rpc_oneway(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "notify",
+                Box::new(()),
+                RpcClass::Control,
+            );
+            c2.rpc_oneway(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "notify",
+                Box::new(()),
+                RpcClass::Control,
+            );
         });
         engine.run().unwrap();
         assert_eq!(hits.load(Ordering::SeqCst), 2);
@@ -529,7 +555,14 @@ mod tests {
         let c = cluster(&engine, 2);
         let c2 = c.clone();
         engine.spawn("caller", move |h| {
-            let _ = c2.rpc_call(h, NodeId(0), NodeId(1), "nope", Box::new(()), RpcClass::Control);
+            let _ = c2.rpc_call(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "nope",
+                Box::new(()),
+                RpcClass::Control,
+            );
         });
         if let Err(dsmpm2_sim::SimError::ThreadPanic { message, .. }) = engine.run() {
             panic!("{}", message);

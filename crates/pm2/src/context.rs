@@ -167,15 +167,14 @@ impl<'a> Pm2Context<'a> {
             "cannot migrate to unknown node {dest}"
         );
         let model = self.cluster.network().model();
-        let cost = model.thread_migration_time(
-            self.state.stack_bytes(),
-            self.state.private_bytes(),
-        );
+        let cost =
+            model.thread_migration_time(self.state.stack_bytes(), self.state.private_bytes());
         self.cluster.monitor().record("thread_migration", cost);
-        self.cluster
-            .network()
-            .stats()
-            .record(from, dest, self.state.stack_bytes() + self.state.private_bytes());
+        self.cluster.network().stats().record(
+            from,
+            dest,
+            self.state.stack_bytes() + self.state.private_bytes(),
+        );
         self.sim.sleep(cost);
         *self.state.node.lock() = dest;
         self.state.migrations.fetch_add(1, Ordering::Relaxed);

@@ -28,9 +28,14 @@ mod rpc;
 pub use cluster::Pm2Cluster;
 pub use config::{Pm2Config, Pm2Costs};
 pub use context::{Pm2Context, Pm2ThreadState};
-pub use isomalloc::{IsoAllocator, IsoKind, IsoRange, ISO_PRIVATE_BASE, ISO_PRIVATE_SLOT, ISO_SHARED_BASE};
+pub use isomalloc::{
+    IsoAllocator, IsoKind, IsoRange, ISO_PRIVATE_BASE, ISO_PRIVATE_SLOT, ISO_SHARED_BASE,
+};
 pub use monitor::{Monitor, MonitorReport, OpStat};
-pub use rpc::{downcast, service_fn, FnService, RpcClass, RpcMessage, RpcPayload, RpcReply, RpcRequestCtx, RpcService};
+pub use rpc::{
+    downcast, service_fn, FnService, RpcClass, RpcMessage, RpcPayload, RpcReply, RpcRequestCtx,
+    RpcService,
+};
 
 /// Convenience re-exports of the layers below, so applications can depend on
 /// a single crate for cluster setup.

@@ -102,10 +102,7 @@ pub struct MonitorReport {
 impl MonitorReport {
     /// Statistics for one operation in the snapshot, if present.
     pub fn get(&self, name: &str) -> Option<OpStat> {
-        self.rows
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| *s)
+        self.rows.iter().find(|(n, _)| n == name).map(|(_, s)| *s)
     }
 }
 

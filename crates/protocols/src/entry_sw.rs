@@ -194,8 +194,7 @@ impl DsmProtocol for EntryConsistency {
             .iter()
             .copied()
             .filter(|&p| {
-                rt.page_table(node).contains(p)
-                    && rt.page_table(node).get(p).modified_since_release
+                rt.page_table(node).contains(p) && rt.page_table(node).get(p).modified_since_release
             })
             .collect();
         protolib::flush_diffs_to_homes(ctx.pm2.sim, node, &rt, &modified, false);

@@ -108,9 +108,14 @@ impl DsmProtocol for ErcSw {
                 page,
                 &targets,
                 Some(node),
+                entry.version,
             );
+            // Remove exactly the copies we invalidated — never clear the
+            // whole set: while invalidate_copyset_and_wait blocks, this
+            // node's server can grant fresh read copies, and wiping them
+            // from the copyset here would leave them stale forever.
             rt.page_table(node).update(page, |e| {
-                e.copyset.clear();
+                e.copyset.retain(|n| !targets.contains(n));
                 e.copyset.insert(node);
                 e.modified_since_release = false;
             });

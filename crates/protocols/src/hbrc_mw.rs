@@ -73,6 +73,14 @@ impl DsmProtocol for HbrcMw {
         // A third-party writer must first push its own modifications to the
         // home node, then drop its copy.
         if rt.frames(node).has(inv.page) && rt.frames(node).has_twin(inv.page) {
+            // Revoke local access *before* computing the diff: this handler
+            // blocks below until the home has integrated the diff, and the
+            // local application thread keeps running meanwhile — a write it
+            // performs after the diff is taken would silently die with the
+            // frame. Protected, such a write faults and refetches instead
+            // (the mprotect-first discipline of real MW implementations).
+            rt.page_table(node).set_access(inv.page, Access::None);
+            ctx.sim.charge(rt.costs().table_update());
             let diff = rt.frames(node).take_twin_diff(inv.page);
             ctx.sim.charge(rt.costs().diff_compute());
             if !diff.is_empty() {
@@ -81,7 +89,8 @@ impl DsmProtocol for HbrcMw {
                 // acknowledge the invalidation, otherwise the invalidator can
                 // proceed (and other nodes can refetch) while the reference
                 // copy is still stale.
-                rt.page_table(node).update(inv.page, |e| e.pending_acks += 1);
+                rt.page_table(node)
+                    .update(inv.page, |e| e.pending_acks += 1);
                 rt.send_diff(ctx.sim, node, home, diff, true);
                 let table = rt.page_table(node);
                 let waiters = table.waiters(inv.page);
@@ -117,7 +126,8 @@ impl DsmProtocol for HbrcMw {
                 continue;
             }
             if rt.page_table(node).access(page) == dsmpm2_core::Access::Write {
-                rt.page_table(node).set_access(page, dsmpm2_core::Access::Read);
+                rt.page_table(node)
+                    .set_access(page, dsmpm2_core::Access::Read);
                 ctx.pm2.sim.charge(rt.costs().table_update());
             }
         }
@@ -139,9 +149,21 @@ impl DsmProtocol for HbrcMw {
             if targets.is_empty() {
                 continue;
             }
-            protolib::invalidate_copyset_and_wait(ctx.pm2.sim, node, &rt, page, &targets, None);
+            let version = rt.page_table(node).get(page).version;
+            protolib::invalidate_copyset_and_wait(
+                ctx.pm2.sim,
+                node,
+                &rt,
+                page,
+                &targets,
+                None,
+                version,
+            );
+            // Drop only the targets just invalidated: copies granted while
+            // the wait above blocked must stay in the copyset or they would
+            // never be invalidated again.
             rt.page_table(node).update(page, |e| {
-                e.copyset.retain(|&n| n == node);
+                e.copyset.retain(|n| !targets.contains(n));
             });
         }
     }

@@ -49,10 +49,13 @@ pub fn replicate_read_migrate_write() -> Arc<dyn DsmProtocol> {
                     fault.page,
                     &targets,
                     Some(node),
+                    entry.version,
                 );
+                // Subtract only the invalidated replicas (a copy granted
+                // during the invalidation wait must stay tracked).
                 rt.page_table(node).update(fault.page, |e| {
                     e.access = Access::Write;
-                    e.copyset.clear();
+                    e.copyset.retain(|n| !targets.contains(n));
                     e.copyset.insert(node);
                 });
                 ctx.pm2.sim.charge(rt.costs().table_update());

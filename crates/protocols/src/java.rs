@@ -106,10 +106,17 @@ impl DsmProtocol for JavaConsistency {
         // Push any pending recorded modifications before dropping the copy,
         // and wait for the home to integrate them before acknowledging.
         if rt.frames(node).has(inv.page) && rt.frames(node).has_recorded(inv.page) {
+            // Same discipline as hbrc_mw: drop local access before the
+            // blocking diff push, so concurrent local writes fault and
+            // refetch instead of landing in the frame we are about to evict.
+            rt.page_table(node)
+                .set_access(inv.page, dsmpm2_core::Access::None);
+            ctx.sim.charge(rt.costs().table_update());
             let diff = rt.frames(node).take_recorded_diff(inv.page);
             if !diff.is_empty() {
                 let home = rt.page_meta(inv.page).home;
-                rt.page_table(node).update(inv.page, |e| e.pending_acks += 1);
+                rt.page_table(node)
+                    .update(inv.page, |e| e.pending_acks += 1);
                 rt.send_diff(ctx.sim, node, home, diff, true);
                 let table = rt.page_table(node);
                 let waiters = table.waiters(inv.page);

@@ -78,7 +78,8 @@ impl DsmProtocol for LiHudak {
         if transfer.grant == Access::Write {
             // Becoming the single writer: install the data, invalidate every
             // other copy, and only then grant write access to local threads.
-            rt.frames(node).install(transfer.page, transfer.data.clone());
+            rt.frames(node)
+                .install(transfer.page, transfer.data.clone());
             let targets: Vec<_> = transfer
                 .copyset
                 .iter()
@@ -92,17 +93,21 @@ impl DsmProtocol for LiHudak {
                 transfer.page,
                 &targets,
                 Some(node),
+                transfer.version,
             );
             rt.page_table(node).update(transfer.page, |e| {
                 e.access = Access::Write;
                 e.owned = true;
                 e.prob_owner = node;
+                e.queue_tail = None;
                 e.copyset.clear();
                 e.copyset.insert(node);
                 e.version = transfer.version;
+                e.owner_version = e.owner_version.max(transfer.version);
                 e.pending_fetch = false;
             });
             ctx.sim.charge(rt.costs().install_overhead());
+            protolib::notify_home_acquired(ctx.sim, node, &rt, transfer.page, transfer.version);
             rt.page_table(node)
                 .waiters(transfer.page)
                 .notify_all(&ctx.sim.ctl(), dsmpm2_core::SimDuration::ZERO);

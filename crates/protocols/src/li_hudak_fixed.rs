@@ -106,7 +106,8 @@ impl DsmProtocol for LiHudakFixed {
         // Fixed manager: ordinary nodes keep routing through the manager; the
         // manager itself keeps the true owner recorded by the invalidation.
         if node != home {
-            rt.page_table(node).update(inv.page, |e| e.prob_owner = home);
+            rt.page_table(node)
+                .update(inv.page, |e| e.prob_owner = home);
         }
     }
 
@@ -126,17 +127,28 @@ impl DsmProtocol for LiHudakFixed {
                 .copied()
                 .filter(|&n| n != node)
                 .collect();
-            protolib::invalidate_copyset_and_wait(ctx.sim, node, &rt, page, &targets, Some(node));
+            protolib::invalidate_copyset_and_wait(
+                ctx.sim,
+                node,
+                &rt,
+                page,
+                &targets,
+                Some(node),
+                transfer.version,
+            );
             rt.page_table(node).update(page, |e| {
                 e.access = Access::Write;
                 e.owned = true;
                 e.prob_owner = node;
+                e.queue_tail = None;
                 e.copyset.clear();
                 e.copyset.insert(node);
                 e.version = transfer.version;
+                e.owner_version = e.owner_version.max(transfer.version);
                 e.pending_fetch = false;
             });
             ctx.sim.charge(rt.costs().install_overhead());
+            protolib::notify_home_acquired(ctx.sim, node, &rt, page, transfer.version);
             rt.page_table(node)
                 .waiters(page)
                 .notify_all(&ctx.sim.ctl(), dsmpm2_core::SimDuration::ZERO);

@@ -277,7 +277,10 @@ mod tests {
         assert!(rt.page_table(NodeId(2)).access(page).permits(Access::Read));
         assert!(rt.page_table(NodeId(2)).get(page).copyset.len() >= 2);
         let stats = rt.stats().snapshot();
-        assert!(stats.invalidations >= 1, "copies must have been invalidated");
+        assert!(
+            stats.invalidations >= 1,
+            "copies must have been invalidated"
+        );
     }
 
     /// migrate_thread: the faulting thread moves to the data; no page ever
@@ -302,7 +305,10 @@ mod tests {
         assert_eq!(stats.page_transfers, 0);
         assert_eq!(stats.thread_migrations, 1);
         assert_eq!(stats.write_faults, 1);
-        assert_eq!(stats.read_faults, 0, "second access is local after migration");
+        assert_eq!(
+            stats.read_faults, 0,
+            "second access is local after migration"
+        );
     }
 
     /// erc_sw: invalidations happen at release, and a reader that
@@ -501,14 +507,10 @@ mod tests {
     fn same_program_runs_on_every_network_profile() {
         for profile in dsmpm2_pm2::profiles::all() {
             let engine = Engine::new();
-            let rt = DsmRuntime::new(
-                &engine,
-                dsmpm2_core::Pm2Config::new(2, profile.clone()),
-            );
+            let rt = DsmRuntime::new(&engine, dsmpm2_core::Pm2Config::new(2, profile.clone()));
             let builtins = register_builtin_protocols(&rt);
             rt.set_default_protocol(builtins.li_hudak);
-            let addr =
-                rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+            let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
             let b = rt.create_barrier(2, None);
             let ok = StdArc::new(Mutex::new(false));
             rt.spawn_dsm_thread(NodeId(0), "w", move |ctx| {
@@ -530,9 +532,7 @@ mod tests {
 #[cfg(test)]
 mod extension_tests {
     use super::*;
-    use dsmpm2_core::{
-        DsmAttr, DsmRuntime, Engine, HomePolicy, NodeId, Pm2Config, SimDuration,
-    };
+    use dsmpm2_core::{DsmAttr, DsmRuntime, Engine, HomePolicy, NodeId, Pm2Config, SimDuration};
     use parking_lot::Mutex;
     use std::sync::Arc as StdArc;
 
@@ -546,7 +546,10 @@ mod extension_tests {
     #[test]
     fn extension_registration_exposes_names() {
         let (_engine, rt, _b, ext) = setup(2);
-        assert_eq!(rt.protocol_by_name("li_hudak_fixed"), Some(ext.li_hudak_fixed));
+        assert_eq!(
+            rt.protocol_by_name("li_hudak_fixed"),
+            Some(ext.li_hudak_fixed)
+        );
         assert_eq!(rt.protocol_by_name("entry_sw"), Some(ext.entry_sw));
         assert_eq!(rt.protocol_by_name("hlrc_notices"), Some(ext.hlrc_notices));
         assert_eq!(ext.by_name("entry_sw"), Some(ext.entry_sw));
@@ -661,7 +664,10 @@ mod extension_tests {
         let observed = observed.lock();
         assert_eq!(observed.len(), 2);
         for &v in observed.iter() {
-            assert_eq!(v, 4242, "acquiring the lock makes the bound region consistent");
+            assert_eq!(
+                v, 4242,
+                "acquiring the lock makes the bound region consistent"
+            );
         }
         let stats = rt.stats().snapshot();
         assert!(stats.diffs_sent >= 1, "release publishes through a diff");
@@ -740,7 +746,7 @@ mod extension_tests {
             let before = ctx.read::<u64>(addr); // stale copy taken
             ctx.dsm_barrier(b);
             ctx.dsm_barrier(b); // writer has released by now
-            // Without synchronizing, the stale copy is still visible (lazy).
+                                // Without synchronizing, the stale copy is still visible (lazy).
             let still_stale = ctx.read::<u64>(addr);
             assert_eq!(still_stale, before, "no eager invalidation reached us");
             ctx.dsm_lock(lock);
@@ -762,7 +768,10 @@ mod extension_tests {
         engine.run().unwrap();
         let (before, after) = *observed.lock();
         assert_eq!(before, 0);
-        assert_eq!(after, 1001, "the acquire consumed the write notice and refetched");
+        assert_eq!(
+            after, 1001,
+            "the acquire consumed the write notice and refetched"
+        );
         let stats = rt.stats().snapshot();
         assert_eq!(
             stats.invalidations, 0,

@@ -157,7 +157,8 @@ impl Shared {
                     slot_for_thread.mark_finished();
                     return;
                 }
-                let mut handle = SimHandle::new(Arc::clone(&shared), tid, Arc::clone(&slot_for_thread));
+                let mut handle =
+                    SimHandle::new(Arc::clone(&shared), tid, Arc::clone(&slot_for_thread));
                 let result = panic::catch_unwind(AssertUnwindSafe(|| {
                     f(&mut handle);
                     // Fold any compute charged after the last yield into the
@@ -392,7 +393,7 @@ impl Engine {
             }
             // Periodically reclaim the OS threads of finished simulated
             // threads so message-heavy runs do not exhaust the thread quota.
-            if processed % 512 == 0 {
+            if processed.is_multiple_of(512) {
                 shared.reap_finished();
             }
 
@@ -406,7 +407,11 @@ impl Engine {
 
             match event.kind {
                 EventKind::Wake(tid) => {
-                    let slot = shared.threads.lock().get(&tid.0).map(|e| Arc::clone(&e.slot));
+                    let slot = shared
+                        .threads
+                        .lock()
+                        .get(&tid.0)
+                        .map(|e| Arc::clone(&e.slot));
                     if let Some(slot) = slot {
                         if !slot.is_finished() {
                             slot.wait_until_parked_or_finished();

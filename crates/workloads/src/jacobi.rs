@@ -63,7 +63,7 @@ fn cell_addr(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
 
 /// Run the Jacobi kernel under `protocol_name`.
 pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
-    assert!(config.size >= 4 && config.size % config.nodes == 0);
+    assert!(config.size >= 4 && config.size.is_multiple_of(config.nodes));
     // Each row occupies a whole number of pages only if size*8 >= 4096; for
     // small grids rows share pages, which is fine (more sharing, not less).
     let engine = Engine::new();

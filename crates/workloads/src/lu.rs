@@ -173,6 +173,34 @@ mod tests {
     use super::*;
 
     #[test]
+    fn lu_concurrent_write_faults_on_shared_pages_complete() {
+        // Regression: with 3+ nodes and a matrix spanning multiple pages,
+        // rows interleave across nodes within each page and every step
+        // produces concurrent write faults on the same pages. The original
+        // request routing parked requests at arbitrary fetching nodes and
+        // let late invalidations rewind ownership hints, which deadlocked
+        // the single-writer protocols (li_hudak, li_hudak_fixed, erc_sw)
+        // here. Ownership acquisition is now serialized by the page's home
+        // manager.
+        let config = LuConfig {
+            n: 24,
+            nodes: 4,
+            network: dsmpm2_madeleine::profiles::bip_myrinet(),
+            compute_per_update_us: 0.02,
+        };
+        let oracle = sequential_checksum(config.n);
+        for proto in ["li_hudak", "li_hudak_fixed", "erc_sw"] {
+            let result = run_lu(&config, proto);
+            assert!(
+                (result.checksum - oracle).abs() < 1e-6,
+                "{proto}: {} != oracle {}",
+                result.checksum,
+                oracle
+            );
+        }
+    }
+
+    #[test]
     fn oracle_factors_a_diagonally_dominant_matrix() {
         let n = 8;
         // The factorisation must leave finite values everywhere.
@@ -197,7 +225,13 @@ mod tests {
             for j in 0..n {
                 let mut acc = 0.0;
                 for k in 0..=i.min(j) {
-                    let l = if k == i { 1.0 } else if k < i { lu[i * n + k] } else { 0.0 };
+                    let l = if k == i {
+                        1.0
+                    } else if k < i {
+                        lu[i * n + k]
+                    } else {
+                        0.0
+                    };
                     let u = if k <= j { lu[k * n + j] } else { 0.0 };
                     acc += l * u;
                 }

@@ -23,8 +23,8 @@ use dsmpm2_sim::{SimDuration, SimTime};
 
 /// Names of the 29 eastern-most US states used by the instance.
 pub const STATES: [&str; 29] = [
-    "ME", "NH", "VT", "MA", "RI", "CT", "NY", "NJ", "PA", "DE", "MD", "VA", "WV", "OH", "MI",
-    "IN", "KY", "TN", "NC", "SC", "GA", "FL", "AL", "MS", "WI", "IL", "LA", "AR", "MO",
+    "ME", "NH", "VT", "MA", "RI", "CT", "NY", "NJ", "PA", "DE", "MD", "VA", "WV", "OH", "MI", "IN",
+    "KY", "TN", "NC", "SC", "GA", "FL", "AL", "MS", "WI", "IL", "LA", "AR", "MO",
 ];
 
 /// Adjacency list (pairs of indices into [`STATES`]) of the instance graph.
@@ -121,6 +121,7 @@ pub fn solve_sequential() -> u64 {
             *best = cost;
             return;
         }
+        #[allow(clippy::needless_range_loop)]
         for c in 0..4 {
             if neighbours[state]
                 .iter()
@@ -129,7 +130,14 @@ pub fn solve_sequential() -> u64 {
                 continue;
             }
             colors[state] = c;
-            dfs(state + 1, n, neighbours, colors, cost + COLOR_COSTS[c], best);
+            dfs(
+                state + 1,
+                n,
+                neighbours,
+                colors,
+                cost + COLOR_COSTS[c],
+                best,
+            );
             colors[state] = usize::MAX;
         }
     }
@@ -326,6 +334,7 @@ pub fn run_map_coloring(config: &ColoringConfig, protocol_name: &str) -> Colorin
                 // Read the state's neighbour list through get (object access).
                 let obj = state_objects[state];
                 let degree = heap.get(ctx, obj, 0) as usize;
+                #[allow(clippy::needless_range_loop)]
                 for c in 0..4usize {
                     let mut conflict = false;
                     for i in 0..degree {
@@ -456,7 +465,10 @@ mod tests {
         let config = ColoringConfig::small(2, 12);
         let ic = run_map_coloring(&config, "java_ic");
         let pf = run_map_coloring(&config, "java_pf");
-        assert_eq!(ic.best_cost, pf.best_cost, "both protocols find the same optimum");
+        assert_eq!(
+            ic.best_cost, pf.best_cost,
+            "both protocols find the same optimum"
+        );
         assert!(ic.inline_checks > 0);
         assert_eq!(pf.inline_checks, 0);
         assert!(pf.faults > 0);

@@ -85,7 +85,7 @@ fn cell(base: DsmAddr, n: usize, row: usize, col: usize) -> DsmAddr {
 /// Run the blocked matrix multiply under `protocol_name` (any registered
 /// built-in or extension protocol).
 pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
-    assert!(config.n >= config.nodes && config.n % config.nodes == 0);
+    assert!(config.n >= config.nodes && config.n.is_multiple_of(config.nodes));
     let engine = Engine::new();
     let rt = DsmRuntime::new(
         &engine,
@@ -170,6 +170,32 @@ mod tests {
     fn sequential_oracle_is_deterministic() {
         assert_eq!(sequential_checksum(8), sequential_checksum(8));
         assert_ne!(sequential_checksum(8), 0.0);
+    }
+
+    #[test]
+    fn matmul_multiple_writers_per_page_across_pages() {
+        // Regression: with 4 nodes and n=32, C/A/B each span 2 pages with 2
+        // concurrent writers per page. The home's release-time invalidation
+        // used to reach a third-party writer mid-phase and evict its frame
+        // while the application thread was still writing into it, silently
+        // losing those writes (fixed by revoking access before the blocking
+        // diff push in hbrc_mw's invalidate_server).
+        let config = MatmulConfig {
+            n: 32,
+            nodes: 4,
+            network: dsmpm2_madeleine::profiles::bip_myrinet(),
+            compute_per_madd_us: 0.01,
+        };
+        let oracle = sequential_checksum(config.n);
+        for proto in ["hbrc_mw", "hlrc_notices"] {
+            let result = run_matmul(&config, proto);
+            assert!(
+                (result.checksum - oracle).abs() < 1e-6,
+                "{proto}: {} != oracle {}",
+                result.checksum,
+                oracle
+            );
+        }
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn measure_read_fault(network: NetworkModel, policy: FaultPolicy) -> FaultBr
         *elapsed2.lock() = ctx.pm2.now().since(start);
     });
     let mut engine = engine;
-    engine.run().expect("fault microbenchmark must not deadlock");
+    engine
+        .run()
+        .expect("fault microbenchmark must not deadlock");
 
     let total_us = elapsed.lock().as_micros_f64();
     let costs = rt.costs();

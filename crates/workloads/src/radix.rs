@@ -93,7 +93,7 @@ fn hist_addr(base: DsmAddr, node: usize, bucket: usize) -> DsmAddr {
 
 /// Run the parallel radix sort under `protocol_name`.
 pub fn run_radix(config: &RadixConfig, protocol_name: &str) -> RadixResult {
-    assert!(config.keys % config.nodes == 0 && config.keys > 0);
+    assert!(config.keys.is_multiple_of(config.nodes) && config.keys > 0);
     let engine = Engine::new();
     let rt = DsmRuntime::new(
         &engine,
@@ -127,8 +127,8 @@ pub fn run_radix(config: &RadixConfig, protocol_name: &str) -> RadixResult {
             let first = node * keys_per_node;
             let last = first + keys_per_node;
             // Deal the input keys into the shared source array.
-            for i in first..last {
-                ctx.write::<u64>(key_addr(src, i), input[i]);
+            for (i, &key) in input.iter().enumerate().take(last).skip(first) {
+                ctx.write::<u64>(key_addr(src, i), key);
             }
             ctx.dsm_barrier(barrier);
 

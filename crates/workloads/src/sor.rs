@@ -104,7 +104,7 @@ fn cell(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
 /// Run red-black SOR under `protocol_name` (any registered built-in or
 /// extension protocol).
 pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
-    assert!(config.size >= 4 && config.size % config.nodes == 0);
+    assert!(config.size >= 4 && config.size.is_multiple_of(config.nodes));
     let engine = Engine::new();
     let rt = DsmRuntime::new(
         &engine,
@@ -190,6 +190,32 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sor_read_copies_granted_during_release_are_tracked() {
+        // Regression: with 4 nodes and a 2-page grid, a read copy granted
+        // while the owner's release-time invalidation was in flight used to
+        // be wiped from the copyset bookkeeping, leaving the reader with a
+        // permanently stale boundary row under erc_sw.
+        let config = SorConfig {
+            size: 32,
+            iterations: 4,
+            omega: 1.25,
+            nodes: 4,
+            network: dsmpm2_madeleine::profiles::bip_myrinet(),
+            compute_per_cell_us: 0.05,
+        };
+        let oracle = sequential_checksum(&config);
+        for proto in ["erc_sw", "hbrc_mw"] {
+            let result = run_sor(&config, proto);
+            assert!(
+                (result.checksum - oracle).abs() < 1e-6,
+                "{proto}: {} != oracle {}",
+                result.checksum,
+                oracle
+            );
+        }
+    }
 
     #[test]
     fn sequential_oracle_heats_the_interior() {

@@ -43,6 +43,7 @@ impl TspInstance {
         assert!(n >= 3, "TSP needs at least 3 cities");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut dist = vec![vec![0u32; n]; n];
+        #[allow(clippy::needless_range_loop)]
         for i in 0..n {
             for j in (i + 1)..n {
                 let d = rng.gen_range(1..=100u32);
@@ -236,7 +237,10 @@ impl WorkerSearch<'_> {
         self.charge_expansion(ctx);
         // Periodically refresh the bound from shared memory (a read fault if
         // our copy was invalidated, a cheap local read otherwise).
-        if self.expanded % self.config.bound_check_interval == 0 {
+        if self
+            .expanded
+            .is_multiple_of(self.config.bound_check_interval)
+        {
             let global = read_bound(ctx, &self.shared);
             if global < self.local_best {
                 self.local_best = global;
@@ -443,7 +447,10 @@ mod tests {
         let page_based = run_tsp(&config, "li_hudak");
         let migrating = run_tsp(&config, "migrate_thread");
         assert_eq!(page_based.migrations, 0);
-        assert!(migrating.migrations >= 2, "threads must migrate to the data");
+        assert!(
+            migrating.migrations >= 2,
+            "threads must migrate to the data"
+        );
         assert_eq!(migrating.stats.page_transfers, 0);
         // Figure 4's shape: the migration protocol is slower because all the
         // compute piles up on one node.

@@ -52,12 +52,13 @@ fn main() {
     // Dynamic protocol selection, as in the paper: pick one of several
     // registered protocols at run time without recompiling.
     let use_hybrid = std::env::args().all(|a| a != "--builtin");
-    let selected = if use_hybrid { my_hybrid } else { builtins.li_hudak };
+    let selected = if use_hybrid {
+        my_hybrid
+    } else {
+        builtins.li_hudak
+    };
     rt.set_default_protocol(selected);
-    println!(
-        "selected protocol: {}",
-        rt.protocol(selected).name()
-    );
+    println!("selected protocol: {}", rt.protocol(selected).name());
 
     // A read-mostly table homed on node 0, plus a write-intensive cell.
     let table = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));

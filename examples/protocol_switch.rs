@@ -88,6 +88,8 @@ fn main() {
     assert_eq!(grand_total, expected_total);
 
     let stats = rt.stats().snapshot();
-    println!("\nphase 1 moved pages ({} transfers); phase 2 moved threads ({} migrations)",
-        stats.page_transfers, stats.thread_migrations);
+    println!(
+        "\nphase 1 moved pages ({} transfers); phase 2 moved threads ({} migrations)",
+        stats.page_transfers, stats.thread_migrations
+    );
 }

@@ -50,5 +50,8 @@ fn main() {
     let report = engine.run().expect("simulation completed");
     println!("\nvirtual time: {}", report.final_time);
     println!("DSM statistics: {:#?}", rt.stats().snapshot());
-    println!("\npost-mortem monitor:\n{}", rt.cluster().monitor().report());
+    println!(
+        "\npost-mortem monitor:\n{}",
+        rt.cluster().monitor().report()
+    );
 }

@@ -8,7 +8,13 @@
 use dsm_pm2::workloads::{lu, matmul, radix, sor};
 
 fn main() {
-    let protocols = ["li_hudak", "li_hudak_fixed", "erc_sw", "hbrc_mw", "hlrc_notices"];
+    let protocols = [
+        "li_hudak",
+        "li_hudak_fixed",
+        "erc_sw",
+        "hbrc_mw",
+        "hlrc_notices",
+    ];
     println!("SPLASH-2-style kernels, 4 nodes, BIP/Myrinet (virtual milliseconds)\n");
     println!(
         "{:<14} {:>14} {:>14} {:>14} {:>14} {:>14}",
@@ -25,7 +31,10 @@ fn main() {
     print!("{:<14}", "matmul 32x32");
     for proto in protocols {
         let r = matmul::run_matmul(&mm, proto);
-        assert!((r.checksum - mm_oracle).abs() < 1e-6, "{proto} diverged on matmul");
+        assert!(
+            (r.checksum - mm_oracle).abs() < 1e-6,
+            "{proto} diverged on matmul"
+        );
         print!(" {:>13.2}", r.elapsed.as_micros_f64() / 1000.0);
     }
     println!();
@@ -42,7 +51,10 @@ fn main() {
     print!("{:<14}", "sor 32x32");
     for proto in protocols {
         let r = sor::run_sor(&sor_config, proto);
-        assert!((r.checksum - sor_oracle).abs() < 1e-6, "{proto} diverged on sor");
+        assert!(
+            (r.checksum - sor_oracle).abs() < 1e-6,
+            "{proto} diverged on sor"
+        );
         print!(" {:>13.2}", r.elapsed.as_micros_f64() / 1000.0);
     }
     println!();
@@ -57,7 +69,10 @@ fn main() {
     print!("{:<14}", "lu 24x24");
     for proto in protocols {
         let r = lu::run_lu(&lu_config, proto);
-        assert!((r.checksum - lu_oracle).abs() < 1e-6, "{proto} diverged on lu");
+        assert!(
+            (r.checksum - lu_oracle).abs() < 1e-6,
+            "{proto} diverged on lu"
+        );
         print!(" {:>13.2}", r.elapsed.as_micros_f64() / 1000.0);
     }
     println!();

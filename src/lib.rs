@@ -63,8 +63,8 @@ pub use dsmpm2_workloads as workloads;
 /// Convenient glob-import for applications: `use dsm_pm2::prelude::*;`.
 pub mod prelude {
     pub use dsmpm2_core::{
-        Access, BarrierId, DsmAttr, DsmRuntime, DsmThreadCtx, HomePolicy, LockId, PageId,
-        ProtocolId, DsmAddr, PAGE_SIZE,
+        Access, BarrierId, DsmAddr, DsmAttr, DsmRuntime, DsmThreadCtx, HomePolicy, LockId, PageId,
+        ProtocolId, PAGE_SIZE,
     };
     pub use dsmpm2_madeleine::{profiles, NetworkModel, NodeId};
     pub use dsmpm2_pm2::{Pm2Cluster, Pm2Config};

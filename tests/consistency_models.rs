@@ -44,7 +44,11 @@ fn sequential_consistency_message_passing_pattern() {
         *obs.lock() = Some(ctx.read::<u64>(data));
     });
     engine.run().unwrap();
-    assert_eq!(*observed.lock(), Some(123), "write to data visible once flag is");
+    assert_eq!(
+        *observed.lock(),
+        Some(123),
+        "write to data visible once flag is"
+    );
 }
 
 /// All four page-based/migration protocols keep a lock-protected counter
@@ -132,10 +136,7 @@ fn barrier_flushes_for_release_consistency_protocols() {
     for proto_name in ["erc_sw", "hbrc_mw", "li_hudak"] {
         let (mut engine, rt, protos) = setup(4);
         rt.set_default_protocol(protos.by_name(proto_name).unwrap());
-        let table = rt.dsm_malloc(
-            4 * 4096,
-            DsmAttr::default().home(HomePolicy::RoundRobin),
-        );
+        let table = rt.dsm_malloc(4 * 4096, DsmAttr::default().home(HomePolicy::RoundRobin));
         let barrier = rt.create_barrier(4, None);
         let sums = Arc::new(Mutex::new(Vec::new()));
         for node in 0..4usize {
@@ -180,7 +181,8 @@ fn migrate_thread_composes_with_locks() {
     }
     engine.run().unwrap();
     let mut buf = [0u8; 8];
-    rt.frames(NodeId(2)).read(cell.page(), cell.offset(), &mut buf);
+    rt.frames(NodeId(2))
+        .read(cell.page(), cell.offset(), &mut buf);
     assert_eq!(u64::from_le_bytes(buf), 12);
     assert_eq!(rt.stats().snapshot().page_transfers, 0);
 }

@@ -114,17 +114,26 @@ fn splash_kernels_agree_with_oracles_under_extension_protocols() {
     let mm = matmul::MatmulConfig::small(2);
     let mm_oracle = matmul::sequential_checksum(mm.n);
     let r = matmul::run_matmul(&mm, "hlrc_notices");
-    assert!((r.checksum - mm_oracle).abs() < 1e-6, "matmul/hlrc_notices diverged");
+    assert!(
+        (r.checksum - mm_oracle).abs() < 1e-6,
+        "matmul/hlrc_notices diverged"
+    );
 
     let sor_config = sor::SorConfig::small(2);
     let sor_oracle = sor::sequential_checksum(&sor_config);
     let r = sor::run_sor(&sor_config, "li_hudak_fixed");
-    assert!((r.checksum - sor_oracle).abs() < 1e-6, "sor/li_hudak_fixed diverged");
+    assert!(
+        (r.checksum - sor_oracle).abs() < 1e-6,
+        "sor/li_hudak_fixed diverged"
+    );
 
     let lu_config = lu::LuConfig::small(2);
     let lu_oracle = lu::sequential_checksum(lu_config.n);
     let r = lu::run_lu(&lu_config, "hlrc_notices");
-    assert!((r.checksum - lu_oracle).abs() < 1e-6, "lu/hlrc_notices diverged");
+    assert!(
+        (r.checksum - lu_oracle).abs() < 1e-6,
+        "lu/hlrc_notices diverged"
+    );
 }
 
 /// Radix sort remains correct when the scatter phase runs under the fixed

@@ -73,7 +73,12 @@ fn figure5_shape_on_reduced_instance() {
     let ic = run_map_coloring(&config, "java_ic");
     let pf = run_map_coloring(&config, "java_pf");
     assert_eq!(ic.best_cost, pf.best_cost);
-    assert!(pf.elapsed < ic.elapsed, "pf {} vs ic {}", pf.elapsed, ic.elapsed);
+    assert!(
+        pf.elapsed < ic.elapsed,
+        "pf {} vs ic {}",
+        pf.elapsed,
+        ic.elapsed
+    );
     assert!(ic.inline_checks > pf.inline_checks);
     assert!(pf.faults > 0);
 }
@@ -107,13 +112,22 @@ fn pm2_micro_measurements_match_paper() {
         // RPC latency.
         let engine = Engine::new();
         let cluster = Pm2Cluster::new(&engine, Pm2Config::new(2, profile.clone()));
-        cluster.register_service(service_fn("null", false, |_c, _p| Some(RpcReply::minimal(()))));
+        cluster.register_service(service_fn("null", false, |_c, _p| {
+            Some(RpcReply::minimal(()))
+        }));
         let rpc_elapsed = Arc::new(Mutex::new(SimDuration::ZERO));
         let e = rpc_elapsed.clone();
         let c = cluster.clone();
         engine.spawn("caller", move |h| {
             let start = h.now();
-            let _ = c.rpc_call(h, NodeId(0), NodeId(1), "null", Box::new(()), RpcClass::Minimal);
+            let _ = c.rpc_call(
+                h,
+                NodeId(0),
+                NodeId(1),
+                "null",
+                Box::new(()),
+                RpcClass::Minimal,
+            );
             *e.lock() = h.now().since(start);
         });
         let mut engine = engine;

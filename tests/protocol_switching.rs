@@ -76,7 +76,10 @@ fn region_switches_from_page_replication_to_thread_migration_at_a_barrier() {
     engine.run().unwrap();
     let observations = observations.lock();
     for &(label, v, _) in observations.iter() {
-        assert_eq!(v, 5, "{label} must still observe the value written before the switch");
+        assert_eq!(
+            v, 5,
+            "{label} must still observe the value written before the switch"
+        );
     }
     let (_, _, node_after) = observations
         .iter()
@@ -119,6 +122,48 @@ fn switching_an_unallocated_region_panics() {
 /// Values published before the switch remain visible after it, and a replica
 /// that still carries an unflushed twin diff when the switch happens is
 /// folded into the home copy rather than silently dropped.
+/// Regression: a single-writer owner whose access was downgraded to
+/// read-only (by serving a read copy) still holds the only current copy of
+/// the page; the switch must consolidate that frame into the home instead of
+/// dropping it with the replica.
+#[test]
+fn switch_preserves_a_downgraded_owners_copy() {
+    let (mut engine, rt, protos, ext) = setup(3);
+    rt.set_default_protocol(protos.li_hudak);
+    let addr = rt.dsm_malloc(4096, DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))));
+    let b = rt.create_barrier(3, None);
+
+    let rt_for_switch = rt.clone();
+    let hlrc = ext.hlrc_notices;
+    // Node 1 becomes the owner, then node 2's read downgrades node 1 to
+    // read-only. The switch runs at the barrier; afterwards every node must
+    // still observe node 1's value.
+    rt.spawn_dsm_thread(NodeId(1), "writer", move |ctx| {
+        ctx.write::<u64>(addr, 77);
+        ctx.dsm_barrier(b);
+        ctx.dsm_barrier(b);
+        assert_eq!(ctx.read::<u64>(addr), 77);
+    });
+    rt.spawn_dsm_thread(NodeId(2), "reader", move |ctx| {
+        ctx.dsm_barrier(b);
+        assert_eq!(ctx.read::<u64>(addr), 77);
+        ctx.dsm_barrier(b);
+        assert_eq!(ctx.read::<u64>(addr), 77);
+    });
+    rt.spawn_dsm_thread(NodeId(0), "switcher", move |ctx| {
+        ctx.dsm_barrier(b);
+        // Wait for node 2's read to land (downgrading node 1) before
+        // switching: the second barrier brackets the quiescent point.
+        ctx.dsm_barrier(b);
+        let switched = rt_for_switch.switch_region_protocol(addr, 4096, hlrc);
+        assert_eq!(switched, 1);
+        assert_eq!(ctx.read::<u64>(addr), 77);
+    });
+    engine
+        .run()
+        .expect("switch with downgraded owner completes");
+}
+
 #[test]
 fn switch_preserves_values_and_folds_pending_diffs_into_the_home() {
     let (mut engine, rt, protos, _ext) = setup(2);
@@ -131,7 +176,8 @@ fn switch_preserves_values_and_folds_pending_diffs_into_the_home() {
     // Simulate a node-1 replica with an unflushed modification, exactly the
     // state a multiple-writer protocol leaves between a write and the next
     // release: a twin plus a dirtied working copy.
-    rt.frames(NodeId(1)).install(page, rt.frames(NodeId(0)).snapshot(page));
+    rt.frames(NodeId(1))
+        .install(page, rt.frames(NodeId(0)).snapshot(page));
     rt.page_table(NodeId(1)).update(page, |e| {
         e.access = dsm_pm2::core::Access::Write;
         e.modified_since_release = true;
@@ -160,7 +206,11 @@ fn switch_preserves_values_and_folds_pending_diffs_into_the_home() {
         s.lock().1 = ctx.read::<u64>(addr.add(16));
     });
     engine.run().unwrap();
-    assert_eq!(*seen.lock(), (99, 99), "the pending diff reached the home across the switch");
+    assert_eq!(
+        *seen.lock(),
+        (99, 99),
+        "the pending diff reached the home across the switch"
+    );
 }
 
 /// Little helper so the white-box test above can build raw page bytes without

@@ -1,0 +1,265 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the benches use (`benchmark_group`, `sample_size`,
+//! `bench_with_input`, `bench_function`, `BenchmarkId`, the `criterion_group!`
+//! / `criterion_main!` macros and `black_box`) with simple wall-clock timing:
+//! each benchmark runs `sample_size` samples after one warm-up iteration and
+//! reports the mean and min per-iteration time. No statistics, plots or
+//! baselines — the point is that `cargo bench` compiles, runs and prints
+//! comparable numbers offline. Respects `--bench <filter>`-style positional
+//! filters by substring match on the benchmark id.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box as _std_black_box;
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter display value.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the measured closure; [`Bencher::iter`] runs and times it.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and min per-iteration time recorded by the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Run `routine` once as warm-up, then time `samples` further runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        hint::black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            hint::black_box(routine());
+            let elapsed = start.elapsed();
+            total += elapsed;
+            min = min.min(elapsed);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a Criterion,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's floor of 10 is not
+    /// enforced; the shim honours exactly what was asked).
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores measurement time.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `routine`, handing it `input` by reference.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        routine(&mut bencher, input);
+        report(&full, self.samples, bencher.result);
+        self
+    }
+
+    /// Benchmark `routine` with no input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            samples: self.samples,
+            result: None,
+        };
+        routine(&mut bencher);
+        report(&full, self.samples, bencher.result);
+        self
+    }
+
+    /// End the group (marker for parity with criterion).
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, samples: usize, result: Option<(Duration, Duration)>) {
+    match result {
+        Some((mean, min)) => println!(
+            "bench {id:<60} mean {:>12} min {:>12} ({samples} samples)",
+            format_duration(mean),
+            format_duration(min),
+        ),
+        None => println!("bench {id:<60} (no measurement: iter() never called)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter positionally; `--bench`
+        // and other criterion flags the shim doesn't implement are skipped.
+        let mut filter = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--bench" || arg == "--profile-time" || arg == "--save-baseline" {
+                args.next();
+            } else if !arg.starts_with('-') {
+                filter = Some(arg);
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            samples: 100,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.matches(id) {
+            let mut bencher = Bencher {
+                samples: 100,
+                result: None,
+            };
+            routine(&mut bencher);
+            report(id, 100, bencher.result);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Bundle benchmark functions into a callable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running each group (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_timing() {
+        let mut b = Bencher {
+            samples: 3,
+            result: None,
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        let (mean, min) = b.result.unwrap();
+        assert!(min >= Duration::from_micros(50));
+        assert!(mean >= min);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,300 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with an optional `#![proptest_config(...)]` header, `prop_assert!` /
+//! `prop_assert_eq!`, `any::<T>()` for integer types, integer-range
+//! strategies, tuple strategies, and `proptest::collection::vec`.
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! seeds: each test samples `cases` inputs from an RNG seeded
+//! deterministically from the test's name, so failures reproduce run-to-run.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG handed to strategies; deterministic per test name.
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Seed from a test name (stable across runs: FNV-1a of the bytes).
+    pub fn deterministic(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRng {
+            inner: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// Sample an inclusive integer span via the rand shim.
+    pub fn gen_range_u64(&mut self, low: u64, high: u64) -> u64 {
+        self.inner.gen_range(low..=high)
+    }
+
+    /// Sample an inclusive signed span via the rand shim.
+    pub fn gen_range_i64(&mut self, low: i64, high: i64) -> i64 {
+        self.inner.gen_range(low..=high)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy_unsigned {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.gen_range_u64(self.start as u64, self.end as u64 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range_u64(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_range_strategy_signed {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.gen_range_i64(self.start as i64, self.end as i64 - 1) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range_i64(*self.start() as i64, *self.end() as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_unsigned!(u8, u16, u32, u64, usize);
+impl_range_strategy_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+/// Types with a canonical "anything" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen_range_u64(0, <$t>::MAX as u64) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen_range_u64(0, 1) == 1
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The "anything goes" strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        min_len: usize,
+        max_len: usize,
+    }
+
+    /// `vec(element_strategy, len_range)` — real-proptest-shaped constructor.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy {
+            element,
+            min_len: len.start,
+            max_len: len.end - 1,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range_u64(self.min_len as u64, self.max_len as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random inputs per property test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the simulation-heavy
+        // property tests fast while still exploring the space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// `proptest! { ... }` — defines `#[test]` functions that run their body over
+/// `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        config = ($cfg:expr);
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__config.cases {
+                    let ($($arg,)+) = (
+                        $($crate::Strategy::sample(&($strat), &mut __rng),)+
+                    );
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!` — plain `assert!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain `assert_eq!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain `assert_ne!` (no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 0usize..5, pair in (1u32..4, 0u8..2)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((1..4).contains(&pair.0) && pair.1 < 2);
+        }
+    }
+
+    proptest! {
+        /// Vec strategy respects the length range.
+        #[test]
+        fn vec_lengths(v in collection::vec(any::<u8>(), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::deterministic("x");
+        let mut b = crate::TestRng::deterministic("x");
+        assert_eq!(a.gen_range_u64(0, 1000), b.gen_range_u64(0, 1000));
+    }
+}

@@ -1,0 +1,274 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (the container has no
+//! `syn`/`quote`), so only the shapes the workspace actually derives are
+//! supported: non-generic structs with named fields, tuple structs, and
+//! fieldless (unit-variant) enums. Anything else is a compile error naming
+//! this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the item a derive was attached to.
+enum Shape {
+    /// `struct S { a: T, b: U }` — field names in declaration order.
+    Named(Vec<String>),
+    /// `struct S(T, U);` — number of unnamed fields.
+    Tuple(usize),
+    /// `enum E { A, B }` — unit variant names in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected item name, got {other:?}"),
+    };
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (derive on `{name}`)");
+    }
+
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) => g,
+        other => panic!("serde shim derive: expected item body for `{name}`, got {other:?}"),
+    };
+
+    let shape = match (kind.as_str(), body.delimiter()) {
+        ("struct", Delimiter::Brace) => Shape::Named(parse_named_fields(body.stream())),
+        ("struct", Delimiter::Parenthesis) => Shape::Tuple(count_tuple_fields(body.stream())),
+        ("enum", Delimiter::Brace) => Shape::UnitEnum(parse_unit_variants(&name, body.stream())),
+        _ => panic!("serde shim derive: unsupported item shape for `{name}`"),
+    };
+    Item { name, shape }
+}
+
+/// Collect field names from `a: T, b: U, ...`, skipping per-field
+/// attributes/visibility and any commas nested inside `<...>` of field types.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.next() else {
+            break;
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde shim derive: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        angle_depth += 1;
+                    } else if c == '>' {
+                        angle_depth -= 1;
+                    } else if c == ',' && angle_depth == 0 {
+                        tokens.next();
+                        break;
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// Count fields of a tuple struct `(...)` body by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_token = false;
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_token {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Collect variant names of a fieldless enum; any variant payload is an error.
+fn parse_unit_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip variant attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        let Some(TokenTree::Ident(variant)) = tokens.next() else {
+            break;
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => panic!(
+                "serde shim derive: enum `{enum_name}` has a payload-carrying variant; \
+                 only unit enums are supported"
+            ),
+            other => panic!("serde shim derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// `#[derive(Serialize)]` — emits a `serde::Serialize` impl producing the
+/// shim's `serde::Value` tree (objects for named structs, the inner value for
+/// newtypes, arrays for wider tuples, variant-name strings for unit enums).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push(({f:?}.to_string(), serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(fields)"
+            )
+        }
+        Shape::Tuple(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let pushes: String = (0..*n)
+                .map(|i| format!("items.push(serde::Serialize::to_value(&self.{i}));\n"))
+                .collect();
+            format!(
+                "let mut items: Vec<serde::Value> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Array(items)"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::String({v:?}.to_string()),\n"))
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Serialize impl did not parse")
+}
+
+/// `#[derive(Deserialize)]` — emits the inverse `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: serde::Deserialize::from_value(value.get({f:?})?)?,\n"))
+                .collect();
+            format!("Some({name} {{\n{field_inits}}})")
+        }
+        Shape::Tuple(1) => format!("Some({name}(serde::Deserialize::from_value(value)?))"),
+        Shape::Tuple(n) => {
+            let elems: String = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(items.get({i})?)?,\n"))
+                .collect();
+            format!(
+                "let serde::Value::Array(items) = value else {{ return None; }};\n\
+                 Some({name}(\n{elems}))"
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Some({name}::{v}),\n"))
+                .collect();
+            format!(
+                "let serde::Value::String(s) = value else {{ return None; }};\n\
+                 match s.as_str() {{\n{arms}_ => None,\n}}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Option<Self> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde shim derive: generated Deserialize impl did not parse")
+}
