@@ -1,0 +1,121 @@
+//! Perf-regression gate: re-measures the Table 3 / Table 4 read-fault
+//! totals on every network profile and compares them against the recorded
+//! seed baseline (`BENCH_seed.json`). Exits non-zero when any total deviates
+//! from the baseline by more than 10% — in *either* direction: the numbers
+//! are calibrated against the paper, so an unexplained speed-up is as
+//! suspicious as a slow-down in a virtual-time simulation.
+//!
+//! Usage: `compare [path/to/BENCH_seed.json]` (default: `BENCH_seed.json`
+//! in the working directory — the repository root under `cargo run`).
+//!
+//! Run in CI on every PR so perf-affecting changes must either stay inside
+//! the envelope or consciously regenerate the baseline.
+
+use dsmpm2_bench::markdown_table;
+use dsmpm2_madeleine::profiles;
+use dsmpm2_workloads::{measure_read_fault, FaultPolicy};
+use serde::Value;
+
+const THRESHOLD: f64 = 0.10;
+
+fn number(value: &Value) -> Option<f64> {
+    match value {
+        Value::Float(x) => Some(*x),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Int(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read seed baseline {path}: {e}"));
+    let seed = serde_json::from_str_value(&text)
+        .unwrap_or_else(|e| panic!("cannot parse seed baseline {path}: {e}"));
+
+    let tables = [
+        (
+            "table3_read_fault_page_migration_us",
+            FaultPolicy::PageTransfer,
+        ),
+        (
+            "table4_read_fault_thread_migration_us",
+            FaultPolicy::ThreadMigration,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (key, policy) in tables {
+        let Some(Value::Array(seed_rows)) = seed.get(key) else {
+            panic!("seed baseline {path} has no array field '{key}'");
+        };
+        for seed_row in seed_rows {
+            let network = match seed_row.get("network") {
+                Some(Value::String(name)) => name.clone(),
+                other => panic!("row of '{key}' has no network name: {other:?}"),
+            };
+            let seed_total = seed_row
+                .get("total_us")
+                .and_then(number)
+                .unwrap_or_else(|| panic!("row '{network}' of '{key}' has no total_us"));
+            let profile = profiles::all()
+                .into_iter()
+                .find(|p| p.name == network)
+                .unwrap_or_else(|| panic!("unknown network profile '{network}' in baseline"));
+            let measured = measure_read_fault(profile, policy).total_us;
+            let drift = (measured - seed_total) / seed_total;
+            let verdict = if drift.abs() > THRESHOLD {
+                failures.push(format!(
+                    "{key} / {network}: measured {measured:.1} us vs seed {seed_total:.1} us \
+                     ({:+.1}% > ±{:.0}%)",
+                    drift * 100.0,
+                    THRESHOLD * 100.0
+                ));
+                "FAIL"
+            } else {
+                "ok"
+            };
+            rows.push(vec![
+                key.split('_').next().unwrap_or(key).to_string(),
+                network,
+                format!("{seed_total:.1}"),
+                format!("{measured:.1}"),
+                format!("{:+.2}%", drift * 100.0),
+                verdict.to_string(),
+            ]);
+        }
+    }
+
+    println!("Perf gate: read-fault totals vs {path} (threshold ±10%)\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Table",
+                "Network",
+                "Seed (us)",
+                "Measured (us)",
+                "Drift",
+                "Gate"
+            ],
+            &rows
+        )
+    );
+    if failures.is_empty() {
+        println!("All totals within the ±10% envelope.");
+    } else {
+        eprintln!("Perf gate FAILED:");
+        for failure in &failures {
+            eprintln!("  {failure}");
+        }
+        eprintln!(
+            "If the change is intentional, regenerate BENCH_seed.json with the table3/table4 \
+             binaries and commit it."
+        );
+        std::process::exit(1);
+    }
+}

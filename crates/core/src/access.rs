@@ -114,11 +114,26 @@ impl DsmThreadCtx<'_, '_> {
         self.read_local(addr)
     }
 
-    /// Write a scalar to shared memory (faulting as needed).
+    /// Write a scalar to shared memory (faulting as needed). When the page's
+    /// protocol records writes on the fly ([`crate::DsmProtocol::records_writes`],
+    /// the Java protocols), the modified range is recorded exactly as
+    /// [`DsmThreadCtx::write_recorded`] would — plain writes stay portable
+    /// across every registered protocol.
     pub fn write<T: DsmScalar>(&mut self, addr: DsmAddr, value: T) {
         check_within_page(addr, T::SIZE);
         self.ensure_access(addr, Access::Write);
-        self.write_local(addr, value, false);
+        let record = self.page_records_writes(addr);
+        self.write_local(addr, value, record);
+    }
+
+    /// Whether the protocol of the page holding `addr` records writes on the
+    /// fly. Reads the protocol id from the local (sharded) page table rather
+    /// than the cluster-wide directory, so concurrent writers on different
+    /// pages do not serialize on one global lock.
+    fn page_records_writes(&mut self, addr: DsmAddr) -> bool {
+        let rt = self.runtime().clone();
+        let protocol = rt.page_table(self.node()).read(addr.page(), |e| e.protocol);
+        rt.protocol(protocol).records_writes()
     }
 
     /// Write a scalar and record the modified range with field granularity
@@ -140,15 +155,23 @@ impl DsmThreadCtx<'_, '_> {
         rt.frames(node).read(addr.page(), addr.offset(), buf);
     }
 
-    /// Write `bytes` to shared memory (must not cross a page).
+    /// Write `bytes` to shared memory (must not cross a page). Recorded with
+    /// field granularity when the page's protocol records writes on the fly
+    /// (see [`DsmThreadCtx::write`]).
     pub fn write_bytes(&mut self, addr: DsmAddr, bytes: &[u8]) {
         check_within_page(addr, bytes.len());
         self.ensure_access(addr, Access::Write);
+        let record = self.page_records_writes(addr);
         let rt = self.runtime().clone();
         let node = self.node();
         rt.stats().incr_local_access();
         self.pm2.sim.charge(rt.costs().local_access());
-        rt.frames(node).write(addr.page(), addr.offset(), bytes);
+        if record {
+            rt.frames(node)
+                .write_recorded(addr.page(), addr.offset(), bytes);
+        } else {
+            rt.frames(node).write(addr.page(), addr.offset(), bytes);
+        }
         rt.page_table(node)
             .update(addr.page(), |e| e.modified_since_release = true);
     }

@@ -13,9 +13,9 @@
 //! their own threads, concurrent requests are served in parallel, matching
 //! the multithreaded behaviour the paper emphasizes.
 
-use dsmpm2_madeleine::NodeId;
+use dsmpm2_madeleine::{NodeId, CONTROL_MESSAGE_BYTES};
 use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcReply, RpcRequestCtx};
-use dsmpm2_sim::{SimDuration, SimHandle};
+use dsmpm2_sim::{EngineCtl, SimDuration, SimHandle, TickOutbox};
 
 use crate::ctx::{DsmThreadCtx, ServerCtx};
 use crate::diff::PageDiff;
@@ -33,6 +33,16 @@ pub const SVC_LOCK_RELEASE: &str = "dsm_lock_release";
 /// Name of the barrier service.
 pub const SVC_BARRIER: &str = "dsm_barrier";
 
+/// Per-tick batcher for coherence messages (invalidations, diffs,
+/// acknowledgements, ownership notices). One per runtime, present only when
+/// [`dsmpm2_pm2::DsmTuning::batch_messages`] is enabled: messages addressed
+/// to the same node within one virtual-time tick are coalesced into a single
+/// [`DsmMsg::Batch`] envelope flushed at the end of the tick.
+#[derive(Default)]
+pub(crate) struct DsmOutbox {
+    queued: TickOutbox<(NodeId, NodeId), DsmMsg>,
+}
+
 /// Register the DSM services on the runtime's cluster. Called once from
 /// `DsmRuntime::with_cluster`.
 pub(crate) fn register_dsm_services(rt: &DsmRuntime) {
@@ -45,6 +55,26 @@ pub(crate) fn register_dsm_services(rt: &DsmRuntime) {
         handle_dsm_msg(&rt_msg, rpc, msg);
         None
     }));
+
+    // With batching enabled, parked coherence messages must never be
+    // overtaken by a later message on the same link (an overtaking barrier
+    // reply or page transfer would let readers run ahead of an ownership
+    // notice or invalidation): flush the link's buckets before any other
+    // message is enqueued on it. The hook holds the runtime weakly — the
+    // network outlives runtimes in some tests, and a strong reference would
+    // cycle through cluster → network → hook → runtime → cluster.
+    if rt.has_outbox() {
+        let weak = rt.downgrade();
+        cluster
+            .network()
+            .set_pre_send_hook(std::sync::Arc::new(move |from, to| {
+                if let Some(inner) = weak.upgrade() {
+                    let rt = DsmRuntime::from_inner(inner);
+                    let ctl = rt.cluster().ctl();
+                    rt.flush_coherence_link(&ctl, from, to);
+                }
+            }));
+    }
 
     // Lock acquisition: the handler thread blocks at the manager node until
     // the lock is free, then takes it on behalf of the requesting node.
@@ -115,25 +145,62 @@ fn handle_dsm_msg(rt: &DsmRuntime, rpc: &mut RpcRequestCtx<'_>, msg: DsmMsg) {
         local_node: rpc.local_node,
         from_node: rpc.from_node,
     };
+    serve_dsm_msg(rt, &mut ctx, msg);
+}
+
+fn serve_dsm_msg(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, msg: DsmMsg) {
+    static TRACE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *TRACE.get_or_init(|| std::env::var("DSMPM2_TRACE").is_ok()) {
+        eprintln!(
+            "[{}] N{} <- N{}: {:?}",
+            ctx.sim.now(),
+            ctx.local_node.0,
+            ctx.from_node.0,
+            TraceMsg(&msg)
+        );
+    }
     match msg {
+        DsmMsg::Batch(msgs) => {
+            // Atomic unpack: every sub-message became visible at this same
+            // instant, in send order. Each one is served by its own handler
+            // thread — the concurrency semantics of unbatched delivery,
+            // where the dispatcher creates one thread per message — so a
+            // blocking server action (e.g. a writer pushing its diff before
+            // acknowledging an invalidation) never delays its batch-mates.
+            let thread_create = rt.cluster().costs().thread_create();
+            let (local, from) = (ctx.local_node, ctx.from_node);
+            for (i, sub) in msgs.into_iter().enumerate() {
+                ctx.sim.charge(thread_create);
+                let rt_sub = rt.clone();
+                ctx.sim.spawn(format!("dsm-batch@{local}#{i}"), move |sim| {
+                    let mut sub_ctx = ServerCtx {
+                        sim,
+                        runtime: rt_sub.clone(),
+                        local_node: local,
+                        from_node: from,
+                    };
+                    serve_dsm_msg(&rt_sub, &mut sub_ctx, sub);
+                });
+            }
+        }
         DsmMsg::Request(req) => {
             let protocol = rt.protocol_for_page(req.page);
             match req.access {
-                Access::Write => protocol.write_server(&mut ctx, req),
-                _ => protocol.read_server(&mut ctx, req),
+                Access::Write => protocol.write_server(ctx, req),
+                _ => protocol.read_server(ctx, req),
             }
         }
         DsmMsg::Transfer(transfer) => {
             let protocol = rt.protocol_for_page(transfer.page);
-            protocol.receive_page_server(&mut ctx, transfer);
+            protocol.receive_page_server(ctx, transfer);
         }
         DsmMsg::Invalidate(inv) => {
             let protocol = rt.protocol_for_page(inv.page);
-            protocol.invalidate_server(&mut ctx, inv);
+            protocol.invalidate_server(ctx, inv);
         }
         DsmMsg::InvalidateAck { page } => {
             rt.stats().incr_invalidation_ack();
-            acknowledge(rt, &mut ctx, page);
+            acknowledge(rt, ctx, page);
         }
         DsmMsg::Diff {
             diff,
@@ -142,14 +209,14 @@ fn handle_dsm_msg(rt: &DsmRuntime, rpc: &mut RpcRequestCtx<'_>, msg: DsmMsg) {
         } => {
             let page = diff.page;
             let protocol = rt.protocol_for_page(page);
-            protocol.diff_server(&mut ctx, diff, from);
+            protocol.diff_server(ctx, diff, from);
             if needs_ack {
                 let local = ctx.local_node;
                 rt.send_diff_ack(ctx.sim, local, from, page);
             }
         }
         DsmMsg::DiffAck { page } => {
-            acknowledge(rt, &mut ctx, page);
+            acknowledge(rt, ctx, page);
         }
         DsmMsg::AcquireDone {
             page,
@@ -192,7 +259,132 @@ fn acknowledge(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, page: PageId) {
 // Sending primitives (the DSM communication module proper).
 // ---------------------------------------------------------------------------
 
+struct TraceMsg<'a>(&'a DsmMsg);
+impl std::fmt::Debug for TraceMsg<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0 {
+            DsmMsg::Request(r) => write!(
+                f,
+                "Request({:?} {} req=N{})",
+                r.access, r.page, r.requester.0
+            ),
+            DsmMsg::Transfer(t) => write!(
+                f,
+                "Transfer({} grant={:?} owner=N{} v={})",
+                t.page, t.grant, t.owner.0, t.version
+            ),
+            DsmMsg::Invalidate(i) => write!(
+                f,
+                "Invalidate({} from=N{} new_owner={:?} v={})",
+                i.page, i.from.0, i.new_owner, i.version
+            ),
+            DsmMsg::InvalidateAck { page } => write!(f, "InvalidateAck({page})"),
+            DsmMsg::Diff { diff, from, .. } => write!(f, "Diff({} from=N{})", diff.page, from.0),
+            DsmMsg::DiffAck { page } => write!(f, "DiffAck({page})"),
+            DsmMsg::AcquireDone {
+                page,
+                owner,
+                version,
+            } => write!(f, "AcquireDone({page} owner=N{} v={version})", owner.0),
+            DsmMsg::Batch(v) => {
+                write!(f, "Batch[")?;
+                for m in v {
+                    write!(f, "{:?}, ", TraceMsg(m))?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Wire cost class of one coherence message (pure control when it carries no
+/// payload, bulk otherwise) — the same classes the unbatched sends used.
+fn rpc_class_for(msg: &DsmMsg) -> RpcClass {
+    match msg.payload_bytes() {
+        0 => RpcClass::Control,
+        n => RpcClass::Data(n),
+    }
+}
+
 impl DsmRuntime {
+    /// Send a coherence message (invalidation, diff, acknowledgement,
+    /// ownership notice). With batching enabled, messages for the same
+    /// destination sent within one virtual-time tick are parked in the
+    /// outbox and flushed as a single [`DsmMsg::Batch`] envelope at the end
+    /// of the tick; otherwise the message goes out immediately.
+    fn send_coherence(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, msg: DsmMsg) {
+        let Some(outbox) = self.outbox() else {
+            let class = rpc_class_for(&msg);
+            self.cluster()
+                .rpc_oneway(sim, from, to, SVC_DSM, Box::new(msg), class);
+            return;
+        };
+        let tick = sim.now();
+        if outbox.queued.push((from, to), tick, msg) {
+            // First message for this (destination, tick): schedule exactly
+            // one flush at the end of the tick. The flush runs as an engine
+            // callback after every event of the tick, so all same-tick
+            // messages for this destination have been parked by then. (The
+            // pre-send link hook may have flushed the bucket earlier, in
+            // which case the callback finds it empty and does nothing.)
+            let rt = self.clone();
+            sim.call_after(SimDuration::ZERO, move |ctl| {
+                rt.flush_coherence_link(ctl, from, to);
+            });
+        }
+    }
+
+    fn outbox(&self) -> Option<&DsmOutbox> {
+        self.inner().outbox.as_ref()
+    }
+
+    pub(crate) fn has_outbox(&self) -> bool {
+        self.outbox().is_some()
+    }
+
+    /// Ship every parked bucket of the (from, to) link, oldest tick first.
+    /// Called by the end-of-tick flush callback and by the transport's
+    /// pre-send hook (which guarantees no later message overtakes a parked
+    /// one on the same link — the hook's nested invocation during our own
+    /// send below finds the buckets already drained and is a no-op).
+    pub(crate) fn flush_coherence_link(&self, ctl: &EngineCtl, from: NodeId, to: NodeId) {
+        let Some(outbox) = self.outbox() else { return };
+        for (tick, mut msgs) in outbox.queued.take_all((from, to)) {
+            let (payload, class) = match msgs.len() {
+                0 => continue,
+                1 => {
+                    let msg = msgs.pop().expect("len checked");
+                    let class = rpc_class_for(&msg);
+                    (msg, class)
+                }
+                n => {
+                    self.stats().incr_coherence_batch();
+                    self.stats().add_coherence_batched_messages(n as u64);
+                    let batch = DsmMsg::Batch(msgs);
+                    // One envelope on the wire: a single message latency is
+                    // paid, while every coalesced message contributes its
+                    // payload plus one small per-message header at network
+                    // bandwidth.
+                    let bytes = batch.payload_bytes() + (n - 1) * CONTROL_MESSAGE_BYTES;
+                    (batch, RpcClass::Data(bytes))
+                }
+            };
+            // `tick` is the logical send time of the parked messages (the
+            // sender's local clock, possibly ahead of the global clock): the
+            // flushed envelope must not depart earlier than an unbatched
+            // send would have.
+            self.cluster().rpc_oneway_from_ctl(
+                ctl,
+                from,
+                to,
+                SVC_DSM,
+                Box::new(payload),
+                class,
+                tick,
+            );
+        }
+    }
+
     /// Send a page request to `to` (one-way; the page will arrive later as a
     /// [`PageTransfer`] message, possibly from a different node).
     pub fn send_page_request(
@@ -227,7 +419,7 @@ impl DsmRuntime {
         );
     }
 
-    /// Send an invalidation for `inv.page` to `to`.
+    /// Send an invalidation for `inv.page` to `to` (batchable).
     pub fn send_invalidate(
         &self,
         sim: &mut SimHandle,
@@ -236,29 +428,17 @@ impl DsmRuntime {
         inv: Invalidation,
     ) {
         self.stats().incr_invalidation();
-        self.cluster().rpc_oneway(
-            sim,
-            from,
-            to,
-            SVC_DSM,
-            Box::new(DsmMsg::Invalidate(inv)),
-            RpcClass::Control,
-        );
+        self.send_coherence(sim, from, to, DsmMsg::Invalidate(inv));
     }
 
-    /// Acknowledge an invalidation back to `to`.
+    /// Acknowledge an invalidation back to `to` (batchable).
     pub fn send_invalidate_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
-        self.cluster().rpc_oneway(
-            sim,
-            from,
-            to,
-            SVC_DSM,
-            Box::new(DsmMsg::InvalidateAck { page }),
-            RpcClass::Control,
-        );
+        self.send_coherence(sim, from, to, DsmMsg::InvalidateAck { page });
     }
 
-    /// Send a diff to `to` (normally the page's home node).
+    /// Send a diff to `to` (normally the page's home node; batchable — the
+    /// diffs of several pages flushed at one release coalesce when they are
+    /// homed on the same node).
     pub fn send_diff(
         &self,
         sim: &mut SimHandle,
@@ -270,22 +450,20 @@ impl DsmRuntime {
         let bytes = diff.payload_bytes();
         self.stats().incr_diff_sent();
         self.stats().add_diff_bytes(bytes as u64);
-        self.cluster().rpc_oneway(
+        self.send_coherence(
             sim,
             from,
             to,
-            SVC_DSM,
-            Box::new(DsmMsg::Diff {
+            DsmMsg::Diff {
                 diff,
                 from,
                 needs_ack,
-            }),
-            RpcClass::Data(bytes),
+            },
         );
     }
 
     /// Notify a page's home node that `owner` finished installing write
-    /// ownership at `version`.
+    /// ownership at `version` (batchable).
     pub fn send_acquire_done(
         &self,
         sim: &mut SimHandle,
@@ -295,30 +473,21 @@ impl DsmRuntime {
         owner: NodeId,
         version: u64,
     ) {
-        self.cluster().rpc_oneway(
+        self.send_coherence(
             sim,
             from,
             to,
-            SVC_DSM,
-            Box::new(DsmMsg::AcquireDone {
+            DsmMsg::AcquireDone {
                 page,
                 owner,
                 version,
-            }),
-            RpcClass::Control,
+            },
         );
     }
 
-    /// Acknowledge a diff back to `to`.
+    /// Acknowledge a diff back to `to` (batchable).
     pub fn send_diff_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
-        self.cluster().rpc_oneway(
-            sim,
-            from,
-            to,
-            SVC_DSM,
-            Box::new(DsmMsg::DiffAck { page }),
-            RpcClass::Control,
-        );
+        self.send_coherence(sim, from, to, DsmMsg::DiffAck { page });
     }
 }
 

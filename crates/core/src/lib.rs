@@ -52,7 +52,7 @@ pub use diff::{DiffRun, PageDiff};
 pub use frames::{Frame, FrameStore};
 pub use msg::{DsmMsg, Invalidation, PageRequest, PageTransfer};
 pub use page::{pages_covering, Access, DsmAddr, PageId, PAGE_SIZE};
-pub use page_table::{PageEntry, PageTable};
+pub use page_table::{PageEntry, PageTable, DEFAULT_PAGE_TABLE_SHARDS};
 pub use protocol::{CustomProtocol, CustomProtocolBuilder, DsmProtocol, FaultInfo, ProtocolId};
 pub use runtime::{DsmAttr, DsmRuntime, HomePolicy, PageMeta};
 pub use stats::{DsmStats, DsmStatsSnapshot};
@@ -60,4 +60,6 @@ pub use sync::{BarrierId, LockId};
 
 /// Convenience re-exports from the runtime layers below.
 pub use dsmpm2_madeleine::{NodeId, Topology};
-pub use dsmpm2_pm2::{Engine, Pm2Cluster, Pm2Config, Pm2ThreadState, SimDuration, SimTime};
+pub use dsmpm2_pm2::{
+    DsmTuning, Engine, Pm2Cluster, Pm2Config, Pm2ThreadState, SimDuration, SimTime,
+};

@@ -102,6 +102,14 @@ pub enum DsmMsg {
         /// Ownership-succession version of the acquisition.
         version: u64,
     },
+    /// Several coherence messages (invalidations, diffs, acknowledgements,
+    /// ownership notices) addressed to the same node within one virtual-time
+    /// tick, coalesced into a single wire envelope by the per-tick batcher.
+    /// The receiving node unpacks the batch atomically — every sub-message
+    /// becomes visible at the same instant, in send order — and serves each
+    /// one in its own handler thread, exactly as if they had arrived
+    /// separately. Batches are never nested.
+    Batch(Vec<DsmMsg>),
 }
 
 impl DsmMsg {
@@ -115,6 +123,7 @@ impl DsmMsg {
             DsmMsg::Diff { diff, .. } => diff.payload_bytes(),
             DsmMsg::DiffAck { .. } => 0,
             DsmMsg::AcquireDone { .. } => 0,
+            DsmMsg::Batch(msgs) => msgs.iter().map(DsmMsg::payload_bytes).sum(),
         }
     }
 }
@@ -155,5 +164,15 @@ mod tests {
         assert_eq!(msg.payload_bytes(), bytes);
         assert_eq!(DsmMsg::InvalidateAck { page: PageId(3) }.payload_bytes(), 0);
         assert_eq!(DsmMsg::DiffAck { page: PageId(3) }.payload_bytes(), 0);
+        let batch = DsmMsg::Batch(vec![
+            msg,
+            DsmMsg::InvalidateAck { page: PageId(3) },
+            DsmMsg::AcquireDone {
+                page: PageId(4),
+                owner: NodeId(1),
+                version: 2,
+            },
+        ]);
+        assert_eq!(batch.payload_bytes(), bytes, "batch sums its sub-messages");
     }
 }

@@ -96,20 +96,53 @@ impl PageEntry {
     }
 }
 
-/// The page table of one node.
-pub struct PageTable {
-    node: NodeId,
+/// One shard of a page table: a slice of the entry map with its own lock.
+/// Pages are distributed over shards by page id, so operations on different
+/// shards never contend on the same lock — the page table was the single
+/// contended structure of every node once several dispatcher, handler and
+/// application threads ran concurrently.
+struct Shard {
     entries: Mutex<HashMap<PageId, PageEntry>>,
     waiters: Mutex<HashMap<PageId, Arc<WaitSet>>>,
 }
 
-impl PageTable {
-    /// An empty table for `node`.
-    pub fn new(node: NodeId) -> Self {
-        PageTable {
-            node,
+impl Shard {
+    fn new() -> Self {
+        Shard {
             entries: Mutex::new(HashMap::new()),
             waiters: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// Default shard count of a node's page table (overridable through
+/// [`dsmpm2_pm2::DsmTuning::page_table_shards`]).
+pub const DEFAULT_PAGE_TABLE_SHARDS: usize = 8;
+
+/// The page table of one node, sharded by page id.
+///
+/// The shard vector is immutable after construction, so *finding* the shard
+/// of a page is lock-free; only the entries within one shard share a lock.
+/// Consecutive page ids land in consecutive shards (round-robin), which
+/// spreads the pages of one allocation evenly.
+pub struct PageTable {
+    node: NodeId,
+    shards: Box<[Shard]>,
+}
+
+impl PageTable {
+    /// An empty table for `node` with the default shard count.
+    pub fn new(node: NodeId) -> Self {
+        Self::with_shards(node, DEFAULT_PAGE_TABLE_SHARDS)
+    }
+
+    /// An empty table for `node` with an explicit shard count (`1` gives the
+    /// historical single-lock table).
+    pub fn with_shards(node: NodeId, shards: usize) -> Self {
+        assert!(shards > 0, "a page table needs at least one shard");
+        PageTable {
+            node,
+            shards: (0..shards).map(|_| Shard::new()).collect(),
         }
     }
 
@@ -118,9 +151,20 @@ impl PageTable {
         self.node
     }
 
+    /// Number of independent shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard holding `page`. Reading the shard map takes no lock.
+    fn shard(&self, page: PageId) -> &Shard {
+        &self.shards[(page.0 % self.shards.len() as u64) as usize]
+    }
+
     /// Install an entry for `page` if none exists yet.
     pub fn ensure(&self, page: PageId, home: NodeId, protocol: ProtocolId) {
-        self.entries
+        self.shard(page)
+            .entries
             .lock()
             .entry(page)
             .or_insert_with(|| PageEntry::new(page, home, protocol));
@@ -128,7 +172,7 @@ impl PageTable {
 
     /// True if the table knows about `page`.
     pub fn contains(&self, page: PageId) -> bool {
-        self.entries.lock().contains_key(&page)
+        self.shard(page).entries.lock().contains_key(&page)
     }
 
     /// A copy of the entry for `page`.
@@ -137,7 +181,8 @@ impl PageTable {
     /// Panics if the page is not registered on this node — this corresponds
     /// to a wild access outside any DSM allocation.
     pub fn get(&self, page: PageId) -> PageEntry {
-        self.entries
+        self.shard(page)
+            .entries
             .lock()
             .get(&page)
             .cloned()
@@ -146,7 +191,22 @@ impl PageTable {
 
     /// A copy of the entry, or `None` if the page is unknown.
     pub fn try_get(&self, page: PageId) -> Option<PageEntry> {
-        self.entries.lock().get(&page).cloned()
+        self.shard(page).entries.lock().get(&page).cloned()
+    }
+
+    /// Run `f` with shared access to the entry for `page`, without cloning it
+    /// (cloning copies the whole copyset). The shard lock is held for the
+    /// duration of `f`: keep it short and never call back into the same
+    /// table from inside.
+    ///
+    /// # Panics
+    /// Panics if the page is not registered on this node.
+    pub fn read<R>(&self, page: PageId, f: impl FnOnce(&PageEntry) -> R) -> R {
+        let entries = self.shard(page).entries.lock();
+        let entry = entries
+            .get(&page)
+            .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node));
+        f(entry)
     }
 
     /// Run `f` with mutable access to the entry for `page`.
@@ -154,7 +214,7 @@ impl PageTable {
     /// # Panics
     /// Panics if the page is not registered on this node.
     pub fn update<R>(&self, page: PageId, f: impl FnOnce(&mut PageEntry) -> R) -> R {
-        let mut entries = self.entries.lock();
+        let mut entries = self.shard(page).entries.lock();
         let entry = entries
             .get_mut(&page)
             .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node));
@@ -163,7 +223,8 @@ impl PageTable {
 
     /// Current local access rights on `page` (`None` if unknown).
     pub fn access(&self, page: PageId) -> Access {
-        self.entries
+        self.shard(page)
+            .entries
             .lock()
             .get(&page)
             .map(|e| e.access)
@@ -179,7 +240,8 @@ impl PageTable {
     /// acknowledgements are outstanding.
     pub fn waiters(&self, page: PageId) -> Arc<WaitSet> {
         Arc::clone(
-            self.waiters
+            self.shard(page)
+                .waiters
                 .lock()
                 .entry(page)
                 .or_insert_with(|| Arc::new(WaitSet::new())),
@@ -188,20 +250,30 @@ impl PageTable {
 
     /// Every page registered in this table.
     pub fn pages(&self) -> Vec<PageId> {
-        let mut pages: Vec<PageId> = self.entries.lock().keys().copied().collect();
+        let mut pages: Vec<PageId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.entries.lock().keys().copied().collect::<Vec<_>>())
+            .collect();
         pages.sort();
         pages
     }
 
     /// Pages this node wrote since the last release (release-consistency
-    /// bookkeeping).
+    /// bookkeeping). Scans shard by shard, never holding more than one shard
+    /// lock at a time.
     pub fn modified_pages(&self) -> Vec<PageId> {
         let mut pages: Vec<PageId> = self
-            .entries
-            .lock()
+            .shards
             .iter()
-            .filter(|(_, e)| e.modified_since_release)
-            .map(|(p, _)| *p)
+            .flat_map(|s| {
+                s.entries
+                    .lock()
+                    .iter()
+                    .filter(|(_, e)| e.modified_since_release)
+                    .map(|(p, _)| *p)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         pages.sort();
         pages
@@ -209,18 +281,24 @@ impl PageTable {
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
 
     /// True if the table has no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.shards.iter().all(|s| s.entries.lock().is_empty())
     }
 }
 
 impl std::fmt::Debug for PageTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "PageTable(node={}, {} pages)", self.node, self.len())
+        write!(
+            f,
+            "PageTable(node={}, {} pages, {} shards)",
+            self.node,
+            self.len(),
+            self.shards.len()
+        )
     }
 }
 
@@ -291,6 +369,42 @@ mod tests {
             t.ensure(PageId(p), NodeId(0), ProtocolId(0));
         }
         assert_eq!(t.pages(), vec![PageId(1), PageId(3), PageId(5)]);
+    }
+
+    #[test]
+    fn sharding_spreads_pages_and_preserves_behaviour() {
+        for shards in [1usize, 2, 7, 8, 64] {
+            let t = PageTable::with_shards(NodeId(0), shards);
+            assert_eq!(t.shard_count(), shards);
+            for p in 0..40u64 {
+                t.ensure(PageId(p), NodeId(0), ProtocolId(0));
+            }
+            assert_eq!(t.len(), 40);
+            t.update(PageId(17), |e| e.modified_since_release = true);
+            t.update(PageId(3), |e| e.modified_since_release = true);
+            assert_eq!(t.modified_pages(), vec![PageId(3), PageId(17)]);
+            assert_eq!(t.pages().len(), 40);
+            assert!(t.contains(PageId(39)));
+            assert!(!t.contains(PageId(40)));
+        }
+    }
+
+    #[test]
+    fn read_sees_the_entry_without_cloning() {
+        let t = table();
+        t.update(PageId(7), |e| {
+            e.copyset.insert(NodeId(4));
+            e.access = Access::Read;
+        });
+        let (len, access) = t.read(PageId(7), |e| (e.copyset.len(), e.access));
+        assert_eq!(len, 1);
+        assert_eq!(access, Access::Read);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        let _ = PageTable::with_shards(NodeId(0), 0);
     }
 
     #[test]

@@ -82,6 +82,16 @@ pub trait DsmProtocol: Send + Sync + 'static {
     /// Called before the calling thread releases a DSM lock.
     fn lock_release(&self, ctx: &mut DsmThreadCtx<'_, '_>, lock: LockId);
 
+    /// True if ordinary writes through the typed accessors must be recorded
+    /// with field granularity (the on-the-fly diff recording of the Java
+    /// protocols' `put` primitive). Protocols that flush *recorded* ranges
+    /// at release — rather than diffing against a twin — return `true`, so
+    /// that portable application code using plain `write` stays correct
+    /// under them.
+    fn records_writes(&self) -> bool {
+        false
+    }
+
     /// Called on the home node when a diff arrives. The default applies the
     /// diff to the home copy and bumps the page version.
     fn diff_server(&self, ctx: &mut ServerCtx<'_>, diff: PageDiff, from: NodeId) {

@@ -28,11 +28,13 @@ pub fn request_page_and_wait(
 ) {
     let table = rt.page_table(node);
     loop {
-        let entry = table.get(page);
-        if entry.access.permits(access) {
+        let (permitted, pending_fetch, prob_owner) = table.read(page, |e| {
+            (e.access.permits(access), e.pending_fetch, e.prob_owner)
+        });
+        if permitted {
             return;
         }
-        if !entry.pending_fetch {
+        if !pending_fetch {
             table.update(page, |e| {
                 e.pending_fetch = true;
                 e.fetch_seq += 1;
@@ -42,10 +44,10 @@ pub fn request_page_and_wait(
             // acquisition manager (Li & Hudak's improved centralized
             // manager); reads follow the ownership-history hint with the
             // home as fallback.
-            let target = if access == Access::Write || entry.prob_owner == node {
+            let target = if access == Access::Write || prob_owner == node {
                 rt.page_meta(page).home
             } else {
-                entry.prob_owner
+                prob_owner
             };
             rt.send_page_request(
                 sim,
@@ -85,19 +87,19 @@ pub fn request_page_and_wait(
 pub fn defer_while_fetching(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: &PageRequest) {
     let page = req.page;
     let table = rt.page_table(node);
-    let entry = table.get(page);
+    let (owned, pending_fetch, fetch_seq) =
+        table.read(page, |e| (e.owned, e.pending_fetch, e.fetch_seq));
     // Write requests are serialized by the home manager and only ever routed
     // to a node that finished acquiring ownership, so they never need to
     // park here. Read requests may race an in-flight fetch; park them for
     // the duration of exactly that fetch (same fetch_seq), then forward
     // along the refreshed hints.
-    if req.requester == node || entry.owned || !entry.pending_fetch || req.access == Access::Write {
+    if req.requester == node || owned || !pending_fetch || req.access == Access::Write {
         return;
     }
     let waiters = table.waiters(page);
     waiters.wait_until(sim, || {
-        let e = table.get(page);
-        !e.pending_fetch || e.fetch_seq != entry.fetch_seq
+        table.read(page, |e| !e.pending_fetch || e.fetch_seq != fetch_seq)
     });
     // Yield for a short re-dispatch delay so the local threads woken by the
     // page installation run strictly before this handler serves the page
@@ -234,44 +236,47 @@ pub fn forward_request(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: 
         let page = req.page;
         let waiters = table.waiters(page);
         loop {
-            let entry = table.get(page);
-            if entry.owned {
+            let (owned, queue_tail, prob_owner) =
+                table.read(page, |e| (e.owned, e.queue_tail, e.prob_owner));
+            if owned {
                 // The home itself owns the page: serve directly
                 // (serve_write_transfer marks the new acquisition in flight).
                 serve_write_transfer(sim, node, rt, req);
                 return;
             }
-            let own_admission = entry.queue_tail == Some(req.requester);
-            if entry.queue_tail.is_some() && !own_admission {
+            let own_admission = queue_tail == Some(req.requester);
+            if queue_tail.is_some() && !own_admission {
                 waiters.wait_until(sim, || {
-                    let e = table.get(page);
-                    e.owned || e.queue_tail.is_none() || e.queue_tail == Some(req.requester)
+                    table.read(page, |e| {
+                        e.owned || e.queue_tail.is_none() || e.queue_tail == Some(req.requester)
+                    })
                 });
                 continue;
             }
-            if entry.prob_owner == node || (own_admission && entry.prob_owner == req.requester) {
+            if prob_owner == node || (own_admission && prob_owner == req.requester) {
                 // Record is stale (points at this non-owning node) or at the
                 // requester's own unfinished acquisition: wait for fresher
                 // ownership information.
                 waiters.wait_until(sim, || {
-                    let e = table.get(page);
-                    e.owned
-                        || (e.prob_owner != node
-                            && !(e.queue_tail == Some(req.requester)
-                                && e.prob_owner == req.requester))
+                    table.read(page, |e| {
+                        e.owned
+                            || (e.prob_owner != node
+                                && !(e.queue_tail == Some(req.requester)
+                                    && e.prob_owner == req.requester))
+                    })
                 });
                 continue;
             }
             table.update(page, |e| e.queue_tail = Some(req.requester));
-            rt.send_page_request(sim, node, entry.prob_owner, req.clone());
+            rt.send_page_request(sim, node, prob_owner, req.clone());
             return;
         }
     }
     // Reads follow ownership history, which cannot cycle; fall back to the
     // home node on self- or requester-references.
-    let entry = table.get(req.page);
-    let target = if entry.prob_owner != node && entry.prob_owner != req.requester {
-        entry.prob_owner
+    let prob_owner = table.read(req.page, |e| e.prob_owner);
+    let target = if prob_owner != node && prob_owner != req.requester {
+        prob_owner
     } else {
         home
     };
@@ -282,6 +287,24 @@ pub fn forward_request(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: 
 /// acknowledgement. Used by write-invalidate protocols when a node acquires
 /// write ownership, and by eager release consistency at lock release.
 pub fn invalidate_copyset_and_wait(
+    sim: &mut SimHandle,
+    node: NodeId,
+    rt: &DsmRuntime,
+    page: PageId,
+    targets: &[NodeId],
+    new_owner: Option<NodeId>,
+    version: u64,
+) {
+    send_copyset_invalidations(sim, node, rt, page, targets, new_owner, version);
+    await_invalidation_acks(sim, node, rt, page);
+}
+
+/// Send-only half of [`invalidate_copyset_and_wait`]: register the expected
+/// acknowledgements and transmit the invalidations without blocking.
+/// Protocols invalidating several pages at once send all rounds first and
+/// then collect every acknowledgement with [`await_invalidation_acks`], so
+/// the rounds overlap in the network instead of serializing.
+pub fn send_copyset_invalidations(
     sim: &mut SimHandle,
     node: NodeId,
     rt: &DsmRuntime,
@@ -310,8 +333,14 @@ pub fn invalidate_copyset_and_wait(
             },
         );
     }
+}
+
+/// Wait-only half of [`invalidate_copyset_and_wait`]: block until every
+/// acknowledgement registered for `page` has arrived.
+pub fn await_invalidation_acks(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, page: PageId) {
+    let table = rt.page_table(node);
     let waiters = table.waiters(page);
-    waiters.wait_until(sim, || table.get(page).pending_acks == 0);
+    waiters.wait_until(sim, || table.read(page, |e| e.pending_acks == 0));
 }
 
 /// Apply an invalidation locally: drop the local copy and all rights, update
@@ -439,7 +468,11 @@ pub fn flush_diffs_to_homes(
     use_recorded: bool,
 ) {
     let table = rt.page_table(node);
-    let mut waiting_pages = Vec::new();
+    // Compute every diff first (paying the per-page scan cost), then
+    // transmit them in one burst: the sends all happen at the same virtual
+    // instant, so diffs addressed to the same home node coalesce into a
+    // single wire envelope when per-tick batching is enabled.
+    let mut outgoing = Vec::new();
     for &page in pages {
         let home = rt.page_meta(page).home;
         if home == node {
@@ -458,12 +491,16 @@ pub fn flush_diffs_to_homes(
             continue;
         }
         table.update(page, |e| e.pending_acks += 1);
+        outgoing.push((page, home, diff));
+    }
+    let mut waiting_pages = Vec::new();
+    for (page, home, diff) in outgoing {
         rt.send_diff(sim, node, home, diff, true);
         waiting_pages.push(page);
     }
     for page in waiting_pages {
         let waiters = table.waiters(page);
-        waiters.wait_until(sim, || table.get(page).pending_acks == 0);
+        waiters.wait_until(sim, || table.read(page, |e| e.pending_acks == 0));
     }
 }
 
@@ -477,13 +514,15 @@ pub fn home_invalidate_other_copies(
     except: NodeId,
 ) {
     let table = rt.page_table(node);
-    let entry = table.get(page);
-    let targets: Vec<NodeId> = entry
-        .copyset
-        .iter()
-        .copied()
-        .filter(|&n| n != node && n != except)
-        .collect();
+    let (targets, version) = table.read(page, |e| {
+        let targets: Vec<NodeId> = e
+            .copyset
+            .iter()
+            .copied()
+            .filter(|&n| n != node && n != except)
+            .collect();
+        (targets, e.version)
+    });
     for &target in &targets {
         rt.send_invalidate(
             sim,
@@ -494,7 +533,7 @@ pub fn home_invalidate_other_copies(
                 from: node,
                 new_owner: Some(node),
                 needs_ack: false,
-                version: entry.version,
+                version,
             },
         );
     }

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use dsmpm2_madeleine::NodeId;
-use dsmpm2_pm2::{Engine, Pm2Cluster, Pm2Config, Pm2ThreadState};
+use dsmpm2_pm2::{DsmTuning, Engine, Pm2Cluster, Pm2Config, Pm2ThreadState};
 
 use crate::costs::DsmCosts;
 use crate::ctx::DsmThreadCtx;
@@ -76,6 +76,8 @@ struct NodeState {
 pub(crate) struct RuntimeInner {
     cluster: Pm2Cluster,
     costs: DsmCosts,
+    tuning: DsmTuning,
+    pub(crate) outbox: Option<crate::comm::DsmOutbox>,
     nodes: Vec<NodeState>,
     directory: Mutex<HashMap<PageId, PageMeta>>,
     protocols: RwLock<Vec<Arc<dyn DsmProtocol>>>,
@@ -118,18 +120,21 @@ impl DsmRuntime {
     /// Install the DSM layer with explicit cost constants (used by the
     /// ablation benchmarks).
     pub fn with_cluster_and_costs(cluster: Pm2Cluster, costs: DsmCosts) -> Self {
+        let tuning = cluster.config().dsm;
         let nodes = cluster
             .topology()
             .nodes()
             .map(|n| NodeState {
-                table: PageTable::new(n),
+                table: PageTable::with_shards(n, tuning.page_table_shards),
                 frames: FrameStore::new(n),
             })
             .collect();
         let runtime = DsmRuntime {
             inner: Arc::new(RuntimeInner {
+                outbox: tuning.batch_messages.then(crate::comm::DsmOutbox::default),
                 cluster,
                 costs,
+                tuning,
                 nodes,
                 directory: Mutex::new(HashMap::new()),
                 protocols: RwLock::new(Vec::new()),
@@ -150,6 +155,18 @@ impl DsmRuntime {
         &self.inner.cluster
     }
 
+    pub(crate) fn inner(&self) -> &RuntimeInner {
+        &self.inner
+    }
+
+    pub(crate) fn downgrade(&self) -> std::sync::Weak<RuntimeInner> {
+        Arc::downgrade(&self.inner)
+    }
+
+    pub(crate) fn from_inner(inner: Arc<RuntimeInner>) -> DsmRuntime {
+        DsmRuntime { inner }
+    }
+
     /// Number of cluster nodes.
     pub fn num_nodes(&self) -> usize {
         self.inner.cluster.num_nodes()
@@ -158,6 +175,12 @@ impl DsmRuntime {
     /// DSM cost constants.
     pub fn costs(&self) -> &DsmCosts {
         &self.inner.costs
+    }
+
+    /// The tuning knobs this runtime was installed with (from the cluster
+    /// configuration).
+    pub fn tuning(&self) -> DsmTuning {
+        self.inner.tuning
     }
 
     /// DSM statistics.

@@ -27,6 +27,8 @@ pub struct DsmStats {
     local_accesses: AtomicU64,
     inline_checks: AtomicU64,
     request_forwards: AtomicU64,
+    coherence_batches: AtomicU64,
+    coherence_batched_messages: AtomicU64,
 }
 
 /// A plain-value snapshot of [`DsmStats`].
@@ -64,6 +66,11 @@ pub struct DsmStatsSnapshot {
     pub inline_checks: u64,
     /// Page requests forwarded along the probable-owner chain.
     pub request_forwards: u64,
+    /// Batched envelopes put on the wire by the per-tick message batcher.
+    pub coherence_batches: u64,
+    /// Coherence messages that travelled inside a batched envelope (each
+    /// batch carries at least two).
+    pub coherence_batched_messages: u64,
 }
 
 macro_rules! counter_methods {
@@ -94,6 +101,7 @@ counter_methods!(
     local_accesses => incr_local_access,
     inline_checks => incr_inline_check,
     request_forwards => incr_request_forward,
+    coherence_batches => incr_coherence_batch,
 );
 
 impl DsmStats {
@@ -110,6 +118,12 @@ impl DsmStats {
     /// Account `bytes` of diff payload.
     pub fn add_diff_bytes(&self, bytes: u64) {
         self.diff_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Account `n` coherence messages coalesced into one batched envelope.
+    pub fn add_coherence_batched_messages(&self, n: u64) {
+        self.coherence_batched_messages
+            .fetch_add(n, Ordering::Relaxed);
     }
 
     /// A consistent snapshot of every counter.
@@ -131,6 +145,8 @@ impl DsmStats {
             local_accesses: self.local_accesses.load(Ordering::Relaxed),
             inline_checks: self.inline_checks.load(Ordering::Relaxed),
             request_forwards: self.request_forwards.load(Ordering::Relaxed),
+            coherence_batches: self.coherence_batches.load(Ordering::Relaxed),
+            coherence_batched_messages: self.coherence_batched_messages.load(Ordering::Relaxed),
         }
     }
 }

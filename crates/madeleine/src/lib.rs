@@ -27,4 +27,4 @@ mod transport;
 pub use model::{NetworkModel, CONTROL_MESSAGE_BYTES};
 pub use stats::{LinkCounters, NetStats, NetStatsSnapshot};
 pub use topology::{NodeId, Topology};
-pub use transport::{Envelope, Network};
+pub use transport::{Envelope, Network, PreSendHook};

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use dsmpm2_sim::{channel, EngineCtl, SimDuration, SimHandle, SimReceiver, SimSender, SimTime};
 
@@ -33,6 +33,12 @@ pub struct Envelope<M> {
     pub msg: M,
 }
 
+/// A callback invoked with (from, to) before any message is enqueued on that
+/// directed link. Layers that *park* messages for later transmission (the
+/// DSM per-tick batcher) register one to flush their parked messages first,
+/// so that no later message ever overtakes a logically earlier parked one.
+pub type PreSendHook = Arc<dyn Fn(NodeId, NodeId) + Send + Sync>;
+
 struct NetworkInner<M> {
     model: NetworkModel,
     topology: Topology,
@@ -44,6 +50,8 @@ struct NetworkInner<M> {
     /// page transfer arrives after it). This map records the last scheduled
     /// delivery time of each link.
     fifo: Mutex<HashMap<(NodeId, NodeId), SimTime>>,
+    /// Pre-send link hook (see [`PreSendHook`]).
+    pre_send: RwLock<Option<PreSendHook>>,
 }
 
 /// A simulated interconnect connecting every node of the cluster.
@@ -77,6 +85,7 @@ impl<M: Send + 'static> Network<M> {
                 receivers,
                 stats: NetStats::new(),
                 fifo: Mutex::new(HashMap::new()),
+                pre_send: RwLock::new(None),
             }),
         }
     }
@@ -100,6 +109,21 @@ impl<M: Send + 'static> Network<M> {
     /// of this receiver and block on it.
     pub fn endpoint(&self, node: NodeId) -> SimReceiver<Envelope<M>> {
         self.inner.receivers[node.index()].clone()
+    }
+
+    /// Register the pre-send link hook (replacing any previous one). The
+    /// hook runs before every enqueue on a directed link — including sends
+    /// the hook itself triggers, so it must be re-entrant (draining parked
+    /// state makes the nested invocation a no-op).
+    pub fn set_pre_send_hook(&self, hook: PreSendHook) {
+        *self.inner.pre_send.write() = Some(hook);
+    }
+
+    fn run_pre_send_hook(&self, from: NodeId, to: NodeId) {
+        let hook = self.inner.pre_send.read().clone();
+        if let Some(hook) = hook {
+            hook(from, to);
+        }
     }
 
     /// Send `msg` from `from` to `to`, accounting `payload_bytes` of payload.
@@ -136,9 +160,47 @@ impl<M: Send + 'static> Network<M> {
         payload_bytes: usize,
         delay: SimDuration,
     ) {
+        self.run_pre_send_hook(from, to);
+        let (envelope, delay) = self.prepare(handle.now(), from, to, msg, payload_bytes, delay);
+        self.inner.senders[to.index()].send_delayed(handle, envelope, delay);
+    }
+
+    /// Send from outside any simulated thread (scheduler callbacks). Used by
+    /// the per-tick message batcher, whose flush runs as an engine callback
+    /// at the end of the tick rather than on a simulated thread. The message
+    /// is timed from the global clock and obeys the same per-link FIFO order
+    /// as thread-originated sends.
+    pub fn send_with_delay_from_ctl(
+        &self,
+        ctl: &EngineCtl,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        payload_bytes: usize,
+        delay: SimDuration,
+    ) {
+        self.run_pre_send_hook(from, to);
+        let (envelope, delay) = self.prepare(ctl.now(), from, to, msg, payload_bytes, delay);
+        self.inner.senders[to.index()].send_from_ctl(ctl, envelope, delay);
+    }
+
+    /// Common half of every send: record statistics and enforce FIFO delivery
+    /// per directed link, returning the envelope and the (possibly stretched)
+    /// delivery delay.
+    fn prepare(
+        &self,
+        sent_at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        payload_bytes: usize,
+        delay: SimDuration,
+    ) -> (Envelope<M>, SimDuration) {
+        assert!(
+            self.inner.topology.contains(from) && self.inner.topology.contains(to),
+            "send between unknown nodes {from} -> {to}"
+        );
         self.inner.stats.record(from, to, payload_bytes);
-        let sent_at = handle.now();
-        // Enforce FIFO delivery per directed link.
         let delay = {
             let mut fifo = self.inner.fifo.lock();
             let earliest = fifo.entry((from, to)).or_insert(SimTime::ZERO);
@@ -154,7 +216,7 @@ impl<M: Send + 'static> Network<M> {
             sent_at,
             msg,
         };
-        self.inner.senders[to.index()].send_delayed(handle, envelope, delay);
+        (envelope, delay)
     }
 }
 
@@ -244,6 +306,41 @@ mod tests {
         let loopback = when.load(Ordering::SeqCst);
         assert!(loopback > 0);
         assert!(loopback < profiles::bip_myrinet().message_time(4096).as_nanos());
+    }
+
+    #[test]
+    fn ctl_sends_obey_link_fifo_and_reach_the_endpoint() {
+        let mut engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::bip_myrinet());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let rx = net.endpoint(NodeId(1));
+        let o = order.clone();
+        engine.spawn("receiver", move |h| {
+            for _ in 0..2 {
+                let env = rx.recv(h);
+                o.lock().push((env.msg, h.global_now()));
+            }
+        });
+        let net2 = net.clone();
+        let ctl = engine.ctl();
+        // A slow thread-originated message followed by a fast ctl-originated
+        // one on the same link: FIFO forbids the overtake.
+        engine.spawn("sender", move |h| {
+            net2.send(h, NodeId(0), NodeId(1), 1, 4096);
+            net2.send_with_delay_from_ctl(
+                &ctl,
+                NodeId(0),
+                NodeId(1),
+                2,
+                0,
+                SimDuration::from_micros(1),
+            );
+        });
+        engine.run().unwrap();
+        let order = order.lock();
+        assert_eq!(order[0].0, 1);
+        assert_eq!(order[1].0, 2);
+        assert!(order[0].1 <= order[1].1);
     }
 
     #[test]

@@ -194,6 +194,29 @@ impl Pm2Cluster {
         }
     }
 
+    /// Build the wire message and base delivery delay shared by the one-way
+    /// RPC flavours, and count the send in the monitor.
+    fn oneway_parts(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+        payload: RpcPayload,
+        class: RpcClass,
+    ) -> (RpcMessage, SimDuration) {
+        let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
+        self.inner.monitor.incr(&format!("rpc_oneway:{service}"));
+        (
+            RpcMessage::Request {
+                id,
+                service: service.to_string(),
+                needs_reply: false,
+                payload,
+            },
+            self.message_delay(from, to, class),
+        )
+    }
+
     /// One-way RPC: send `payload` to `service` on node `to` without waiting.
     pub fn rpc_oneway(
         &self,
@@ -204,22 +227,42 @@ impl Pm2Cluster {
         payload: RpcPayload,
         class: RpcClass,
     ) {
-        let id = self.inner.next_rpc_id.fetch_add(1, Ordering::SeqCst);
-        let delay = self.message_delay(from, to, class);
-        self.inner.network.send_with_delay(
-            sim,
+        let (msg, delay) = self.oneway_parts(from, to, service, payload, class);
+        self.inner
+            .network
+            .send_with_delay(sim, from, to, msg, class.accounted_bytes(), delay);
+    }
+
+    /// One-way RPC issued from a scheduler callback rather than a simulated
+    /// thread (the DSM message batcher flushes its per-tick outbox this way).
+    /// Semantics match [`Pm2Cluster::rpc_oneway`], timed from the global
+    /// clock but never departing before `not_before` — the logical send time
+    /// of a parked message, which may lie ahead of the global clock when the
+    /// sending thread carried uncommitted local compute.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rpc_oneway_from_ctl(
+        &self,
+        ctl: &EngineCtl,
+        from: NodeId,
+        to: NodeId,
+        service: &str,
+        payload: RpcPayload,
+        class: RpcClass,
+        not_before: SimTime,
+    ) {
+        let (msg, mut delay) = self.oneway_parts(from, to, service, payload, class);
+        let now = ctl.now();
+        if not_before > now {
+            delay += not_before - now;
+        }
+        self.inner.network.send_with_delay_from_ctl(
+            ctl,
             from,
             to,
-            RpcMessage::Request {
-                id,
-                service: service.to_string(),
-                needs_reply: false,
-                payload,
-            },
+            msg,
             class.accounted_bytes(),
             delay,
         );
-        self.inner.monitor.incr(&format!("rpc_oneway:{service}"));
     }
 
     fn dispatcher_loop(

@@ -47,6 +47,43 @@ impl Pm2Costs {
     }
 }
 
+/// Tuning knobs of the DSM layer installed on a cluster. They live in the
+/// cluster configuration (rather than in the DSM crate) so that a whole
+/// deployment — network profile, node count and DSM scale-out parameters —
+/// is described by one value that every layer can read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DsmTuning {
+    /// Number of independent shards of each node's page table. Lookups for
+    /// different shards never contend on the same lock; `1` reproduces the
+    /// historical single-lock table.
+    pub page_table_shards: usize,
+    /// Coalesce DSM coherence messages (invalidations, diffs, acks, ownership
+    /// notices) addressed to the same node within one virtual-time tick into
+    /// a single batched envelope on the wire.
+    pub batch_messages: bool,
+}
+
+impl Default for DsmTuning {
+    fn default() -> Self {
+        DsmTuning {
+            page_table_shards: 8,
+            batch_messages: true,
+        }
+    }
+}
+
+impl DsmTuning {
+    /// The pre-sharding, pre-batching behaviour (single-lock page table,
+    /// one wire message per coherence message). Used as the ablation
+    /// baseline.
+    pub fn legacy() -> Self {
+        DsmTuning {
+            page_table_shards: 1,
+            batch_messages: false,
+        }
+    }
+}
+
 /// Configuration of a simulated PM2 cluster.
 #[derive(Clone, Debug)]
 pub struct Pm2Config {
@@ -56,6 +93,8 @@ pub struct Pm2Config {
     pub network: NetworkModel,
     /// PM2 software cost constants.
     pub costs: Pm2Costs,
+    /// DSM-layer tuning knobs (page-table sharding, message batching).
+    pub dsm: DsmTuning,
 }
 
 impl Pm2Config {
@@ -65,7 +104,14 @@ impl Pm2Config {
             num_nodes,
             network,
             costs: Pm2Costs::default(),
+            dsm: DsmTuning::default(),
         }
+    }
+
+    /// Replace the DSM tuning knobs.
+    pub fn with_dsm_tuning(mut self, dsm: DsmTuning) -> Self {
+        self.dsm = dsm;
+        self
     }
 
     /// The default experimental platform of the paper: BIP/Myrinet.
@@ -97,5 +143,15 @@ mod tests {
         assert_eq!(Pm2Config::bip_myrinet(4).network.name, "BIP/Myrinet");
         assert_eq!(Pm2Config::sisci_sci(2).network.name, "SISCI/SCI");
         assert_eq!(Pm2Config::bip_myrinet(4).num_nodes, 4);
+    }
+
+    #[test]
+    fn dsm_tuning_defaults_and_legacy() {
+        let config = Pm2Config::bip_myrinet(2);
+        assert!(config.dsm.page_table_shards > 1);
+        assert!(config.dsm.batch_messages);
+        let legacy = Pm2Config::bip_myrinet(2).with_dsm_tuning(DsmTuning::legacy());
+        assert_eq!(legacy.dsm.page_table_shards, 1);
+        assert!(!legacy.dsm.batch_messages);
     }
 }

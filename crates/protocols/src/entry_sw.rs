@@ -160,7 +160,7 @@ impl DsmProtocol for EntryConsistency {
                 // Barrier acquire: drop potentially stale copies; they are
                 // re-fetched lazily on the next access.
                 if rt.frames(node).has(page)
-                    && !rt.page_table(node).get(page).modified_since_release
+                    && !rt.page_table(node).read(page, |e| e.modified_since_release)
                 {
                     rt.frames(node).evict(page);
                     rt.page_table(node).set_access(page, Access::None);
@@ -172,7 +172,7 @@ impl DsmProtocol for EntryConsistency {
             // prepare the twin that release-time diffing needs. A local copy
             // holding unpublished modifications (unguarded writes) is kept —
             // it will be published at the next release.
-            if !rt.page_table(node).get(page).modified_since_release {
+            if !rt.page_table(node).read(page, |e| e.modified_since_release) {
                 rt.frames(node).evict(page);
                 rt.page_table(node).set_access(page, Access::None);
                 ctx.pm2.sim.charge(rt.costs().table_update());
@@ -194,7 +194,8 @@ impl DsmProtocol for EntryConsistency {
             .iter()
             .copied()
             .filter(|&p| {
-                rt.page_table(node).contains(p) && rt.page_table(node).get(p).modified_since_release
+                rt.page_table(node).contains(p)
+                    && rt.page_table(node).read(p, |e| e.modified_since_release)
             })
             .collect();
         protolib::flush_diffs_to_homes(ctx.pm2.sim, node, &rt, &modified, false);

@@ -44,7 +44,7 @@ impl DsmProtocol for ErcSw {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        if rt.page_table(node).get(req.page).owned {
+        if rt.page_table(node).read(req.page, |e| e.owned) {
             protolib::serve_read_copy(ctx.sim, node, &rt, &req);
         } else {
             protolib::forward_request(ctx.sim, node, &rt, &req);
@@ -55,7 +55,7 @@ impl DsmProtocol for ErcSw {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        if rt.page_table(node).get(req.page).owned {
+        if rt.page_table(node).read(req.page, |e| e.owned) {
             protolib::serve_write_transfer(ctx.sim, node, &rt, &req);
         } else {
             protolib::forward_request(ctx.sim, node, &rt, &req);
@@ -85,35 +85,41 @@ impl DsmProtocol for ErcSw {
         let rt = ctx.runtime().clone();
         let node = ctx.node();
         // Invalidate every remote copy of the pages this node wrote (and
-        // owns) since the previous release.
+        // owns) since the previous release. The invalidations of all pages
+        // go out first and the acknowledgements are awaited together: the
+        // rounds overlap instead of serializing page by page, and
+        // invalidations for copies held by the same node leave in one
+        // batched envelope when per-tick batching is enabled.
         let modified = rt.page_table(node).modified_pages();
+        let mut in_flight = Vec::new();
         for page in modified {
-            let entry = rt.page_table(node).get(page);
-            if !entry.owned {
+            let (owned, targets, version) = rt.page_table(node).read(page, |e| {
+                let targets: Vec<_> = e.copyset.iter().copied().filter(|&n| n != node).collect();
+                (e.owned, targets, e.version)
+            });
+            if !owned {
                 // Ownership already moved away; the new owner is responsible.
                 rt.page_table(node)
                     .update(page, |e| e.modified_since_release = false);
                 continue;
             }
-            let targets: Vec<_> = entry
-                .copyset
-                .iter()
-                .copied()
-                .filter(|&n| n != node)
-                .collect();
-            protolib::invalidate_copyset_and_wait(
+            protolib::send_copyset_invalidations(
                 ctx.pm2.sim,
                 node,
                 &rt,
                 page,
                 &targets,
                 Some(node),
-                entry.version,
+                version,
             );
+            in_flight.push((page, targets));
+        }
+        for (page, targets) in in_flight {
+            protolib::await_invalidation_acks(ctx.pm2.sim, node, &rt, page);
             // Remove exactly the copies we invalidated — never clear the
-            // whole set: while invalidate_copyset_and_wait blocks, this
-            // node's server can grant fresh read copies, and wiping them
-            // from the copyset here would leave them stale forever.
+            // whole set: while the wait above blocks, this node's server can
+            // grant fresh read copies, and wiping them from the copyset here
+            // would leave them stale forever.
             rt.page_table(node).update(page, |e| {
                 e.copyset.retain(|n| !targets.contains(n));
                 e.copyset.insert(node);

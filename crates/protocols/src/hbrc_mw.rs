@@ -94,7 +94,7 @@ impl DsmProtocol for HbrcMw {
                 rt.send_diff(ctx.sim, node, home, diff, true);
                 let table = rt.page_table(node);
                 let waiters = table.waiters(inv.page);
-                waiters.wait_until(ctx.sim, || table.get(inv.page).pending_acks == 0);
+                waiters.wait_until(ctx.sim, || table.read(inv.page, |e| e.pending_acks == 0));
             }
         }
         protolib::apply_invalidation(ctx.sim, node, &rt, &inv);
@@ -138,18 +138,14 @@ impl DsmProtocol for HbrcMw {
             if rt.page_meta(page).home != node {
                 continue;
             }
-            let targets: Vec<NodeId> = rt
-                .page_table(node)
-                .get(page)
-                .copyset
-                .iter()
-                .copied()
-                .filter(|&n| n != node)
-                .collect();
+            let (targets, version) = rt.page_table(node).read(page, |e| {
+                let targets: Vec<NodeId> =
+                    e.copyset.iter().copied().filter(|&n| n != node).collect();
+                (targets, e.version)
+            });
             if targets.is_empty() {
                 continue;
             }
-            let version = rt.page_table(node).get(page).version;
             protolib::invalidate_copyset_and_wait(
                 ctx.pm2.sim,
                 node,

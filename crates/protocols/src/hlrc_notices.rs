@@ -166,13 +166,15 @@ impl DsmProtocol for HlrcNotices {
                 // The home copy is authoritative (diffs were applied there).
                 continue;
             }
-            let entry = rt.page_table(node).get(page);
-            if entry.modified_since_release {
+            let (modified_since_release, access) = rt
+                .page_table(node)
+                .read(page, |e| (e.modified_since_release, e.access));
+            if modified_since_release {
                 // Our own unpublished writes live here; they will be merged
                 // through a diff at our next release, so keep the copy.
                 continue;
             }
-            if rt.frames(node).has(page) && entry.access != Access::None {
+            if rt.frames(node).has(page) && access != Access::None {
                 rt.frames(node).evict(page);
                 rt.page_table(node).set_access(page, Access::None);
             }

@@ -29,7 +29,7 @@ pub fn replicate_read_migrate_write() -> Arc<dyn DsmProtocol> {
         .write_fault_handler(|ctx, fault| {
             let rt = ctx.runtime().clone();
             let node = ctx.node();
-            let entry = rt.page_table(node).get(fault.page);
+            let entry = rt.page_table(node).get(fault.page); // owned copy: the copyset is needed below
             if entry.owned {
                 // The thread already executes on the owning node but the
                 // owner's copy was downgraded to read-only when read replicas
@@ -66,7 +66,7 @@ pub fn replicate_read_migrate_write() -> Arc<dyn DsmProtocol> {
         .read_server(|ctx, req| {
             let rt = ctx.runtime.clone();
             let node = ctx.local_node;
-            if rt.page_table(node).get(req.page).owned {
+            if rt.page_table(node).read(req.page, |e| e.owned) {
                 protolib::serve_read_copy(ctx.sim, node, &rt, &req);
             } else {
                 protolib::forward_request(ctx.sim, node, &rt, &req);

@@ -80,6 +80,13 @@ impl DsmProtocol for JavaConsistency {
         }
     }
 
+    fn records_writes(&self) -> bool {
+        // Modifications reach main memory through the recorded ranges (the
+        // `put` path); a plain write that skipped recording would be lost at
+        // the next monitor entry when the cache is flushed.
+        true
+    }
+
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
         Self::cache_page(ctx, fault.page);
     }
@@ -120,7 +127,7 @@ impl DsmProtocol for JavaConsistency {
                 rt.send_diff(ctx.sim, node, home, diff, true);
                 let table = rt.page_table(node);
                 let waiters = table.waiters(inv.page);
-                waiters.wait_until(ctx.sim, || table.get(inv.page).pending_acks == 0);
+                waiters.wait_until(ctx.sim, || table.read(inv.page, |e| e.pending_acks == 0));
             }
         }
         protolib::apply_invalidation(ctx.sim, node, &rt, &inv);

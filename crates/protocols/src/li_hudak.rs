@@ -46,8 +46,7 @@ impl DsmProtocol for LiHudak {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        let entry = rt.page_table(node).get(req.page);
-        if entry.owned {
+        if rt.page_table(node).read(req.page, |e| e.owned) {
             protolib::serve_read_copy(ctx.sim, node, &rt, &req);
         } else {
             protolib::forward_request(ctx.sim, node, &rt, &req);
@@ -58,8 +57,7 @@ impl DsmProtocol for LiHudak {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        let entry = rt.page_table(node).get(req.page);
-        if entry.owned {
+        if rt.page_table(node).read(req.page, |e| e.owned) {
             protolib::serve_write_transfer(ctx.sim, node, &rt, &req);
         } else {
             protolib::forward_request(ctx.sim, node, &rt, &req);

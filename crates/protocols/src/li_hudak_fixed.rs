@@ -62,9 +62,9 @@ impl DsmProtocol for LiHudakFixed {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        let entry = rt.page_table(node).get(req.page);
+        let owned = rt.page_table(node).read(req.page, |e| e.owned);
         let home = rt.page_meta(req.page).home;
-        if entry.owned {
+        if owned {
             protolib::serve_read_copy(ctx.sim, node, &rt, &req);
         } else if node == home {
             // We are the manager but not the owner: forward to the recorded
@@ -82,9 +82,9 @@ impl DsmProtocol for LiHudakFixed {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        let entry = rt.page_table(node).get(req.page);
+        let owned = rt.page_table(node).read(req.page, |e| e.owned);
         let home = rt.page_meta(req.page).home;
-        if entry.owned {
+        if owned {
             // Serving transfers ownership; `serve_write_transfer` records the
             // requester as the new probable owner, which on the manager node
             // is precisely the manager's owner record.
@@ -157,7 +157,7 @@ impl DsmProtocol for LiHudakFixed {
         }
         // Fixed distributed manager: a non-manager node always sends its next
         // request to the manager, never along dynamic ownership hints.
-        if node != home && !rt.page_table(node).get(page).owned {
+        if node != home && !rt.page_table(node).read(page, |e| e.owned) {
             rt.page_table(node).update(page, |e| e.prob_owner = home);
         }
     }

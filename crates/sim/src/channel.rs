@@ -5,8 +5,13 @@
 //! model network latency), and receivers block in virtual time until a
 //! message is available. Delivery order is deterministic: messages become
 //! visible in (delivery time, send sequence) order.
+//!
+//! The module also provides [`TickOutbox`], the per-tick accumulator behind
+//! message batching: items addressed to the same key within one virtual-time
+//! tick are collected and handed back as one unit when the tick ends.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -183,6 +188,87 @@ impl<T: Send + 'static> SimReceiver<T> {
     }
 }
 
+/// Per-tick accumulator used to batch messages.
+///
+/// Items pushed for the same `key` at the same virtual-time `tick` land in
+/// one bucket. [`TickOutbox::push`] tells the caller when it opened a new
+/// bucket — that is the moment to schedule exactly one flush for it (with
+/// [`crate::EngineCtl::call_at`] at `tick`); the flush then drains the bucket
+/// with [`TickOutbox::take`] and forwards the whole batch as a single unit.
+/// Items pushed for the same (key, tick) *after* its flush ran simply open a
+/// fresh bucket, so no item is ever lost — a tick may occasionally produce
+/// two batches, never zero.
+pub struct TickOutbox<K, T> {
+    pending: Mutex<HashMap<(K, u64), Vec<T>>>,
+}
+
+impl<K: Eq + Hash + Copy, T> TickOutbox<K, T> {
+    /// An empty outbox.
+    pub fn new() -> Self {
+        TickOutbox {
+            pending: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Append `item` to the bucket for (`key`, `tick`). Returns `true` when
+    /// this opened the bucket: the caller must schedule a flush at `tick`.
+    pub fn push(&self, key: K, tick: SimTime, item: T) -> bool {
+        let mut pending = self.pending.lock();
+        let bucket = pending.entry((key, tick.as_nanos())).or_default();
+        bucket.push(item);
+        bucket.len() == 1
+    }
+
+    /// Drain and return the bucket for (`key`, `tick`); empty if the bucket
+    /// was already flushed.
+    pub fn take(&self, key: K, tick: SimTime) -> Vec<T> {
+        self.pending
+            .lock()
+            .remove(&(key, tick.as_nanos()))
+            .unwrap_or_default()
+    }
+
+    /// Drain every unflushed bucket for `key`, oldest tick first. Used to
+    /// flush a link eagerly when a later message must not overtake the
+    /// parked items (the scheduled per-bucket flush then finds an empty
+    /// bucket and does nothing).
+    pub fn take_all(&self, key: K) -> Vec<(SimTime, Vec<T>)> {
+        let mut pending = self.pending.lock();
+        let ticks: Vec<u64> = pending
+            .keys()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, t)| *t)
+            .collect();
+        let mut buckets: Vec<(SimTime, Vec<T>)> = ticks
+            .into_iter()
+            .filter_map(|t| {
+                pending
+                    .remove(&(key, t))
+                    .map(|items| (SimTime::from_nanos(t), items))
+            })
+            .collect();
+        buckets.sort_by_key(|(t, _)| *t);
+        buckets
+    }
+
+    /// Total number of items currently waiting in unflushed buckets.
+    pub fn pending(&self) -> usize {
+        self.pending.lock().values().map(Vec::len).sum()
+    }
+}
+
+impl<K: Eq + Hash + Copy, T> Default for TickOutbox<K, T> {
+    fn default() -> Self {
+        TickOutbox::new()
+    }
+}
+
+impl<K, T> std::fmt::Debug for TickOutbox<K, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TickOutbox({} buckets)", self.pending.lock().len())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +390,63 @@ mod tests {
         });
         engine.run().unwrap();
         assert_eq!(total.load(Ordering::SeqCst), 111);
+    }
+
+    #[test]
+    fn tick_outbox_groups_by_key_and_tick() {
+        let outbox: TickOutbox<u32, &'static str> = TickOutbox::new();
+        let t0 = SimTime::from_micros(10);
+        let t1 = SimTime::from_micros(20);
+        assert!(outbox.push(1, t0, "a"), "first item opens the bucket");
+        assert!(!outbox.push(1, t0, "b"), "second item joins it");
+        assert!(outbox.push(2, t0, "c"), "different key, own bucket");
+        assert!(outbox.push(1, t1, "d"), "different tick, own bucket");
+        assert_eq!(outbox.pending(), 4);
+        assert_eq!(outbox.take(1, t0), vec!["a", "b"]);
+        assert_eq!(outbox.take(1, t0), Vec::<&str>::new(), "drained");
+        assert_eq!(outbox.pending(), 2);
+        // A push after the flush opens a fresh bucket for the same slot.
+        assert!(outbox.push(1, t0, "late"));
+        assert_eq!(outbox.take(1, t0), vec!["late"]);
+    }
+
+    #[test]
+    fn tick_outbox_take_all_drains_a_key_in_tick_order() {
+        let outbox: TickOutbox<u32, u32> = TickOutbox::new();
+        let (t0, t1) = (SimTime::from_micros(30), SimTime::from_micros(10));
+        outbox.push(1, t0, 100);
+        outbox.push(1, t1, 200);
+        outbox.push(2, t0, 300);
+        let drained = outbox.take_all(1);
+        assert_eq!(drained, vec![(t1, vec![200]), (t0, vec![100])]);
+        assert_eq!(outbox.pending(), 1, "other keys untouched");
+        assert!(outbox.take_all(1).is_empty());
+    }
+
+    #[test]
+    fn tick_outbox_flush_via_call_at_sees_all_same_tick_items() {
+        // Two threads push for the same destination at the same virtual time;
+        // the flush scheduled by the bucket opener collects both items.
+        let mut engine = Engine::new();
+        let outbox: Arc<TickOutbox<u8, u32>> = Arc::new(TickOutbox::new());
+        let flushed = Arc::new(Mutex::new(Vec::new()));
+        for v in [1u32, 2] {
+            let outbox = outbox.clone();
+            let flushed = flushed.clone();
+            engine.spawn(format!("pusher{v}"), move |h| {
+                h.sleep(SimDuration::from_micros(5));
+                let tick = h.now();
+                if outbox.push(7, tick, v) {
+                    let outbox = outbox.clone();
+                    let flushed = flushed.clone();
+                    h.ctl().call_at(tick, move |_ctl| {
+                        flushed.lock().push(outbox.take(7, tick));
+                    });
+                }
+            });
+        }
+        engine.run().unwrap();
+        assert_eq!(flushed.lock().clone(), vec![vec![1, 2]]);
     }
 
     #[test]

@@ -44,7 +44,7 @@ mod thread;
 mod time;
 mod wait;
 
-pub use channel::{channel, SimReceiver, SimSender};
+pub use channel::{channel, SimReceiver, SimSender, TickOutbox};
 pub use engine::{Engine, EngineConfig, EngineCtl, RunReport};
 pub use error::SimError;
 pub use handle::SimHandle;

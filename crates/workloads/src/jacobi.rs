@@ -12,10 +12,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dsmpm2_core::{DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, HomePolicy, NodeId, Pm2Config};
+use dsmpm2_core::{
+    DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, DsmTuning, HomePolicy, NodeId, Pm2Config,
+};
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
-use dsmpm2_protocols::register_builtin_protocols;
+use dsmpm2_protocols::register_all_protocols;
 use dsmpm2_sim::{SimDuration, SimTime};
 
 /// Configuration of a Jacobi run.
@@ -31,6 +33,8 @@ pub struct JacobiConfig {
     pub network: NetworkModel,
     /// Virtual compute time charged per updated cell, in µs.
     pub compute_per_cell_us: f64,
+    /// DSM tuning knobs (page-table sharding, message batching).
+    pub tuning: DsmTuning,
 }
 
 impl JacobiConfig {
@@ -42,6 +46,7 @@ impl JacobiConfig {
             nodes,
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_cell_us: 0.05,
+            tuning: DsmTuning::default(),
         }
     }
 }
@@ -53,8 +58,14 @@ pub struct JacobiResult {
     pub elapsed: SimTime,
     /// Sum of the final grid (used to check cross-protocol agreement).
     pub checksum: f64,
+    /// Bit patterns of every final grid cell in row-major order — the exact
+    /// final shared memory, used by the cross-protocol conformance matrix.
+    pub final_cells: Vec<u64>,
     /// DSM statistics.
     pub stats: DsmStatsSnapshot,
+    /// Total messages put on the wire (after any batching): the metric the
+    /// batching ablation compares.
+    pub wire_messages: u64,
 }
 
 fn cell_addr(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
@@ -69,11 +80,11 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
     let engine = Engine::new();
     let rt = DsmRuntime::new(
         &engine,
-        Pm2Config::new(config.nodes, config.network.clone()),
+        Pm2Config::new(config.nodes, config.network.clone()).with_dsm_tuning(config.tuning),
     );
-    let protos = register_builtin_protocols(&rt);
-    let protocol = protos
-        .by_name(protocol_name)
+    let _ = register_all_protocols(&rt);
+    let protocol = rt
+        .protocol_by_name(protocol_name)
         .unwrap_or_else(|| panic!("unknown protocol {protocol_name}"));
     rt.set_default_protocol(protocol);
 
@@ -83,11 +94,13 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
     let barrier = rt.create_barrier(config.nodes, None);
     let finish = Arc::new(Mutex::new(Vec::new()));
     let checksum = Arc::new(Mutex::new(0.0f64));
+    let final_cells = Arc::new(Mutex::new(vec![0u64; config.size * config.size]));
 
     let rows_per_node = config.size / config.nodes;
     for node in 0..config.nodes {
         let finish = finish.clone();
         let checksum = checksum.clone();
+        let final_cells = final_cells.clone();
         let config = config.clone();
         rt.spawn_dsm_thread(NodeId(node), format!("jacobi-{node}"), move |ctx| {
             let size = config.size;
@@ -130,13 +143,20 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
                 std::mem::swap(&mut src, &mut dst);
             }
 
-            // Node-local contribution to the checksum.
+            // Node-local contribution to the checksum and to the captured
+            // final memory (each node reads back its own block, then
+            // publishes it under a single lock — never holding the host
+            // mutex across a DSM access, which may park the thread).
             let mut local = 0.0;
+            let mut block = Vec::with_capacity((last_row - first_row) * size);
             for row in first_row..last_row {
                 for col in 0..size {
-                    local += ctx.read::<f64>(cell_addr(src, size, row, col));
+                    let v = ctx.read::<f64>(cell_addr(src, size, row, col));
+                    block.push(v.to_bits());
+                    local += v;
                 }
             }
+            final_cells.lock()[first_row * size..last_row * size].copy_from_slice(&block);
             *checksum.lock() += local;
             finish.lock().push(ctx.pm2.now());
         });
@@ -146,10 +166,13 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
     engine.run().expect("jacobi must not deadlock");
     let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
     let checksum = *checksum.lock();
+    let final_cells = std::mem::take(&mut *final_cells.lock());
     JacobiResult {
         elapsed,
         checksum,
+        final_cells,
         stats: rt.stats().snapshot(),
+        wire_messages: rt.cluster().network().stats().messages(),
     }
 }
 

@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dsmpm2_core::{DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, HomePolicy, NodeId, Pm2Config};
+use dsmpm2_core::{
+    DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, DsmTuning, HomePolicy, NodeId, Pm2Config,
+};
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
 use dsmpm2_protocols::register_all_protocols;
@@ -28,6 +30,8 @@ pub struct MatmulConfig {
     pub network: NetworkModel,
     /// Virtual compute time charged per multiply-add, in µs.
     pub compute_per_madd_us: f64,
+    /// DSM tuning knobs (page-table sharding, message batching).
+    pub tuning: DsmTuning,
 }
 
 impl MatmulConfig {
@@ -38,6 +42,7 @@ impl MatmulConfig {
             nodes,
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_madd_us: 0.01,
+            tuning: DsmTuning::default(),
         }
     }
 }
@@ -49,8 +54,14 @@ pub struct MatmulResult {
     pub elapsed: SimTime,
     /// Sum of all entries of `C` (checked against the sequential oracle).
     pub checksum: f64,
+    /// Bit patterns of every final entry of `C` in row-major order — the
+    /// exact final shared memory, used by the conformance matrix.
+    pub final_cells: Vec<u64>,
     /// DSM statistics.
     pub stats: DsmStatsSnapshot,
+    /// Total messages put on the wire (after any batching): the metric the
+    /// batching ablation compares.
+    pub wire_messages: u64,
 }
 
 /// Deterministic input entry of `A`.
@@ -89,7 +100,7 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
     let engine = Engine::new();
     let rt = DsmRuntime::new(
         &engine,
-        Pm2Config::new(config.nodes, config.network.clone()),
+        Pm2Config::new(config.nodes, config.network.clone()).with_dsm_tuning(config.tuning),
     );
     let _ = register_all_protocols(&rt);
     let protocol = rt
@@ -106,11 +117,13 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
     let barrier = rt.create_barrier(config.nodes, None);
     let finish = Arc::new(Mutex::new(Vec::new()));
     let checksum = Arc::new(Mutex::new(0.0f64));
+    let final_cells = Arc::new(Mutex::new(vec![0u64; config.n * config.n]));
 
     let rows_per_node = config.n / config.nodes;
     for node in 0..config.nodes {
         let finish = finish.clone();
         let checksum = checksum.clone();
+        let final_cells = final_cells.clone();
         let config = config.clone();
         rt.spawn_dsm_thread(NodeId(node), format!("matmul-{node}"), move |ctx| {
             let n = config.n;
@@ -146,6 +159,17 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
                 config.compute_per_madd_us * madds as f64,
             ));
             ctx.dsm_barrier(barrier);
+            // Read the owned row block of C back from shared memory (not
+            // from the locally accumulated values): the conformance matrix
+            // compares what the DSM actually holds after the run. The block
+            // is buffered locally and published under one lock.
+            let mut block = Vec::with_capacity((last - first) * n);
+            for row in first..last {
+                for col in 0..n {
+                    block.push(ctx.read::<f64>(cell(c, n, row, col)).to_bits());
+                }
+            }
+            final_cells.lock()[first * n..last * n].copy_from_slice(&block);
             *checksum.lock() += local_sum;
             finish.lock().push(ctx.pm2.now());
         });
@@ -155,10 +179,13 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
     engine.run().expect("matmul must not deadlock");
     let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
     let checksum = *checksum.lock();
+    let final_cells = std::mem::take(&mut *final_cells.lock());
     MatmulResult {
         elapsed,
         checksum,
+        final_cells,
         stats: rt.stats().snapshot(),
+        wire_messages: rt.cluster().network().stats().messages(),
     }
 }
 
@@ -185,6 +212,7 @@ mod tests {
             nodes: 4,
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_madd_us: 0.01,
+            tuning: DsmTuning::default(),
         };
         let oracle = sequential_checksum(config.n);
         for proto in ["hbrc_mw", "hlrc_notices"] {

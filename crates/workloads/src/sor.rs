@@ -11,7 +11,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dsmpm2_core::{DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, HomePolicy, NodeId, Pm2Config};
+use dsmpm2_core::{
+    DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, DsmTuning, HomePolicy, NodeId, Pm2Config,
+};
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
 use dsmpm2_protocols::register_all_protocols;
@@ -32,6 +34,8 @@ pub struct SorConfig {
     pub network: NetworkModel,
     /// Virtual compute time charged per updated cell, in µs.
     pub compute_per_cell_us: f64,
+    /// DSM tuning knobs (page-table sharding, message batching).
+    pub tuning: DsmTuning,
 }
 
 impl SorConfig {
@@ -44,6 +48,7 @@ impl SorConfig {
             nodes,
             network: dsmpm2_madeleine::profiles::sisci_sci(),
             compute_per_cell_us: 0.05,
+            tuning: DsmTuning::default(),
         }
     }
 }
@@ -55,8 +60,14 @@ pub struct SorResult {
     pub elapsed: SimTime,
     /// Sum of the final grid.
     pub checksum: f64,
+    /// Bit patterns of every final grid cell in row-major order — the exact
+    /// final shared memory, used by the cross-protocol conformance matrix.
+    pub final_cells: Vec<u64>,
     /// DSM statistics.
     pub stats: DsmStatsSnapshot,
+    /// Total messages put on the wire (after any batching): the metric the
+    /// batching ablation compares.
+    pub wire_messages: u64,
 }
 
 fn initial(size: usize, row: usize, col: usize) -> f64 {
@@ -108,7 +119,7 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
     let engine = Engine::new();
     let rt = DsmRuntime::new(
         &engine,
-        Pm2Config::new(config.nodes, config.network.clone()),
+        Pm2Config::new(config.nodes, config.network.clone()).with_dsm_tuning(config.tuning),
     );
     let _ = register_all_protocols(&rt);
     let protocol = rt
@@ -121,11 +132,13 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
     let barrier = rt.create_barrier(config.nodes, None);
     let finish = Arc::new(Mutex::new(Vec::new()));
     let checksum = Arc::new(Mutex::new(0.0f64));
+    let final_cells = Arc::new(Mutex::new(vec![0u64; config.size * config.size]));
 
     let rows_per_node = config.size / config.nodes;
     for node in 0..config.nodes {
         let finish = finish.clone();
         let checksum = checksum.clone();
+        let final_cells = final_cells.clone();
         let config = config.clone();
         rt.spawn_dsm_thread(NodeId(node), format!("sor-{node}"), move |ctx| {
             let size = config.size;
@@ -166,11 +179,15 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
             }
 
             let mut local = 0.0;
+            let mut block = Vec::with_capacity((last - first) * size);
             for row in first..last {
                 for col in 0..size {
-                    local += ctx.read::<f64>(cell(grid, size, row, col));
+                    let v = ctx.read::<f64>(cell(grid, size, row, col));
+                    block.push(v.to_bits());
+                    local += v;
                 }
             }
+            final_cells.lock()[first * size..last * size].copy_from_slice(&block);
             *checksum.lock() += local;
             finish.lock().push(ctx.pm2.now());
         });
@@ -180,10 +197,13 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
     engine.run().expect("sor must not deadlock");
     let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
     let checksum = *checksum.lock();
+    let final_cells = std::mem::take(&mut *final_cells.lock());
     SorResult {
         elapsed,
         checksum,
+        final_cells,
         stats: rt.stats().snapshot(),
+        wire_messages: rt.cluster().network().stats().messages(),
     }
 }
 
@@ -204,6 +224,7 @@ mod tests {
             nodes: 4,
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_cell_us: 0.05,
+            tuning: DsmTuning::default(),
         };
         let oracle = sequential_checksum(&config);
         for proto in ["erc_sw", "hbrc_mw"] {

@@ -25,6 +25,7 @@ fn main() {
             nodes,
             network: dsm_pm2::madeleine::profiles::bip_myrinet(),
             compute_per_cell_us: 0.05,
+            tuning: dsm_pm2::pm2::DsmTuning::default(),
         };
         let r = run_jacobi(&config, proto);
         println!(

@@ -213,3 +213,119 @@ fn per_region_protocols_behave_independently() {
     assert_eq!(stats.page_transfers, 1);
     assert_eq!(stats.thread_migrations, 1);
 }
+
+// ---------------------------------------------------------------------------
+// Cross-protocol conformance matrix
+// ---------------------------------------------------------------------------
+//
+// The safety net for the sharded page table and the per-tick message batcher:
+// three workloads with different sharing patterns run under every
+// general-purpose protocol (the six of the paper's Table 2 minus none, plus
+// the two extension protocols that need no per-region configuration) on 1, 2
+// and 4 nodes, with sharding and batching enabled. The *exact* final shared
+// memory of every run must equal the single-node baseline computed with the
+// legacy tuning (single-lock table, no batching) — bit-for-bit, not within a
+// tolerance — so any divergence introduced by the scale-out machinery fails
+// loudly. (`entry_sw` is excluded: it requires regions to be bound to locks
+// and is exercised by its own tests.)
+
+use dsm_pm2::pm2::DsmTuning;
+use dsm_pm2::workloads::{
+    jacobi::{run_jacobi, JacobiConfig},
+    matmul::{run_matmul, MatmulConfig},
+    sor::{run_sor, SorConfig},
+};
+
+/// Every protocol that runs unmodified application code (8 of the 9 shipped).
+const MATRIX_PROTOCOLS: [&str; 8] = [
+    "li_hudak",
+    "li_hudak_fixed",
+    "migrate_thread",
+    "erc_sw",
+    "hbrc_mw",
+    "hlrc_notices",
+    "java_ic",
+    "java_pf",
+];
+
+const MATRIX_NODES: [usize; 3] = [1, 2, 4];
+
+/// The tuning under test: sharded page table + per-tick message batching.
+fn scale_out_tuning() -> DsmTuning {
+    DsmTuning {
+        page_table_shards: 8,
+        batch_messages: true,
+    }
+}
+
+#[test]
+fn conformance_matrix_jacobi() {
+    let config = |nodes: usize, tuning: DsmTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning,
+    };
+    let baseline = run_jacobi(&config(1, DsmTuning::legacy()), "li_hudak");
+    assert!(
+        baseline.final_cells.iter().any(|&c| c != 0),
+        "baseline must produce a non-trivial grid"
+    );
+    for proto in MATRIX_PROTOCOLS {
+        for nodes in MATRIX_NODES {
+            let r = run_jacobi(&config(nodes, scale_out_tuning()), proto);
+            assert_eq!(
+                r.final_cells, baseline.final_cells,
+                "jacobi final memory diverged under {proto} x {nodes} nodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn conformance_matrix_sor() {
+    let config = |nodes: usize, tuning: DsmTuning| SorConfig {
+        size: 16,
+        iterations: 2,
+        omega: 1.25,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning,
+    };
+    let baseline = run_sor(&config(1, DsmTuning::legacy()), "li_hudak");
+    assert!(baseline.final_cells.iter().any(|&c| c != 0));
+    for proto in MATRIX_PROTOCOLS {
+        for nodes in MATRIX_NODES {
+            let r = run_sor(&config(nodes, scale_out_tuning()), proto);
+            assert_eq!(
+                r.final_cells, baseline.final_cells,
+                "sor final memory diverged under {proto} x {nodes} nodes"
+            );
+        }
+    }
+}
+
+#[test]
+fn conformance_matrix_matmul() {
+    let config = |nodes: usize, tuning: DsmTuning| MatmulConfig {
+        n: 8,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_madd_us: 0.01,
+        tuning,
+    };
+    let baseline = run_matmul(&config(1, DsmTuning::legacy()), "li_hudak");
+    assert!(baseline.final_cells.iter().any(|&c| c != 0));
+    for proto in MATRIX_PROTOCOLS {
+        for nodes in MATRIX_NODES {
+            let r = run_matmul(&config(nodes, scale_out_tuning()), proto);
+            assert_eq!(
+                r.final_cells, baseline.final_cells,
+                "matmul final memory diverged under {proto} x {nodes} nodes"
+            );
+        }
+    }
+}

@@ -5,9 +5,13 @@
 //! `prop_assert_eq!`, `any::<T>()` for integer types, integer-range
 //! strategies, tuple strategies, and `proptest::collection::vec`.
 //!
-//! Unlike real proptest there is **no shrinking** and no persisted failure
-//! seeds: each test samples `cases` inputs from an RNG seeded
-//! deterministically from the test's name, so failures reproduce run-to-run.
+//! Each test samples `cases` inputs from an RNG seeded deterministically
+//! from the test's name, so failures reproduce run-to-run. On failure a
+//! minimal **halving-based shrinker** runs: every strategy can propose
+//! smaller candidate inputs (integers halve toward their lower bound,
+//! vectors halve their length then shrink elements, tuples shrink one
+//! component at a time), and the smallest input that still fails is
+//! reported. There are no persisted failure seeds.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -47,6 +51,25 @@ pub trait Strategy {
     type Value;
     /// Draw one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Propose strictly "smaller" candidates derived from a failing value,
+    /// most aggressive first (halving-based). An empty list stops the
+    /// shrinker for this value.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Halving candidates between `low` and a failing value `v` (as i128 to
+/// cover every integer type): the lower bound itself, the midpoint, and the
+/// immediate predecessor — most aggressive first.
+fn halving_candidates(low: i128, v: i128) -> Vec<i128> {
+    if v <= low {
+        return Vec::new();
+    }
+    let mut out = vec![low, low + (v - low) / 2, v - 1];
+    out.dedup();
+    out.retain(|&c| c < v);
+    out
 }
 
 macro_rules! impl_range_strategy_unsigned {
@@ -57,11 +80,23 @@ macro_rules! impl_range_strategy_unsigned {
                 assert!(self.start < self.end, "empty range strategy");
                 rng.gen_range_u64(self.start as u64, self.end as u64 - 1) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range_u64(*self.start() as u64, *self.end() as u64) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -75,11 +110,23 @@ macro_rules! impl_range_strategy_signed {
                 assert!(self.start < self.end, "empty range strategy");
                 rng.gen_range_i64(self.start as i64, self.end as i64 - 1) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_candidates(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for std::ops::RangeInclusive<$t> {
             type Value = $t;
             fn sample(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range_i64(*self.start() as i64, *self.end() as i64) as $t
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                halving_candidates(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -90,21 +137,40 @@ impl_range_strategy_signed!(i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // One component at a time, the others held fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )+};
 }
 
-impl_tuple_strategy!((A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
 
 /// Types with a canonical "anything" strategy (see [`any`]).
 pub trait Arbitrary: Sized {
     /// Draw an unconstrained value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Smaller candidates for a failing value (see [`Strategy::shrink`]).
+    fn shrink_value(_value: &Self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 macro_rules! impl_arbitrary_int {
@@ -112,6 +178,12 @@ macro_rules! impl_arbitrary_int {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.gen_range_u64(0, <$t>::MAX as u64) as $t
+            }
+            fn shrink_value(value: &Self) -> Vec<Self> {
+                halving_candidates(0, *value as i128)
+                    .into_iter()
+                    .map(|c| c as $t)
+                    .collect()
             }
         }
     )*};
@@ -122,6 +194,13 @@ impl_arbitrary_int!(u8, u16, u32, u64, usize);
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.gen_range_u64(0, 1) == 1
+    }
+    fn shrink_value(value: &Self) -> Vec<Self> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -134,6 +213,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     type Value = T;
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        T::shrink_value(value)
     }
 }
 
@@ -165,11 +247,38 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.gen_range_u64(self.min_len as u64, self.max_len as u64) as usize;
             (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            // Halve the length first (keeping the prefix), then drop each
+            // single element, then shrink elements in place.
+            if value.len() > self.min_len {
+                let half = (value.len() / 2).max(self.min_len);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in 0..value.len() {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            for (i, item) in value.iter().enumerate() {
+                for candidate in self.element.shrink(item) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -194,6 +303,70 @@ impl Default for ProptestConfig {
         // property tests fast while still exploring the space.
         ProptestConfig { cases: 64 }
     }
+}
+
+/// Drive the shrinker: starting from a failing input, repeatedly move to the
+/// first proposed candidate that still fails, until no candidate fails or
+/// the step budget is exhausted. `passes` returns `true` when the property
+/// HOLDS for a candidate. Returns the minimal failing input and the number
+/// of probes spent. Not public API (used by [`proptest!`]).
+#[doc(hidden)]
+pub fn __shrink_to_minimal<S: Strategy>(
+    strategy: &S,
+    mut failing: S::Value,
+    passes: &mut dyn FnMut(S::Value) -> bool,
+) -> (S::Value, u32)
+where
+    S::Value: Clone,
+{
+    const MAX_PROBES: u32 = 1024;
+    let mut probes = 0;
+    'outer: while probes < MAX_PROBES {
+        for candidate in strategy.shrink(&failing) {
+            probes += 1;
+            if !passes(candidate.clone()) {
+                failing = candidate;
+                continue 'outer;
+            }
+            if probes >= MAX_PROBES {
+                break 'outer;
+            }
+        }
+        break;
+    }
+    (failing, probes)
+}
+
+/// Pin a property closure's argument type to the strategy's value type (so
+/// the macro-generated closure type-checks without annotations). Not public
+/// API.
+#[doc(hidden)]
+pub fn __bind_runner<S: Strategy, F: Fn(S::Value)>(_strategy: &S, f: F) -> F {
+    f
+}
+
+/// Best-effort text of a caught panic payload. Not public API.
+#[doc(hidden)]
+pub fn __panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` with the global panic hook silenced, restoring the previous hook
+/// afterwards: shrink probing panics on purpose many times, and each panic
+/// would otherwise print a full backtrace. Not public API.
+#[doc(hidden)]
+pub fn __with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let result = f();
+    std::panic::set_hook(previous);
+    result
 }
 
 /// Common imports, mirroring `proptest::prelude`.
@@ -239,11 +412,37 @@ macro_rules! __proptest_impl {
                 let mut __rng = $crate::TestRng::deterministic(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
-                for __case in 0..__config.cases {
-                    let ($($arg,)+) = (
-                        $($crate::Strategy::sample(&($strat), &mut __rng),)+
-                    );
+                let __strategy = ($($strat,)+);
+                let __run = $crate::__bind_runner(&__strategy, |__input| {
+                    let ($($arg,)+) = __input;
                     $body
+                });
+                for __case in 0..__config.cases {
+                    let __input = $crate::Strategy::sample(&__strategy, &mut __rng);
+                    let __result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| __run(__input.clone())),
+                    );
+                    if let Err(__payload) = __result {
+                        // Shrink: walk toward the smallest input that still
+                        // fails, silencing the per-probe panic output.
+                        let (__minimal, __probes) = $crate::__with_quiet_panics(|| {
+                            $crate::__shrink_to_minimal(&__strategy, __input, &mut |__candidate| {
+                                ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                                    || __run(__candidate),
+                                ))
+                                .is_ok()
+                            })
+                        });
+                        panic!(
+                            "property '{}' failed on case {} ({}); minimal failing input \
+                             after {} shrink probe(s): {:?}",
+                            stringify!($name),
+                            __case,
+                            $crate::__panic_message(&*__payload),
+                            __probes,
+                            __minimal,
+                        );
+                    }
                 }
             }
         )+
@@ -296,5 +495,57 @@ mod tests {
         let mut a = crate::TestRng::deterministic("x");
         let mut b = crate::TestRng::deterministic("x");
         assert_eq!(a.gen_range_u64(0, 1000), b.gen_range_u64(0, 1000));
+    }
+
+    #[test]
+    fn shrinker_minimizes_an_integer_to_the_failure_boundary() {
+        // Property "x < 50" fails for any x >= 50; from a large failing
+        // sample the shrinker must land exactly on 50.
+        let strategy = 0u64..10_000;
+        let (minimal, probes) =
+            crate::__shrink_to_minimal(&strategy, 9_876, &mut |candidate| candidate < 50);
+        assert_eq!(minimal, 50);
+        assert!(probes > 0);
+    }
+
+    #[test]
+    fn shrinker_minimizes_vec_length_and_elements() {
+        // Property "no element >= 10" — minimal counterexample is one
+        // element of exactly 10.
+        let strategy = collection::vec(0u32..1000, 1..50);
+        let failing = vec![3, 999, 4, 17, 800];
+        let (minimal, _) = crate::__shrink_to_minimal(&strategy, failing, &mut |candidate| {
+            candidate.iter().all(|&x| x < 10)
+        });
+        assert_eq!(minimal, vec![10]);
+    }
+
+    #[test]
+    fn shrinker_minimizes_tuple_components_independently() {
+        // Fails when a + b >= 30.
+        let strategy = (0u64..100, 0u64..100);
+        let (minimal, _) =
+            crate::__shrink_to_minimal(&strategy, (80, 90), &mut |(a, b)| a + b < 30);
+        assert_eq!(minimal.0 + minimal.1, 30, "landed on the boundary");
+    }
+
+    #[test]
+    fn failing_property_reports_a_minimal_input() {
+        // A deliberately failing property run through the full macro path:
+        // the panic message must carry the shrunk (minimal) input, not the
+        // original random sample.
+        crate::proptest! {
+            #![proptest_config(crate::ProptestConfig::with_cases(20))]
+            fn sometimes_fails(x in 0u64..1_000_000) {
+                crate::prop_assert!(x < 3);
+            }
+        }
+        let result = std::panic::catch_unwind(sometimes_fails);
+        let message = crate::__panic_message(&*result.unwrap_err());
+        assert!(
+            message.contains("minimal failing input"),
+            "unexpected message: {message}"
+        );
+        assert!(message.contains("(3,)"), "not minimized: {message}");
     }
 }
