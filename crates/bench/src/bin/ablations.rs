@@ -255,6 +255,7 @@ fn main() {
             network: profiles::bip_myrinet(),
             compute_per_cell_us: 0.05,
             tuning,
+            sim: Default::default(),
         };
         let r = sor::run_sor(&config, "hbrc_mw");
         assert!(
@@ -374,6 +375,147 @@ fn main() {
         (1.0 - batched.wire_messages as f64 / unbatched.wire_messages as f64) * 100.0
     );
     write_json("ablation_batching", &[unbatched, batched]);
+
+    // --- Ablation 9: hbrc_mw home-side release invalidation burst -----------
+    println!(
+        "\nAblation 9: home-side release invalidation burst (hbrc_mw, 3 nodes, home writes its \
+         own pages)\n"
+    );
+    let (unbatched, unbatched_memory) = home_release_burst_study(false, quick);
+    let (batched, batched_memory) = home_release_burst_study(true, quick);
+    assert_eq!(
+        unbatched_memory, batched_memory,
+        "batching changed the final shared memory of the home-burst workload"
+    );
+    assert!(
+        batched.wire_messages < unbatched.wire_messages,
+        "the home-side invalidation burst must coalesce into strictly fewer wire messages \
+         ({} vs {})",
+        batched.wire_messages,
+        unbatched.wire_messages
+    );
+    assert!(
+        batched.coherence_batched_messages > 0,
+        "the batcher found nothing to coalesce in the home-side burst"
+    );
+    let rows: Vec<Vec<String>> = [&unbatched, &batched]
+        .iter()
+        .map(|m| {
+            vec![
+                if m.batch_messages {
+                    "batched"
+                } else {
+                    "unbatched"
+                }
+                .to_string(),
+                m.wire_messages.to_string(),
+                m.coherence_batches.to_string(),
+                m.coherence_batched_messages.to_string(),
+                format!("{:.1}", m.elapsed_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Configuration",
+                "Wire messages",
+                "Batches",
+                "Batched msgs",
+                "Run time (ms)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "hbrc_mw's home now sends the whole release-time invalidation round as one same-tick \
+         burst (previously it waited for each page's acks before invalidating the next page), \
+         so the per-tick batcher folds the per-target invalidations — and the targets' \
+         acknowledgements — into single envelopes: {} vs {} wire messages with bit-identical \
+         final memory (asserted above).",
+        batched.wire_messages, unbatched.wire_messages
+    );
+    write_json("ablation_home_burst", &[unbatched, batched]);
+}
+
+/// Workload exercising `hbrc_mw`'s *home-side* release invalidation: the
+/// home node itself updates every page it hosts inside one critical section
+/// while two other nodes hold read copies. At release, the home must
+/// invalidate the copysets of all its modified pages — the path that used to
+/// serialize page by page (send, wait for acks, next page) and now sends all
+/// rounds as one burst before collecting the acknowledgements.
+fn home_release_burst_study(batch_messages: bool, quick: bool) -> (BatchingPoint, Vec<u8>) {
+    let pages: u64 = if quick { 4 } else { 8 };
+    let rounds = if quick { 3 } else { 6 };
+    let nodes = 3usize;
+    let tuning = DsmTuning {
+        page_table_shards: 8,
+        batch_messages,
+    };
+    let config = Pm2Config::bip_myrinet(nodes).with_dsm_tuning(tuning);
+    let engine = Engine::with_config(config.engine_config());
+    let rt = DsmRuntime::new(&engine, config);
+    let _ = register_all_protocols(&rt);
+    rt.set_default_protocol(rt.protocol_by_name("hbrc_mw").unwrap());
+    let base = rt.dsm_malloc(
+        pages * 4096,
+        DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))),
+    );
+    let lock = rt.create_lock(Some(NodeId(0)));
+    let barrier = rt.create_barrier(nodes, None);
+    let finish = Arc::new(Mutex::new(SimDuration::ZERO));
+    for node in 0..nodes {
+        let finish = finish.clone();
+        rt.spawn_dsm_thread(NodeId(node), format!("burst{node}"), move |ctx| {
+            let start = ctx.pm2.now();
+            for round in 0..rounds {
+                if node == 0 {
+                    // The home updates a slot in every one of its pages
+                    // inside one critical section; the release invalidates
+                    // every reader's copy of every page.
+                    ctx.dsm_lock(lock);
+                    for page in 0..pages {
+                        ctx.write::<u64>(base.add(page * 4096), (round * 10) as u64);
+                    }
+                    ctx.dsm_unlock(lock);
+                } else {
+                    // The readers re-cache a copy of every page each round.
+                    ctx.dsm_lock(lock);
+                    let mut sum = 0u64;
+                    for page in 0..pages {
+                        sum = sum.wrapping_add(ctx.read::<u64>(base.add(page * 4096)));
+                    }
+                    std::hint::black_box(sum);
+                    ctx.dsm_unlock(lock);
+                }
+                ctx.dsm_barrier(barrier);
+            }
+            let mut f = finish.lock();
+            let elapsed = ctx.pm2.now().since(start);
+            if elapsed > *f {
+                *f = elapsed;
+            }
+        });
+    }
+    let mut engine = engine;
+    engine.run().expect("home-burst study must not deadlock");
+    let mut final_memory = Vec::new();
+    for page in 0..pages {
+        let mut buf = vec![0u8; 8];
+        rt.frames(NodeId(0))
+            .read(base.add(page * 4096).page(), 0, &mut buf);
+        final_memory.extend_from_slice(&buf);
+    }
+    let stats = rt.stats().snapshot();
+    let point = BatchingPoint {
+        batch_messages,
+        wire_messages: rt.cluster().network().stats().messages(),
+        coherence_batches: stats.coherence_batches,
+        coherence_batched_messages: stats.coherence_batched_messages,
+        elapsed_ms: finish.lock().as_micros_f64() / 1000.0,
+    };
+    (point, final_memory)
 }
 
 #[derive(Serialize)]
@@ -585,6 +727,7 @@ fn run_kernel(kernel: &str, proto: &str, nodes: usize, quick: bool) -> f64 {
                 network: profiles::bip_myrinet(),
                 compute_per_madd_us: 0.01,
                 tuning: Default::default(),
+                sim: Default::default(),
             };
             let r = matmul::run_matmul(&config, proto);
             assert!((r.checksum - matmul::sequential_checksum(config.n)).abs() < 1e-6);
@@ -599,6 +742,7 @@ fn run_kernel(kernel: &str, proto: &str, nodes: usize, quick: bool) -> f64 {
                 network: profiles::bip_myrinet(),
                 compute_per_cell_us: 0.05,
                 tuning: Default::default(),
+                sim: Default::default(),
             };
             let r = sor::run_sor(&config, proto);
             assert!((r.checksum - sor::sequential_checksum(&config)).abs() < 1e-6);

@@ -5,18 +5,40 @@
 //! are calibrated against the paper, so an unexplained speed-up is as
 //! suspicious as a slow-down in a virtual-time simulation.
 //!
-//! Usage: `compare [path/to/BENCH_seed.json]` (default: `BENCH_seed.json`
-//! in the working directory — the repository root under `cargo run`).
+//! Alongside the (virtual-time) read-fault envelope, the gate re-measures
+//! the *wall-clock* scheduler hand-off and enforces the PR 3 envelope: the
+//! futex baton must stay at least [`HANDOFF_MIN_SPEEDUP`]× faster per step
+//! than the legacy Condvar baton. The speed-up ratio is used rather than
+//! absolute nanoseconds so the gate is robust across machines; the recorded
+//! absolutes from `BENCH_pr3.json` are printed for context when present.
+//!
+//! Usage: `compare [path/to/BENCH_seed.json] [path/to/BENCH_pr3.json]`
+//! (defaults: `BENCH_seed.json` / `BENCH_pr3.json` in the working directory
+//! — the repository root under `cargo run`).
 //!
 //! Run in CI on every PR so perf-affecting changes must either stay inside
 //! the envelope or consciously regenerate the baseline.
 
-use dsmpm2_bench::markdown_table;
+use dsmpm2_bench::{markdown_table, measure_handoff};
 use dsmpm2_madeleine::profiles;
 use dsmpm2_workloads::{measure_read_fault, FaultPolicy};
 use serde::Value;
 
 const THRESHOLD: f64 = 0.10;
+/// The futex baton must beat the Condvar baton by at least this factor
+/// (PR 3 acceptance: ≥2× fewer wall-clock ns per step). The margin is wide
+/// even on a single-CPU host, where the futex baton parks immediately
+/// (`handoff_spin` auto-tunes to 0): one park/unpark pair per side still
+/// beats the legacy path's multiple mutex sections, condvar waits and
+/// broadcasts per step — measured 4.3× on a 1-vCPU container. A
+/// below-threshold first measurement is re-measured once with 3× the steps
+/// before the gate fails, to ride out noisy neighbours on shared runners.
+const HANDOFF_MIN_SPEEDUP: f64 = 2.0;
+/// Re-measuring here (rather than trusting the `sched_handoff` step's
+/// BENCH_pr3.json from the same CI run) costs ~2 s and keeps the gate
+/// honest against stale or hand-edited baselines.
+const HANDOFF_STEPS: u64 = 40_000;
+const HANDOFF_TRIALS: u32 = 3;
 
 fn number(value: &Value) -> Option<f64> {
     match value {
@@ -105,8 +127,66 @@ fn main() {
             &rows
         )
     );
+
+    // ----- scheduler hand-off envelope (wall clock) -------------------------
+    let pr3_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_pr3.json".to_string());
+    let mut m = measure_handoff(HANDOFF_STEPS, HANDOFF_TRIALS);
+    if m.speedup < HANDOFF_MIN_SPEEDUP {
+        // Wall-clock ratios can be disturbed by a noisy neighbour on shared
+        // CI runners; re-measure once with a longer run before declaring a
+        // regression, and keep the better of the two measurements.
+        eprintln!(
+            "hand-off ratio {:.2}x below threshold on first measurement; re-measuring \
+             with {}x steps to rule out scheduling noise",
+            m.speedup, 3
+        );
+        let retry = measure_handoff(HANDOFF_STEPS * 3, HANDOFF_TRIALS);
+        if retry.speedup > m.speedup {
+            m = retry;
+        }
+    }
+    println!(
+        "Hand-off gate: futex {:.0} ns/step vs Condvar {:.0} ns/step — {:.2}x \
+         (required ≥{HANDOFF_MIN_SPEEDUP:.1}x)",
+        m.futex_ns_per_step, m.condvar_ns_per_step, m.speedup
+    );
+    match std::fs::read_to_string(&pr3_path)
+        .ok()
+        .and_then(|text| serde_json::from_str_value(&text).ok())
+    {
+        Some(baseline) => {
+            let get = |key: &str| {
+                baseline
+                    .get("sched_handoff")
+                    .and_then(|h| h.get(key))
+                    .and_then(number)
+            };
+            if let (Some(futex), Some(condvar)) =
+                (get("futex_ns_per_step"), get("condvar_ns_per_step"))
+            {
+                println!(
+                    "  recorded in {pr3_path}: futex {futex:.0} ns/step, Condvar {condvar:.0} \
+                     ns/step (absolute numbers are machine-dependent and informational)"
+                );
+            }
+        }
+        None => {
+            println!("  note: no readable {pr3_path}; regenerate it with the sched_handoff binary")
+        }
+    }
+    if m.speedup < HANDOFF_MIN_SPEEDUP {
+        failures.push(format!(
+            "sched_handoff: futex baton only {:.2}x faster than Condvar \
+             ({:.0} vs {:.0} ns/step, required ≥{HANDOFF_MIN_SPEEDUP:.1}x)",
+            m.speedup, m.futex_ns_per_step, m.condvar_ns_per_step
+        ));
+    }
+    println!();
+
     if failures.is_empty() {
-        println!("All totals within the ±10% envelope.");
+        println!("All totals within the ±10% envelope; hand-off envelope holds.");
     } else {
         eprintln!("Perf gate FAILED:");
         for failure in &failures {

@@ -1,0 +1,65 @@
+//! `sched_handoff` — wall-clock microbenchmark of the scheduler baton.
+//!
+//! Measures the real (not virtual) cost of one simulated step under the
+//! futex-style baton and under the legacy Mutex+Condvar baton, prints the
+//! comparison, and records it machine-readably:
+//!
+//! * `results/sched_handoff.json` — like every other harness binary;
+//! * `BENCH_pr3.json` (working directory, next to `BENCH_seed.json`) — the
+//!   baseline the `compare` gate reads to enforce the hand-off envelope
+//!   (futex must stay ≥2× faster than the Condvar baton).
+//!
+//! Usage: `sched_handoff [--quick]`.
+
+use dsmpm2_bench::{markdown_table, measure_handoff, write_json};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Pr3Baseline {
+    sched_handoff: dsmpm2_bench::HandoffMeasurement,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steps = if quick { 30_000 } else { 150_000 };
+    let trials = if quick { 3 } else { 5 };
+
+    println!("sched_handoff: wall-clock ns per simulated step ({steps} steps, best of {trials})\n");
+    let m = measure_handoff(steps, trials);
+
+    println!(
+        "{}",
+        markdown_table(
+            &["Baton", "ns/step", "steps/s"],
+            &[
+                vec![
+                    "futex (default)".into(),
+                    format!("{:.0}", m.futex_ns_per_step),
+                    format!("{:.0}", 1e9 / m.futex_ns_per_step),
+                ],
+                vec![
+                    "legacy Condvar".into(),
+                    format!("{:.0}", m.condvar_ns_per_step),
+                    format!("{:.0}", 1e9 / m.condvar_ns_per_step),
+                ],
+            ],
+        )
+    );
+    println!(
+        "Speed-up: {:.2}x fewer wall-clock ns/step with the futex baton.",
+        m.speedup
+    );
+
+    write_json("sched_handoff", &m);
+    let baseline = Pr3Baseline { sched_handoff: m };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_pr3.json", json + "\n") {
+                eprintln!("warning: could not write BENCH_pr3.json: {e}");
+            } else {
+                println!("\nRecorded baseline in BENCH_pr3.json.");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize baseline: {e}"),
+    }
+}

@@ -1,0 +1,65 @@
+//! Wall-clock measurement of the scheduler/thread baton hand-off.
+//!
+//! Unlike every other number in this harness, this one is *real* time, not
+//! virtual time: the baton is the simulator's own hot path (two OS-thread
+//! wake-ups per simulated step), so its cost is pure wall-clock overhead
+//! that scales every simulation. The measurement runs one simulated thread
+//! that yields `steps` times and divides the elapsed wall-clock time by the
+//! step count; each step is one event pop, one baton grant and one baton
+//! return.
+
+use std::time::Instant;
+
+use dsmpm2_sim::{Engine, EngineConfig, SimTuning};
+use serde::Serialize;
+
+/// Result of measuring both hand-off implementations.
+#[derive(Clone, Debug, Serialize)]
+pub struct HandoffMeasurement {
+    /// Simulated yield steps per trial.
+    pub steps: u64,
+    /// Best-of-trials wall-clock nanoseconds per step, futex baton.
+    pub futex_ns_per_step: f64,
+    /// Best-of-trials wall-clock nanoseconds per step, legacy Condvar baton.
+    pub condvar_ns_per_step: f64,
+    /// `condvar_ns_per_step / futex_ns_per_step`.
+    pub speedup: f64,
+}
+
+/// Wall-clock ns/step of one hand-off implementation (best of `trials`).
+pub fn measure_handoff_mode(tuning: SimTuning, steps: u64, trials: u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let mut engine = Engine::with_config(EngineConfig {
+            tuning,
+            ..EngineConfig::default()
+        });
+        engine.spawn("stepper", move |h| {
+            for _ in 0..steps {
+                h.yield_now();
+            }
+        });
+        let start = Instant::now();
+        engine.run().expect("handoff benchmark must complete");
+        let ns = start.elapsed().as_nanos() as f64 / steps as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
+/// Measure both hand-offs back to back (a warm-up trial of each runs first
+/// so neither pays first-touch costs).
+pub fn measure_handoff(steps: u64, trials: u32) -> HandoffMeasurement {
+    measure_handoff_mode(SimTuning::default(), steps / 4, 1);
+    measure_handoff_mode(SimTuning::legacy(), steps / 4, 1);
+    let futex = measure_handoff_mode(SimTuning::default(), steps, trials);
+    let condvar = measure_handoff_mode(SimTuning::legacy(), steps, trials);
+    HandoffMeasurement {
+        steps,
+        futex_ns_per_step: futex,
+        condvar_ns_per_step: condvar,
+        speedup: condvar / futex,
+    }
+}

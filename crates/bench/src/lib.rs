@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod handoff;
 pub mod report;
 
+pub use handoff::{measure_handoff, measure_handoff_mode, HandoffMeasurement};
 pub use report::{markdown_table, write_json};

@@ -1,7 +1,7 @@
 //! Cluster configuration and PM2 software cost constants.
 
 use dsmpm2_madeleine::{profiles, NetworkModel};
-use dsmpm2_sim::SimDuration;
+use dsmpm2_sim::{SimDuration, SimTuning};
 
 /// Software-path cost constants of the PM2 runtime itself (independent of the
 /// interconnect). These model the user-level thread package (Marcel) and the
@@ -95,6 +95,10 @@ pub struct Pm2Config {
     pub costs: Pm2Costs,
     /// DSM-layer tuning knobs (page-table sharding, message batching).
     pub dsm: DsmTuning,
+    /// Simulation-engine tuning knobs (scheduler baton hand-off). Consumers
+    /// that build their own [`dsmpm2_sim::Engine`] should construct it with
+    /// these (the workload runners do); the default is the futex hand-off.
+    pub sim: SimTuning,
 }
 
 impl Pm2Config {
@@ -105,6 +109,7 @@ impl Pm2Config {
             network,
             costs: Pm2Costs::default(),
             dsm: DsmTuning::default(),
+            sim: SimTuning::default(),
         }
     }
 
@@ -112,6 +117,21 @@ impl Pm2Config {
     pub fn with_dsm_tuning(mut self, dsm: DsmTuning) -> Self {
         self.dsm = dsm;
         self
+    }
+
+    /// Replace the simulation-engine tuning knobs.
+    pub fn with_sim_tuning(mut self, sim: SimTuning) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// An [`dsmpm2_sim::EngineConfig`] matching this cluster configuration,
+    /// so harnesses can build the engine and the cluster from one value.
+    pub fn engine_config(&self) -> dsmpm2_sim::EngineConfig {
+        dsmpm2_sim::EngineConfig {
+            tuning: self.sim,
+            ..dsmpm2_sim::EngineConfig::default()
+        }
     }
 
     /// The default experimental platform of the paper: BIP/Myrinet.
@@ -143,6 +163,15 @@ mod tests {
         assert_eq!(Pm2Config::bip_myrinet(4).network.name, "BIP/Myrinet");
         assert_eq!(Pm2Config::sisci_sci(2).network.name, "SISCI/SCI");
         assert_eq!(Pm2Config::bip_myrinet(4).num_nodes, 4);
+    }
+
+    #[test]
+    fn sim_tuning_flows_into_engine_config() {
+        let config = Pm2Config::bip_myrinet(2);
+        assert!(!config.sim.legacy_condvar_handoff);
+        let legacy = Pm2Config::bip_myrinet(2).with_sim_tuning(SimTuning::legacy());
+        assert!(legacy.sim.legacy_condvar_handoff);
+        assert!(legacy.engine_config().tuning.legacy_condvar_handoff);
     }
 
     #[test]

@@ -40,4 +40,4 @@ pub use rpc::{
 /// Convenience re-exports of the layers below, so applications can depend on
 /// a single crate for cluster setup.
 pub use dsmpm2_madeleine::{profiles, NetworkModel, NodeId, Topology};
-pub use dsmpm2_sim::{Engine, EngineConfig, SimDuration, SimError, SimHandle, SimTime};
+pub use dsmpm2_sim::{Engine, EngineConfig, SimDuration, SimError, SimHandle, SimTime, SimTuning};

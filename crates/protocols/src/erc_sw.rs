@@ -112,19 +112,25 @@ impl DsmProtocol for ErcSw {
                 Some(node),
                 version,
             );
-            in_flight.push((page, targets));
-        }
-        for (page, targets) in in_flight {
-            protolib::await_invalidation_acks(ctx.pm2.sim, node, &rt, page);
-            // Remove exactly the copies we invalidated — never clear the
-            // whole set: while the wait above blocks, this node's server can
-            // grant fresh read copies, and wiping them from the copyset here
-            // would leave them stale forever.
+            // Remove the condemned copies from the copyset *before* any
+            // blocking (there is no yield point since the send): a target
+            // that refetches while the ack wait below blocks is re-inserted
+            // by this node's server and survives, whereas a post-wait retain
+            // could not tell that fresh copy apart from the original
+            // membership and would leave it stale forever.
             rt.page_table(node).update(page, |e| {
                 e.copyset.retain(|n| !targets.contains(n));
                 e.copyset.insert(node);
-                e.modified_since_release = false;
             });
+            in_flight.push(page);
+        }
+        for page in in_flight {
+            protolib::await_invalidation_acks(ctx.pm2.sim, node, &rt, page);
+            // The modified flag is only cleared once the acknowledgements
+            // are in: the release is not complete until every stale copy is
+            // provably gone.
+            rt.page_table(node)
+                .update(page, |e| e.modified_since_release = false);
         }
     }
 }

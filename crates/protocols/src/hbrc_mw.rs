@@ -133,7 +133,12 @@ impl DsmProtocol for HbrcMw {
         }
         // Pages homed here: the reference copy changed in place, so remote
         // copies are stale and must be invalidated before the release
-        // completes (they will be refetched on demand).
+        // completes (they will be refetched on demand). All rounds are sent
+        // first and the acknowledgements collected together, so the rounds
+        // overlap in the network instead of serializing page by page — and
+        // invalidations addressed to the same copy holder leave in one
+        // same-tick burst the per-tick batcher can coalesce.
+        let mut in_flight = Vec::new();
         for page in modified {
             if rt.page_meta(page).home != node {
                 continue;
@@ -146,7 +151,7 @@ impl DsmProtocol for HbrcMw {
             if targets.is_empty() {
                 continue;
             }
-            protolib::invalidate_copyset_and_wait(
+            protolib::send_copyset_invalidations(
                 ctx.pm2.sim,
                 node,
                 &rt,
@@ -155,12 +160,20 @@ impl DsmProtocol for HbrcMw {
                 None,
                 version,
             );
-            // Drop only the targets just invalidated: copies granted while
-            // the wait above blocked must stay in the copyset or they would
-            // never be invalidated again.
+            // Drop the condemned targets from the copyset *now*, before any
+            // blocking: there is no yield point between the send and this
+            // update, so a target that refetches the page while the ack wait
+            // below blocks is re-inserted by the page server and survives —
+            // whereas a post-wait retain would wrongly drop that fresh copy
+            // (it is indistinguishable from the original membership) and
+            // leave the node permanently stale.
             rt.page_table(node).update(page, |e| {
                 e.copyset.retain(|n| !targets.contains(n));
             });
+            in_flight.push(page);
+        }
+        for page in in_flight {
+            protolib::await_invalidation_acks(ctx.pm2.sim, node, &rt, page);
         }
     }
 

@@ -17,11 +17,69 @@ use parking_lot::Mutex;
 
 use crate::error::SimError;
 use crate::handle::SimHandle;
-use crate::thread::{ThreadId, ThreadSlot};
+use crate::thread::{SchedHandle, ThreadId, ThreadSlot};
 use crate::time::{SimDuration, SimTime};
 
 /// Marker panic payload used to unwind simulated threads during teardown.
 pub(crate) struct ShutdownUnwind;
+
+/// Best-effort extraction of a human-readable message from a panic payload,
+/// so the payload is propagated as the run's error.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Tuning knobs of the simulation engine itself (as opposed to the DSM-layer
+/// knobs on `Pm2Config`). The default is the futex-style baton hand-off; the
+/// legacy Condvar protocol stays selectable so conformance tests can assert
+/// both produce bit-identical runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimTuning {
+    /// Use the original Mutex+Condvar scheduler/thread hand-off instead of
+    /// the atomic-phase + `std::thread::park` baton.
+    pub legacy_condvar_handoff: bool,
+    /// Iterations of `spin_loop` each side of the futex baton burns before
+    /// parking its OS thread (ignored by the legacy path).
+    pub handoff_spin: u32,
+}
+
+impl Default for SimTuning {
+    fn default() -> Self {
+        SimTuning {
+            legacy_condvar_handoff: false,
+            handoff_spin: default_handoff_spin(),
+        }
+    }
+}
+
+/// Spinning before parking only pays off when the peer can actually make
+/// progress on another core; on a single-CPU host every spin iteration just
+/// burns the quantum the peer needs, so park immediately. The choice only
+/// affects wall-clock speed, never simulated behaviour.
+fn default_handoff_spin() -> u32 {
+    static SPIN: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *SPIN.get_or_init(|| match std::thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 64,
+        _ => 0,
+    })
+}
+
+impl SimTuning {
+    /// The pre-futex behaviour: every hand-off goes through Mutex+Condvar.
+    /// Used as the microbenchmark baseline and by conformance-matrix rows.
+    pub fn legacy() -> Self {
+        SimTuning {
+            legacy_condvar_handoff: true,
+            handoff_spin: 0,
+        }
+    }
+}
 
 /// Configuration for an [`Engine`].
 #[derive(Clone, Debug)]
@@ -31,6 +89,8 @@ pub struct EngineConfig {
     pub max_events: u64,
     /// Human-readable label used in traces.
     pub name: String,
+    /// Engine tuning knobs (baton hand-off selection).
+    pub tuning: SimTuning,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +98,7 @@ impl Default for EngineConfig {
         EngineConfig {
             max_events: 50_000_000,
             name: "sim".to_string(),
+            tuning: SimTuning::default(),
         }
     }
 }
@@ -103,6 +164,8 @@ pub(crate) struct Shared {
     context_switches: AtomicU64,
     events_processed: AtomicU64,
     threads_spawned: AtomicU64,
+    /// The scheduler's OS-thread handle, shared by every slot's futex baton.
+    sched: Arc<SchedHandle>,
     config: EngineConfig,
 }
 
@@ -146,7 +209,12 @@ impl Shared {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let tid = ThreadId(self.next_tid.fetch_add(1, Ordering::SeqCst));
-        let slot = Arc::new(ThreadSlot::new(tid, name.clone()));
+        let slot = Arc::new(ThreadSlot::new(
+            tid,
+            name.clone(),
+            &self.config.tuning,
+            Arc::clone(&self.sched),
+        ));
         let shared = Arc::clone(self);
         let slot_for_thread = Arc::clone(&slot);
         let join = std::thread::Builder::new()
@@ -167,14 +235,7 @@ impl Shared {
                 }));
                 if let Err(payload) = result {
                     if payload.downcast_ref::<ShutdownUnwind>().is_none() {
-                        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                            (*s).to_string()
-                        } else if let Some(s) = payload.downcast_ref::<String>() {
-                            s.clone()
-                        } else {
-                            "panic with non-string payload".to_string()
-                        };
-                        shared.record_panic(slot_for_thread.name.clone(), msg);
+                        shared.record_panic(slot_for_thread.name.clone(), panic_message(&*payload));
                     }
                 }
                 slot_for_thread.mark_finished();
@@ -307,6 +368,7 @@ impl Engine {
                 context_switches: AtomicU64::new(0),
                 events_processed: AtomicU64::new(0),
                 threads_spawned: AtomicU64::new(0),
+                sched: Arc::new(SchedHandle::new()),
                 config,
             }),
             ran: false,
@@ -355,13 +417,23 @@ impl Engine {
             return Err(SimError::AlreadyRan);
         }
         self.ran = true;
-        let result = self.run_inner();
+        // The scheduler loop itself must never skip teardown: a panic that
+        // escaped run_inner (e.g. out of a scheduler callback, or a bug in
+        // the engine) would otherwise leave simulated threads parked forever
+        // with no one holding the baton. Tear down first, then re-raise.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| self.run_inner()));
         self.teardown();
-        result
+        match result {
+            Ok(result) => result,
+            Err(payload) => panic::resume_unwind(payload),
+        }
     }
 
     fn run_inner(&self) -> Result<RunReport, SimError> {
         let shared = &self.shared;
+        // Publish the scheduler's OS-thread handle before the first grant so
+        // simulated threads can wake us from their futex batons.
+        shared.sched.register_current();
         loop {
             if let Some((thread, message)) = shared.panic_info.lock().take() {
                 return Err(SimError::ThreadPanic { thread, message });
@@ -425,7 +497,13 @@ impl Engine {
                     let ctl = EngineCtl {
                         shared: Arc::clone(shared),
                     };
-                    f(&ctl);
+                    // A panicking scheduler callback must not take down the
+                    // scheduler loop (teardown would never release the other
+                    // threads' batons); record it like a thread panic and
+                    // let the loop head convert it into the run's error.
+                    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&ctl))) {
+                        shared.record_panic("scheduler-call".to_string(), panic_message(&*payload));
+                    }
                 }
             }
         }
@@ -570,6 +648,7 @@ mod tests {
         let mut engine = Engine::with_config(EngineConfig {
             max_events: 10,
             name: "tiny".into(),
+            ..EngineConfig::default()
         });
         engine.spawn("spinner", |h| loop {
             h.sleep(SimDuration::from_micros(1));

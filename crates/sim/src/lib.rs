@@ -45,7 +45,7 @@ mod time;
 mod wait;
 
 pub use channel::{channel, SimReceiver, SimSender, TickOutbox};
-pub use engine::{Engine, EngineConfig, EngineCtl, RunReport};
+pub use engine::{Engine, EngineConfig, EngineCtl, RunReport, SimTuning};
 pub use error::SimError;
 pub use handle::SimHandle;
 pub use thread::ThreadId;

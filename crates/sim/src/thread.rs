@@ -5,9 +5,27 @@
 //! "baton" to the thread chosen by the event queue and waits until the thread
 //! parks again. This makes every run fully deterministic while letting user
 //! code be written as ordinary imperative Rust (the PM2 programming model).
+//!
+//! Two baton implementations exist:
+//!
+//! * **Futex-style** (default): the slot is a single atomic [`Phase`] word;
+//!   each side publishes its transition with one atomic store and wakes the
+//!   other with one `std::thread::unpark`, spinning briefly before parking.
+//!   No lock is held across any wait, so a hand-off between two running
+//!   cores is a store + an unpark — the scheduler grants and reclaims the
+//!   baton with at most one atomic RMW-equivalent and one unpark per step.
+//! * **Legacy Condvar** ([`crate::SimTuning::legacy_condvar_handoff`]): the
+//!   original Mutex+Condvar protocol on `std::sync` (what the pre-PR 3
+//!   `parking_lot` shim wrapped), kept selectable so the conformance matrix
+//!   can assert both hand-offs produce bit-identical runs and so the
+//!   `sched_handoff` microbenchmark measures the true historical baseline.
 
-use parking_lot::{Condvar, Mutex};
-use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::thread::Thread;
+use std::{fmt, ptr, sync};
+
+use crate::engine::SimTuning;
 
 /// Identifier of a simulated thread, unique within one [`crate::Engine`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -33,18 +51,33 @@ impl fmt::Display for ThreadId {
 }
 
 /// Life-cycle of a simulated thread with respect to the scheduler baton.
+/// Stored as a plain enum in the legacy path and as a `u32` in the atomic
+/// word of the futex path.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub(crate) enum Phase {
     /// OS thread spawned but has not yet reached its first park.
-    Created,
+    Created = 0,
     /// Waiting for the scheduler to grant the baton.
-    Parked,
+    Parked = 1,
     /// The scheduler has granted the baton; the thread has not resumed yet.
-    Granted,
+    Granted = 2,
     /// Currently executing user code.
-    Running,
+    Running = 3,
     /// The thread body returned (or panicked); it will never run again.
-    Finished,
+    Finished = 4,
+}
+
+impl Phase {
+    fn from_u32(v: u32) -> Phase {
+        match v {
+            0 => Phase::Created,
+            1 => Phase::Parked,
+            2 => Phase::Granted,
+            3 => Phase::Running,
+            4 => Phase::Finished,
+            other => unreachable!("invalid phase word {other}"),
+        }
+    }
 }
 
 pub(crate) struct SlotState {
@@ -54,24 +87,120 @@ pub(crate) struct SlotState {
     pub shutdown: bool,
 }
 
+/// The scheduler's OS-thread handle, published (once per engine run) through
+/// an `AtomicPtr` so simulated threads can wake the scheduler with SeqCst
+/// Dekker-style visibility: a thread that stores its phase and then fails to
+/// see the handle is guaranteed the scheduler has not yet read the phase, so
+/// the scheduler will observe the store before parking.
+pub(crate) struct SchedHandle {
+    ptr: AtomicPtr<Thread>,
+}
+
+impl SchedHandle {
+    pub fn new() -> Self {
+        SchedHandle {
+            ptr: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Publish the calling thread as the scheduler. Idempotent; only ever
+    /// called from the (single) scheduler thread.
+    pub fn register_current(&self) {
+        if self.ptr.load(Ordering::SeqCst).is_null() {
+            let boxed = Box::into_raw(Box::new(std::thread::current()));
+            if self
+                .ptr
+                .compare_exchange(ptr::null_mut(), boxed, Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                // Somebody (us, earlier) already registered.
+                drop(unsafe { Box::from_raw(boxed) });
+            }
+        }
+    }
+
+    fn unpark(&self) {
+        let p = self.ptr.load(Ordering::SeqCst);
+        if !p.is_null() {
+            unsafe { &*p }.unpark();
+        }
+    }
+}
+
+impl Drop for SchedHandle {
+    fn drop(&mut self) {
+        let p = self.ptr.swap(ptr::null_mut(), Ordering::SeqCst);
+        if !p.is_null() {
+            drop(unsafe { Box::from_raw(p) });
+        }
+    }
+}
+
 /// Hand-off slot shared between the scheduler and one simulated thread.
 pub(crate) struct ThreadSlot {
     pub id: ThreadId,
     pub name: String,
-    pub state: Mutex<SlotState>,
-    pub cond: Condvar,
+    /// True when this slot uses the legacy Condvar protocol.
+    legacy: bool,
+    /// Spin iterations before parking (futex path).
+    spin: u32,
+    // ----- futex path -------------------------------------------------------
+    /// The atomic phase word ([`Phase`] as u32).
+    phase: AtomicU32,
+    /// Teardown flag; checked by the thread before resuming user code.
+    shutdown: AtomicBool,
+    /// Handle of the backing OS thread, set by that thread before its first
+    /// `Parked` store (the release/acquire hand-off on `phase` publishes it
+    /// to the scheduler).
+    os_thread: OnceLock<Thread>,
+    /// Handle of the scheduler thread, shared engine-wide.
+    sched: std::sync::Arc<SchedHandle>,
+    // ----- legacy Condvar path (std::sync, the pre-PR 3 substrate) ----------
+    state: sync::Mutex<SlotState>,
+    cond: sync::Condvar,
 }
 
 impl ThreadSlot {
-    pub fn new(id: ThreadId, name: String) -> Self {
+    pub fn new(
+        id: ThreadId,
+        name: String,
+        tuning: &SimTuning,
+        sched: std::sync::Arc<SchedHandle>,
+    ) -> Self {
         ThreadSlot {
             id,
             name,
-            state: Mutex::new(SlotState {
+            legacy: tuning.legacy_condvar_handoff,
+            spin: tuning.handoff_spin,
+            phase: AtomicU32::new(Phase::Created as u32),
+            shutdown: AtomicBool::new(false),
+            os_thread: OnceLock::new(),
+            sched,
+            state: sync::Mutex::new(SlotState {
                 phase: Phase::Created,
                 shutdown: false,
             }),
-            cond: Condvar::new(),
+            cond: sync::Condvar::new(),
+        }
+    }
+
+    /// Lock the legacy slot state, transparently recovering from poisoning
+    /// (a simulated thread that panicked mid-hand-off must not wedge the
+    /// scheduler).
+    fn legacy_state(&self) -> sync::MutexGuard<'_, SlotState> {
+        match self.state.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn legacy_wait<'a>(
+        &self,
+        guard: sync::MutexGuard<'a, SlotState>,
+    ) -> sync::MutexGuard<'a, SlotState> {
+        match self.cond.wait(guard) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
         }
     }
 
@@ -79,14 +208,46 @@ impl ThreadSlot {
     /// until the scheduler grants the baton. Returns `false` if the engine is
     /// shutting down and the thread must unwind without running user code.
     pub fn park_and_wait(&self) -> bool {
-        let mut st = self.state.lock();
+        if self.legacy {
+            return self.park_and_wait_legacy();
+        }
+        // Publish our handle before the Parked store so the scheduler can
+        // unpark us as soon as it observes the phase.
+        let _ = self.os_thread.set(std::thread::current());
+        self.phase.store(Phase::Parked as u32, Ordering::SeqCst);
+        self.sched.unpark();
+        let mut spins = 0u32;
+        loop {
+            let phase = self.phase.load(Ordering::SeqCst);
+            if phase == Phase::Granted as u32 {
+                break;
+            }
+            if self.shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            if spins < self.spin {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        }
+        if self.shutdown.load(Ordering::SeqCst) {
+            return false;
+        }
+        self.phase.store(Phase::Running as u32, Ordering::SeqCst);
+        true
+    }
+
+    fn park_and_wait_legacy(&self) -> bool {
+        let mut st = self.legacy_state();
         st.phase = Phase::Parked;
         self.cond.notify_all();
         while st.phase != Phase::Granted {
             if st.shutdown {
                 return false;
             }
-            self.cond.wait(&mut st);
+            st = self.legacy_wait(st);
         }
         if st.shutdown {
             return false;
@@ -95,22 +256,65 @@ impl ThreadSlot {
         true
     }
 
+    /// Spin-then-park (on the scheduler thread) until the slot's phase is
+    /// `Parked` or `Finished`, returning the phase observed.
+    fn sched_await_parked_or_finished(&self) -> Phase {
+        // Make sure the simulated thread can wake us before we decide to
+        // sleep (SeqCst pairing with the thread's phase store).
+        self.sched.register_current();
+        let mut spins = 0u32;
+        loop {
+            let phase = self.phase.load(Ordering::SeqCst);
+            if phase == Phase::Parked as u32 || phase == Phase::Finished as u32 {
+                return Phase::from_u32(phase);
+            }
+            if spins < self.spin {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::park();
+            }
+        }
+    }
+
     /// Called by the scheduler: wait until the OS thread has reached its
     /// first park (right after spawn, the thread may not have started yet).
     pub fn wait_until_parked_or_finished(&self) {
-        let mut st = self.state.lock();
-        while st.phase != Phase::Parked && st.phase != Phase::Finished {
-            self.cond.wait(&mut st);
+        if self.legacy {
+            let mut st = self.legacy_state();
+            while st.phase != Phase::Parked && st.phase != Phase::Finished {
+                st = self.legacy_wait(st);
+            }
+            return;
         }
+        self.sched_await_parked_or_finished();
     }
 
     /// Called by the scheduler: grant the baton to a parked thread and block
     /// until it parks again or finishes. Returns `false` if the thread was
     /// already finished (stale wake event).
     pub fn grant_and_wait(&self) -> bool {
-        let mut st = self.state.lock();
+        if self.legacy {
+            return self.grant_and_wait_legacy();
+        }
+        if self.sched_await_parked_or_finished() == Phase::Finished {
+            return false;
+        }
+        // The grant itself: one store + one unpark. The thread is parked, so
+        // its handle is guaranteed to be published.
+        self.phase.store(Phase::Granted as u32, Ordering::SeqCst);
+        self.os_thread
+            .get()
+            .expect("parked thread published its handle")
+            .unpark();
+        self.sched_await_parked_or_finished();
+        true
+    }
+
+    fn grant_and_wait_legacy(&self) -> bool {
+        let mut st = self.legacy_state();
         while st.phase == Phase::Created {
-            self.cond.wait(&mut st);
+            st = self.legacy_wait(st);
         }
         if st.phase == Phase::Finished {
             return false;
@@ -119,34 +323,57 @@ impl ThreadSlot {
         st.phase = Phase::Granted;
         self.cond.notify_all();
         while st.phase != Phase::Parked && st.phase != Phase::Finished {
-            self.cond.wait(&mut st);
+            st = self.legacy_wait(st);
         }
         true
     }
 
     /// Called by the backing OS thread when its body has returned or panicked.
     pub fn mark_finished(&self) {
-        let mut st = self.state.lock();
-        st.phase = Phase::Finished;
-        self.cond.notify_all();
+        if self.legacy {
+            let mut st = self.legacy_state();
+            st.phase = Phase::Finished;
+            self.cond.notify_all();
+            return;
+        }
+        self.phase.store(Phase::Finished as u32, Ordering::SeqCst);
+        self.sched.unpark();
     }
 
     /// Called by the scheduler during teardown: release any thread that is
     /// still waiting for the baton so its OS thread can exit.
     pub fn request_shutdown(&self) {
-        let mut st = self.state.lock();
-        st.shutdown = true;
-        self.cond.notify_all();
+        if self.legacy {
+            let mut st = self.legacy_state();
+            st.shutdown = true;
+            self.cond.notify_all();
+            return;
+        }
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.os_thread.get() {
+            thread.unpark();
+        }
+        // A thread that has not yet published its handle has not parked
+        // either: it will observe the shutdown flag before its first park.
     }
 
     /// True if the thread is currently parked (used for deadlock reporting).
     pub fn is_parked(&self) -> bool {
-        matches!(self.state.lock().phase, Phase::Parked | Phase::Created)
+        if self.legacy {
+            return matches!(self.legacy_state().phase, Phase::Parked | Phase::Created);
+        }
+        matches!(
+            Phase::from_u32(self.phase.load(Ordering::SeqCst)),
+            Phase::Parked | Phase::Created
+        )
     }
 
     /// True if the thread has finished.
     pub fn is_finished(&self) -> bool {
-        self.state.lock().phase == Phase::Finished
+        if self.legacy {
+            return self.legacy_state().phase == Phase::Finished;
+        }
+        self.phase.load(Ordering::SeqCst) == Phase::Finished as u32
     }
 }
 
@@ -154,6 +381,25 @@ impl ThreadSlot {
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    fn slot(id: u64, tuning: &SimTuning) -> Arc<ThreadSlot> {
+        Arc::new(ThreadSlot::new(
+            ThreadId(id),
+            "t".into(),
+            tuning,
+            Arc::new(SchedHandle::new()),
+        ))
+    }
+
+    fn both_tunings() -> [SimTuning; 2] {
+        [
+            SimTuning::default(),
+            SimTuning {
+                legacy_condvar_handoff: true,
+                ..SimTuning::default()
+            },
+        ]
+    }
 
     #[test]
     fn thread_id_display() {
@@ -164,34 +410,61 @@ mod tests {
 
     #[test]
     fn slot_handoff_roundtrip() {
-        let slot = Arc::new(ThreadSlot::new(ThreadId(1), "t".into()));
-        let s2 = slot.clone();
-        let h = std::thread::spawn(move || {
-            // First park, then run once, then finish.
-            assert!(s2.park_and_wait());
-            s2.mark_finished();
-        });
-        slot.wait_until_parked_or_finished();
-        assert!(slot.is_parked());
-        assert!(slot.grant_and_wait());
-        assert!(slot.is_finished());
-        // A second grant on a finished thread reports staleness.
-        assert!(!slot.grant_and_wait());
-        h.join().unwrap();
+        for tuning in both_tunings() {
+            let slot = slot(1, &tuning);
+            let s2 = slot.clone();
+            let h = std::thread::spawn(move || {
+                // First park, then run once, then finish.
+                assert!(s2.park_and_wait());
+                s2.mark_finished();
+            });
+            slot.wait_until_parked_or_finished();
+            assert!(slot.is_parked() || slot.is_finished());
+            assert!(slot.grant_and_wait());
+            assert!(slot.is_finished());
+            // A second grant on a finished thread reports staleness.
+            assert!(!slot.grant_and_wait());
+            h.join().unwrap();
+        }
     }
 
     #[test]
     fn shutdown_releases_parked_thread() {
-        let slot = Arc::new(ThreadSlot::new(ThreadId(2), "t".into()));
-        let s2 = slot.clone();
-        let h = std::thread::spawn(move || {
-            let resumed = s2.park_and_wait();
-            assert!(!resumed);
-            s2.mark_finished();
-        });
-        slot.wait_until_parked_or_finished();
-        slot.request_shutdown();
-        h.join().unwrap();
-        assert!(slot.is_finished());
+        for tuning in both_tunings() {
+            let slot = slot(2, &tuning);
+            let s2 = slot.clone();
+            let h = std::thread::spawn(move || {
+                let resumed = s2.park_and_wait();
+                assert!(!resumed);
+                s2.mark_finished();
+            });
+            slot.wait_until_parked_or_finished();
+            slot.request_shutdown();
+            h.join().unwrap();
+            assert!(slot.is_finished());
+        }
+    }
+
+    #[test]
+    fn many_handoffs_roundtrip_quickly() {
+        for tuning in both_tunings() {
+            let slot = slot(3, &tuning);
+            let s2 = slot.clone();
+            let h = std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    if !s2.park_and_wait() {
+                        break;
+                    }
+                }
+                s2.mark_finished();
+            });
+            for _ in 0..10_000 {
+                slot.wait_until_parked_or_finished();
+                assert!(slot.grant_and_wait());
+            }
+            slot.request_shutdown();
+            let _ = slot.grant_and_wait();
+            h.join().unwrap();
+        }
     }
 }

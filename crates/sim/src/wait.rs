@@ -6,6 +6,11 @@
 //! simulated threads, so the classic lost-wake-up race cannot occur as long
 //! as waiters re-check their condition in a loop (spurious wake-ups are
 //! allowed and harmless).
+//!
+//! The park itself goes through the scheduler baton
+//! ([`SimHandle::park`] → `ThreadSlot`), so wait sets automatically inherit
+//! whichever hand-off implementation the engine was configured with
+//! ([`crate::SimTuning`]); nothing here depends on the baton's mechanics.
 
 use std::collections::VecDeque;
 

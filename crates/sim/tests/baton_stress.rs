@@ -1,0 +1,156 @@
+//! Stress test of the scheduler/thread baton: many short-lived simulated
+//! threads with pseudo-random sleeps, yields and nested spawns, run under
+//! both hand-off implementations. The futex and legacy-Condvar batons must
+//! produce *identical* runs — same final virtual time, same event and
+//! context-switch counts — because the hand-off is purely a wall-clock
+//! mechanism and must never influence simulated behaviour.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsmpm2_sim::{Engine, EngineConfig, RunReport, SimDuration, SimTuning, WaitSet};
+
+/// Deterministic xorshift so both runs see the same "random" schedule.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn engine(tuning: SimTuning) -> Engine {
+    Engine::with_config(EngineConfig {
+        tuning,
+        ..EngineConfig::default()
+    })
+}
+
+fn storm(tuning: SimTuning) -> (RunReport, u64) {
+    let mut engine = engine(tuning);
+    let work_done = Arc::new(AtomicU64::new(0));
+    // A root thread spawns waves of short-lived children; each child does a
+    // pseudo-random mix of yields, sleeps and compute charges, and every
+    // eighth child spawns a grandchild. This exercises spawn-park races
+    // (Created -> Parked while the scheduler waits), rapid re-grants and the
+    // finished-thread reaper.
+    let wd = work_done.clone();
+    engine.spawn("root", move |h| {
+        let mut rng = 0x9E3779B97F4A7C15u64;
+        for wave in 0..20u64 {
+            for child in 0..25u64 {
+                let seed = xorshift(&mut rng);
+                let wd = wd.clone();
+                h.spawn(format!("w{wave}-c{child}"), move |h| {
+                    let mut rng = seed | 1;
+                    for _ in 0..(rng % 7) + 1 {
+                        match xorshift(&mut rng) % 3 {
+                            0 => h.yield_now(),
+                            1 => h.sleep(SimDuration::from_nanos(xorshift(&mut rng) % 900 + 1)),
+                            _ => h.charge(SimDuration::from_nanos(xorshift(&mut rng) % 300)),
+                        }
+                    }
+                    if seed.is_multiple_of(8) {
+                        let wd2 = wd.clone();
+                        h.spawn("grandchild", move |h| {
+                            h.sleep(SimDuration::from_nanos(5));
+                            wd2.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    wd.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            h.sleep(SimDuration::from_micros(1));
+        }
+    });
+    let report = engine.run().expect("storm must complete");
+    (report, work_done.load(Ordering::SeqCst))
+}
+
+#[test]
+fn thread_storm_is_identical_under_both_handoffs() {
+    let (futex, futex_work) = storm(SimTuning::default());
+    let (legacy, legacy_work) = storm(SimTuning::legacy());
+    assert!(futex.threads_spawned > 500, "storm must actually spawn");
+    assert_eq!(futex_work, legacy_work, "work count diverged");
+    assert_eq!(futex.final_time, legacy.final_time, "virtual time diverged");
+    assert_eq!(futex.events, legacy.events, "event count diverged");
+    assert_eq!(
+        futex.context_switches, legacy.context_switches,
+        "context-switch count diverged"
+    );
+    assert_eq!(futex.threads_spawned, legacy.threads_spawned);
+}
+
+/// WaitSet ping-pong across a crowd of waiters: notify_one/notify_all wake
+/// identical thread sets in identical virtual order under both batons.
+#[test]
+fn waitset_crowd_is_identical_under_both_handoffs() {
+    let run = |tuning: SimTuning| -> (RunReport, Vec<u64>) {
+        let mut engine = engine(tuning);
+        let ws = Arc::new(WaitSet::new());
+        let token = Arc::new(AtomicU64::new(0));
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..40u64 {
+            let ws = ws.clone();
+            let token = token.clone();
+            let order = order.clone();
+            engine.spawn(format!("waiter{i}"), move |h| {
+                ws.wait_until(h, || token.load(Ordering::SeqCst) > i);
+                order.lock().push(i);
+            });
+        }
+        let ws2 = ws.clone();
+        engine.spawn("driver", move |h| {
+            for round in 0..40u64 {
+                h.sleep(SimDuration::from_micros(3));
+                token.store(round + 1, Ordering::SeqCst);
+                if round % 5 == 0 {
+                    ws2.notify_all(&h.ctl(), SimDuration::ZERO);
+                } else {
+                    ws2.notify_one(&h.ctl(), SimDuration::ZERO);
+                    ws2.notify_one(&h.ctl(), SimDuration::ZERO);
+                }
+            }
+            // Flush any stragglers.
+            h.sleep(SimDuration::from_micros(3));
+            ws2.notify_all(&h.ctl(), SimDuration::ZERO);
+        });
+        let report = engine.run().expect("crowd must complete");
+        let order = std::mem::take(&mut *order.lock());
+        (report, order)
+    };
+    let (futex, futex_order) = run(SimTuning::default());
+    let (legacy, legacy_order) = run(SimTuning::legacy());
+    assert_eq!(futex_order.len(), 40);
+    assert_eq!(futex_order, legacy_order, "wake order diverged");
+    assert_eq!(futex.final_time, legacy.final_time);
+    assert_eq!(futex.events, legacy.events);
+}
+
+/// Teardown under fire: a panic in one thread while hundreds of others are
+/// parked or runnable must reclaim every baton and report the panic, under
+/// both hand-offs.
+#[test]
+fn panic_amid_storm_tears_down_under_both_handoffs() {
+    for tuning in [SimTuning::default(), SimTuning::legacy()] {
+        let mut engine = engine(tuning);
+        for i in 0..100u64 {
+            engine.spawn(format!("spinner{i}"), move |h| loop {
+                h.sleep(SimDuration::from_micros(i % 9 + 1));
+            });
+        }
+        engine.spawn("bomb", |h| {
+            h.sleep(SimDuration::from_micros(40));
+            panic!("storm bomb");
+        });
+        match engine.run() {
+            Err(dsmpm2_sim::SimError::ThreadPanic { thread, message }) => {
+                assert_eq!(thread, "bomb");
+                assert!(message.contains("storm bomb"));
+            }
+            other => panic!("{tuning:?}: expected panic error, got {other:?}"),
+        }
+    }
+}

@@ -18,7 +18,7 @@ use dsmpm2_core::{
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
 use dsmpm2_protocols::register_all_protocols;
-use dsmpm2_sim::{SimDuration, SimTime};
+use dsmpm2_sim::{SimDuration, SimTime, SimTuning};
 
 /// Configuration of a Jacobi run.
 #[derive(Clone, Debug)]
@@ -35,6 +35,8 @@ pub struct JacobiConfig {
     pub compute_per_cell_us: f64,
     /// DSM tuning knobs (page-table sharding, message batching).
     pub tuning: DsmTuning,
+    /// Simulation-engine tuning knobs (scheduler baton hand-off).
+    pub sim: SimTuning,
 }
 
 impl JacobiConfig {
@@ -47,6 +49,7 @@ impl JacobiConfig {
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_cell_us: 0.05,
             tuning: DsmTuning::default(),
+            sim: SimTuning::default(),
         }
     }
 }
@@ -77,11 +80,11 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
     assert!(config.size >= 4 && config.size.is_multiple_of(config.nodes));
     // Each row occupies a whole number of pages only if size*8 >= 4096; for
     // small grids rows share pages, which is fine (more sharing, not less).
-    let engine = Engine::new();
-    let rt = DsmRuntime::new(
-        &engine,
-        Pm2Config::new(config.nodes, config.network.clone()).with_dsm_tuning(config.tuning),
-    );
+    let cluster_config = Pm2Config::new(config.nodes, config.network.clone())
+        .with_dsm_tuning(config.tuning)
+        .with_sim_tuning(config.sim);
+    let engine = Engine::with_config(cluster_config.engine_config());
+    let rt = DsmRuntime::new(&engine, cluster_config);
     let _ = register_all_protocols(&rt);
     let protocol = rt
         .protocol_by_name(protocol_name)

@@ -17,7 +17,7 @@ use dsmpm2_core::{
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
 use dsmpm2_protocols::register_all_protocols;
-use dsmpm2_sim::{SimDuration, SimTime};
+use dsmpm2_sim::{SimDuration, SimTime, SimTuning};
 
 /// Configuration of a matrix-multiply run.
 #[derive(Clone, Debug)]
@@ -32,6 +32,8 @@ pub struct MatmulConfig {
     pub compute_per_madd_us: f64,
     /// DSM tuning knobs (page-table sharding, message batching).
     pub tuning: DsmTuning,
+    /// Simulation-engine tuning knobs (scheduler baton hand-off).
+    pub sim: SimTuning,
 }
 
 impl MatmulConfig {
@@ -43,6 +45,7 @@ impl MatmulConfig {
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_madd_us: 0.01,
             tuning: DsmTuning::default(),
+            sim: SimTuning::default(),
         }
     }
 }
@@ -97,11 +100,11 @@ fn cell(base: DsmAddr, n: usize, row: usize, col: usize) -> DsmAddr {
 /// built-in or extension protocol).
 pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
     assert!(config.n >= config.nodes && config.n.is_multiple_of(config.nodes));
-    let engine = Engine::new();
-    let rt = DsmRuntime::new(
-        &engine,
-        Pm2Config::new(config.nodes, config.network.clone()).with_dsm_tuning(config.tuning),
-    );
+    let cluster_config = Pm2Config::new(config.nodes, config.network.clone())
+        .with_dsm_tuning(config.tuning)
+        .with_sim_tuning(config.sim);
+    let engine = Engine::with_config(cluster_config.engine_config());
+    let rt = DsmRuntime::new(&engine, cluster_config);
     let _ = register_all_protocols(&rt);
     let protocol = rt
         .protocol_by_name(protocol_name)
@@ -213,6 +216,7 @@ mod tests {
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_madd_us: 0.01,
             tuning: DsmTuning::default(),
+            sim: SimTuning::default(),
         };
         let oracle = sequential_checksum(config.n);
         for proto in ["hbrc_mw", "hlrc_notices"] {

@@ -17,7 +17,7 @@ use dsmpm2_core::{
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
 use dsmpm2_protocols::register_all_protocols;
-use dsmpm2_sim::{SimDuration, SimTime};
+use dsmpm2_sim::{SimDuration, SimTime, SimTuning};
 
 /// Configuration of a red-black SOR run.
 #[derive(Clone, Debug)]
@@ -36,6 +36,8 @@ pub struct SorConfig {
     pub compute_per_cell_us: f64,
     /// DSM tuning knobs (page-table sharding, message batching).
     pub tuning: DsmTuning,
+    /// Simulation-engine tuning knobs (scheduler baton hand-off).
+    pub sim: SimTuning,
 }
 
 impl SorConfig {
@@ -49,6 +51,7 @@ impl SorConfig {
             network: dsmpm2_madeleine::profiles::sisci_sci(),
             compute_per_cell_us: 0.05,
             tuning: DsmTuning::default(),
+            sim: SimTuning::default(),
         }
     }
 }
@@ -116,11 +119,11 @@ fn cell(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
 /// extension protocol).
 pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
     assert!(config.size >= 4 && config.size.is_multiple_of(config.nodes));
-    let engine = Engine::new();
-    let rt = DsmRuntime::new(
-        &engine,
-        Pm2Config::new(config.nodes, config.network.clone()).with_dsm_tuning(config.tuning),
-    );
+    let cluster_config = Pm2Config::new(config.nodes, config.network.clone())
+        .with_dsm_tuning(config.tuning)
+        .with_sim_tuning(config.sim);
+    let engine = Engine::with_config(cluster_config.engine_config());
+    let rt = DsmRuntime::new(&engine, cluster_config);
     let _ = register_all_protocols(&rt);
     let protocol = rt
         .protocol_by_name(protocol_name)
@@ -225,6 +228,7 @@ mod tests {
             network: dsmpm2_madeleine::profiles::bip_myrinet(),
             compute_per_cell_us: 0.05,
             tuning: DsmTuning::default(),
+            sim: SimTuning::default(),
         };
         let oracle = sequential_checksum(&config);
         for proto in ["erc_sw", "hbrc_mw"] {

@@ -159,6 +159,88 @@ fn barrier_flushes_for_release_consistency_protocols() {
     }
 }
 
+/// Regression (PR 3): a copy refetched *while* the home's release-time
+/// invalidation round is still waiting for other pages' acknowledgements
+/// must stay in the copyset — the next release must invalidate it again.
+/// (The release now removes the condemned targets from the copyset at send
+/// time, before any blocking; a post-wait removal cannot tell a refetched
+/// copy apart from the original membership and would leave the reader
+/// permanently stale.)
+#[test]
+fn copy_refetched_during_release_wait_is_invalidated_by_next_release() {
+    let (mut engine, rt, protos) = setup(3);
+    rt.set_default_protocol(protos.hbrc_mw);
+    // Two pages homed on node 0 so the release is a multi-page round.
+    let p1 = rt.dsm_malloc(
+        2 * 4096,
+        DsmAttr::default().home(HomePolicy::Fixed(NodeId(0))),
+    );
+    let p2 = p1.add(4096);
+    let lock = rt.create_lock(Some(NodeId(0)));
+    let start = rt.create_barrier(3, None);
+    let observed = Arc::new(Mutex::new(0u64));
+
+    rt.spawn_dsm_thread(NodeId(0), "home-writer", move |ctx| {
+        ctx.write::<u64>(p1, 1);
+        ctx.write::<u64>(p2, 1);
+        ctx.dsm_barrier(start);
+        for round in 2..6u64 {
+            // Only the home takes the lock; the other nodes read and write
+            // lock-free (multiple writers, disjoint offsets), so they keep
+            // running while the unlock's release blocks on acknowledgements.
+            ctx.dsm_lock(lock);
+            ctx.write::<u64>(p1, round);
+            ctx.write::<u64>(p2, round);
+            ctx.dsm_unlock(lock);
+            ctx.compute(SimDuration::from_micros(400));
+            ctx.pm2.sim.yield_now();
+        }
+    });
+    // Node 2 keeps a *dirty twin* on p1: its invalidate handler must push
+    // the diff and wait for the diff acknowledgement before acking the
+    // invalidation, so its ack for p1 arrives a full round-trip later than
+    // node 1's — which keeps the home's release blocked on p1's round while
+    // node 1's refetch of p2 arrives and must survive in p2's copyset.
+    rt.spawn_dsm_thread(NodeId(2), "dirty-writer", move |ctx| {
+        let _ = ctx.read::<u64>(p1.add(8));
+        let _ = ctx.read::<u64>(p2);
+        ctx.dsm_barrier(start);
+        for i in 0..300u64 {
+            ctx.write::<u64>(p1.add(8), i);
+            ctx.compute(SimDuration::from_micros(7));
+            ctx.pm2.sim.yield_now();
+        }
+    });
+    let obs = observed.clone();
+    rt.spawn_dsm_thread(NodeId(1), "reader", move |ctx| {
+        let _ = ctx.read::<u64>(p1);
+        let _ = ctx.read::<u64>(p2);
+        ctx.dsm_barrier(start);
+        // Lock-free spin-reads: every invalidation triggers an immediate
+        // refetch, so re-grants land in the middle of the home's ack waits.
+        // A dropped copyset entry shows up as a copy that is never
+        // invalidated again, i.e. a reader spinning on a stale value forever.
+        let mut spins = 0u64;
+        loop {
+            let v = ctx.read::<u64>(p2);
+            if v >= 5 {
+                *obs.lock() = v;
+                break;
+            }
+            ctx.compute(SimDuration::from_micros(2));
+            ctx.pm2.sim.yield_now();
+            spins += 1;
+            assert!(
+                spins < 100_000,
+                "reader never observed the final value — a copy refetched during the \
+                 release wait was dropped from the copyset and left permanently stale"
+            );
+        }
+    });
+    engine.run().unwrap();
+    assert_eq!(*observed.lock(), 5);
+}
+
 /// Thread migration interoperates with DSM locks: a thread that migrated to
 /// the data still synchronizes correctly with threads elsewhere.
 #[test]
@@ -229,7 +311,7 @@ fn per_region_protocols_behave_independently() {
 // loudly. (`entry_sw` is excluded: it requires regions to be bound to locks
 // and is exercised by its own tests.)
 
-use dsm_pm2::pm2::DsmTuning;
+use dsm_pm2::pm2::{DsmTuning, SimTuning};
 use dsm_pm2::workloads::{
     jacobi::{run_jacobi, JacobiConfig},
     matmul::{run_matmul, MatmulConfig},
@@ -267,6 +349,7 @@ fn conformance_matrix_jacobi() {
         network: dsm_pm2::pm2::profiles::bip_myrinet(),
         compute_per_cell_us: 0.02,
         tuning,
+        sim: SimTuning::default(),
     };
     let baseline = run_jacobi(&config(1, DsmTuning::legacy()), "li_hudak");
     assert!(
@@ -294,6 +377,7 @@ fn conformance_matrix_sor() {
         network: dsm_pm2::pm2::profiles::bip_myrinet(),
         compute_per_cell_us: 0.02,
         tuning,
+        sim: SimTuning::default(),
     };
     let baseline = run_sor(&config(1, DsmTuning::legacy()), "li_hudak");
     assert!(baseline.final_cells.iter().any(|&c| c != 0));
@@ -308,6 +392,79 @@ fn conformance_matrix_sor() {
     }
 }
 
+/// The full matrix again, but with the scheduler using the legacy
+/// Mutex+Condvar baton instead of the futex-style hand-off: every run's
+/// final shared memory must be bit-identical to the futex-handoff run of the
+/// same cell. The hand-off is a wall-clock mechanism only — virtual time and
+/// memory contents must not depend on it.
+#[test]
+fn conformance_matrix_under_legacy_condvar_handoff() {
+    let jacobi = |nodes: usize, sim: SimTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning: scale_out_tuning(),
+        sim,
+    };
+    let sor = |nodes: usize, sim: SimTuning| SorConfig {
+        size: 16,
+        iterations: 2,
+        omega: 1.25,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning: scale_out_tuning(),
+        sim,
+    };
+    let matmul = |nodes: usize, sim: SimTuning| MatmulConfig {
+        n: 8,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_madd_us: 0.01,
+        tuning: scale_out_tuning(),
+        sim,
+    };
+    assert!(SimTuning::legacy().legacy_condvar_handoff);
+    for proto in MATRIX_PROTOCOLS {
+        for nodes in MATRIX_NODES {
+            let futex = run_jacobi(&jacobi(nodes, SimTuning::default()), proto);
+            let legacy = run_jacobi(&jacobi(nodes, SimTuning::legacy()), proto);
+            assert_eq!(
+                legacy.final_cells, futex.final_cells,
+                "jacobi memory diverged between handoffs under {proto} x {nodes} nodes"
+            );
+            assert_eq!(
+                legacy.elapsed, futex.elapsed,
+                "jacobi virtual time diverged between handoffs under {proto} x {nodes} nodes"
+            );
+
+            let futex = run_sor(&sor(nodes, SimTuning::default()), proto);
+            let legacy = run_sor(&sor(nodes, SimTuning::legacy()), proto);
+            assert_eq!(
+                legacy.final_cells, futex.final_cells,
+                "sor memory diverged between handoffs under {proto} x {nodes} nodes"
+            );
+            assert_eq!(
+                legacy.elapsed, futex.elapsed,
+                "sor virtual time diverged between handoffs under {proto} x {nodes} nodes"
+            );
+
+            let futex = run_matmul(&matmul(nodes, SimTuning::default()), proto);
+            let legacy = run_matmul(&matmul(nodes, SimTuning::legacy()), proto);
+            assert_eq!(
+                legacy.final_cells, futex.final_cells,
+                "matmul memory diverged between handoffs under {proto} x {nodes} nodes"
+            );
+            assert_eq!(
+                legacy.elapsed, futex.elapsed,
+                "matmul virtual time diverged between handoffs under {proto} x {nodes} nodes"
+            );
+        }
+    }
+}
+
 #[test]
 fn conformance_matrix_matmul() {
     let config = |nodes: usize, tuning: DsmTuning| MatmulConfig {
@@ -316,6 +473,7 @@ fn conformance_matrix_matmul() {
         network: dsm_pm2::pm2::profiles::bip_myrinet(),
         compute_per_madd_us: 0.01,
         tuning,
+        sim: SimTuning::default(),
     };
     let baseline = run_matmul(&config(1, DsmTuning::legacy()), "li_hudak");
     assert!(baseline.final_cells.iter().any(|&c| c != 0));

@@ -184,3 +184,84 @@ fn post_mortem_monitor_reports_elementary_functions() {
     let rendered = report.to_string();
     assert!(rendered.contains("dsm_page_fault"));
 }
+
+/// Regression (PR 3): a user-code panic while the thread holds the scheduler
+/// baton — mid-critical-section, with three other nodes blocked on the same
+/// lock and coherence traffic in flight — must surface as the run's error
+/// (carrying the panic message), release every other thread, and never hang,
+/// under both baton implementations.
+#[test]
+fn panic_mid_critical_section_reclaims_baton_under_both_handoffs() {
+    use dsm_pm2::core::{DsmAttr, DsmRuntime, HomePolicy};
+    use dsm_pm2::pm2::{EngineConfig, SimError, SimTuning};
+    use dsm_pm2::prelude::*;
+
+    for sim in [SimTuning::default(), SimTuning::legacy()] {
+        let engine = Engine::with_config(EngineConfig {
+            tuning: sim,
+            ..EngineConfig::default()
+        });
+        let rt = DsmRuntime::new(&engine, Pm2Config::bip_myrinet(4));
+        let protos = register_builtin_protocols(&rt);
+        rt.set_default_protocol(protos.hbrc_mw);
+        let cell = rt.dsm_malloc(4 * 4096, DsmAttr::default().home(HomePolicy::RoundRobin));
+        let lock = rt.create_lock(Some(NodeId(0)));
+        for node in 0..4usize {
+            rt.spawn_dsm_thread(NodeId(node), format!("w{node}"), move |ctx| {
+                // Cache copies everywhere so the panicking release path has
+                // invalidations and diffs in flight.
+                for page in 0..4u64 {
+                    let _ = ctx.read::<u64>(cell.add(page * 4096));
+                }
+                for _ in 0..3u64 {
+                    ctx.dsm_lock(lock);
+                    for page in 0..4u64 {
+                        let v = ctx.read::<u64>(cell.add(page * 4096));
+                        ctx.write::<u64>(cell.add(page * 4096), v + 1);
+                        if node == 2 && v >= 4 {
+                            panic!("intentional mid-critical-section panic");
+                        }
+                    }
+                    ctx.dsm_unlock(lock);
+                }
+            });
+        }
+        let mut engine = engine;
+        match engine.run() {
+            Err(SimError::ThreadPanic { thread, message }) => {
+                assert_eq!(thread, "w2", "handoff {sim:?}");
+                assert!(
+                    message.contains("intentional mid-critical-section panic"),
+                    "handoff {sim:?}: panic payload must be propagated, got '{message}'"
+                );
+            }
+            other => panic!("handoff {sim:?}: expected ThreadPanic, got {other:?}"),
+        }
+        // If teardown failed to reclaim the baton this test would hang before
+        // reaching this point; reaching it under both modes is the assertion.
+    }
+}
+
+/// Regression (PR 3): a panic inside a scheduler callback (`call_at`) must
+/// not unwind past `Engine::run` leaving every simulated thread parked — it
+/// becomes the run's error and teardown still reclaims all OS threads.
+#[test]
+fn scheduler_call_panic_is_reported_and_torn_down() {
+    use dsm_pm2::sim::{Engine, SimDuration, SimError, SimTime};
+
+    let mut engine = Engine::new();
+    let ctl = engine.ctl();
+    engine.spawn("sleeper", |h| {
+        h.sleep(SimDuration::from_micros(500));
+    });
+    ctl.call_at(SimTime::from_micros(10), |_| {
+        panic!("intentional scheduler-call panic");
+    });
+    match engine.run() {
+        Err(SimError::ThreadPanic { thread, message }) => {
+            assert_eq!(thread, "scheduler-call");
+            assert!(message.contains("intentional scheduler-call panic"));
+        }
+        other => panic!("expected scheduler-call panic error, got {other:?}"),
+    }
+}

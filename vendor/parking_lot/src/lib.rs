@@ -1,72 +1,348 @@
-//! Minimal offline stand-in for the `parking_lot` crate.
+//! Offline stand-in for the `parking_lot` crate — now a real word-sized
+//! parking-lot implementation rather than a wrapper around `std::sync`.
 //!
 //! The build container has no access to crates.io, so this shim provides the
 //! subset of the `parking_lot` API the workspace uses — `Mutex`, `RwLock` and
-//! `Condvar` with non-poisoning guards — on top of `std::sync`. Semantics
-//! match `parking_lot` where the workspace depends on them: `lock()` returns
-//! the guard directly (a poisoned `std` lock is recovered transparently) and
-//! `Condvar::wait` borrows the guard instead of consuming it.
+//! `Condvar` with non-poisoning guards. Like the real crate, every lock is
+//! one word of state with an inline fast path (a single compare-and-swap to
+//! acquire or release an uncontended lock) and a spin-then-park slow path:
+//! blocked threads wait in a global *parking table* keyed by the lock's
+//! address, so the locks themselves carry no queues, no `std::sync` mutexes
+//! and no heap allocations.
+//!
+//! Semantics match `parking_lot` where the workspace depends on them:
+//! `lock()` returns the guard directly (there is no poisoning — a panic while
+//! a guard is held simply unlocks on unwind), `Condvar::wait` borrows the
+//! guard instead of consuming it, and locks are *unfair*: a released lock may
+//! be barged by a passing thread before a parked waiter gets it. All blocking
+//! primitives in the workspace re-check their condition in a loop, so
+//! barging and spurious wake-ups are harmless.
 
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::fmt;
+use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
-use std::sync;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::{self, Thread};
 
-/// A mutual-exclusion primitive; `lock` never returns a poison error.
+// ---------------------------------------------------------------------------
+// Global parking table
+// ---------------------------------------------------------------------------
+
+/// Number of hash buckets in the global parking table. Collisions are
+/// harmless (waiters are matched by exact key); the count only bounds
+/// cross-lock contention on the bucket locks, which are touched on the slow
+/// path only.
+const BUCKET_COUNT: usize = 64;
+
+/// Iterations of `spin_loop` a blocked thread burns before parking. Handing
+/// a lock between two running threads usually completes well within this
+/// window, so the common case never enters the kernel. On a single-CPU host
+/// the holder cannot make progress while we spin, so park immediately.
+fn spin_limit() -> u32 {
+    static LIMIT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *LIMIT.get_or_init(|| match thread::available_parallelism() {
+        Ok(n) if n.get() > 1 => 64,
+        _ => 0,
+    })
+}
+
+/// One blocked thread, parked under `key` (the address of the lock it waits
+/// on). `signaled` is the wake token: set (then `unpark`ed) by the waker,
+/// consumed by the waiter's park loop.
+struct Waiter {
+    key: usize,
+    parker: Arc<Parker>,
+}
+
+struct Parker {
+    signaled: AtomicBool,
+    thread: Thread,
+}
+
+/// A bucket is a plain OS mutex around a FIFO of waiters. This is the *only*
+/// place the shim touches `std::sync`, and only on the slow path.
+struct Bucket {
+    queue: std::sync::Mutex<VecDeque<Waiter>>,
+}
+
+impl Bucket {
+    const fn new() -> Self {
+        Bucket {
+            queue: std::sync::Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<Waiter>> {
+        match self.queue.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+static BUCKETS: [Bucket; BUCKET_COUNT] = [const { Bucket::new() }; BUCKET_COUNT];
+
+fn bucket_for(key: usize) -> &'static Bucket {
+    // Fibonacci hashing on the address; locks are word-aligned so the low
+    // bits carry no entropy.
+    &BUCKETS[(key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48) % BUCKET_COUNT]
+}
+
+thread_local! {
+    static PARKER: Arc<Parker> = Arc::new(Parker {
+        signaled: AtomicBool::new(false),
+        thread: thread::current(),
+    });
+}
+
+/// Park the calling thread under `key` until a matching `unpark_*` call.
+/// `validate` runs under the bucket lock just before enqueueing: if it
+/// returns false the thread does not park and the call returns immediately
+/// (the canonical lost-wakeup guard — the waker changes the lock word
+/// *before* touching the bucket, so a waiter whose validate still sees
+/// "blocked" is guaranteed to be enqueued before any wake scan).
+fn park(key: usize, validate: impl FnOnce() -> bool) {
+    PARKER.with(|parker| {
+        parker.signaled.store(false, Ordering::Relaxed);
+        {
+            let mut queue = bucket_for(key).lock();
+            if !validate() {
+                return;
+            }
+            queue.push_back(Waiter {
+                key,
+                parker: Arc::clone(parker),
+            });
+        }
+        while !parker.signaled.load(Ordering::Acquire) {
+            thread::park();
+        }
+    });
+}
+
+fn wake(waiter: Waiter) {
+    waiter.parker.signaled.store(true, Ordering::Release);
+    waiter.parker.thread.unpark();
+}
+
+/// Wake the oldest thread parked under `key`. Returns true if one was found.
+/// `requeue_hint` runs under the bucket lock and receives whether more
+/// waiters remain for this key, letting lock release code publish the
+/// have-more-waiters bit atomically with the dequeue.
+fn unpark_one(key: usize, requeue_hint: impl FnOnce(bool)) -> bool {
+    let woken = {
+        let mut queue = bucket_for(key).lock();
+        let woken = queue
+            .iter()
+            .position(|w| w.key == key)
+            .map(|i| queue.remove(i).expect("position in range"));
+        requeue_hint(queue.iter().any(|w| w.key == key));
+        woken
+    };
+    match woken {
+        Some(waiter) => {
+            wake(waiter);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Wake every thread parked under `key`. Returns how many were woken.
+fn unpark_all(key: usize) -> usize {
+    let woken: Vec<Waiter> = {
+        let mut queue = bucket_for(key).lock();
+        let mut woken = Vec::new();
+        let mut i = 0;
+        while i < queue.len() {
+            if queue[i].key == key {
+                woken.push(queue.remove(i).expect("index in range"));
+            } else {
+                i += 1;
+            }
+        }
+        woken
+    };
+    let count = woken.len();
+    for waiter in woken {
+        wake(waiter);
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+const LOCKED: usize = 1;
+const PARKED: usize = 2;
+
+/// A mutual-exclusion primitive; one word of state, no poisoning.
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
-    inner: sync::Mutex<T>,
+    state: AtomicUsize,
+    data: UnsafeCell<T>,
 }
 
-/// RAII guard returned by [`Mutex::lock`].
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+/// RAII guard returned by [`Mutex::lock`]. Not `Send`: it must be dropped on
+/// the locking thread (matching `parking_lot`).
 pub struct MutexGuard<'a, T: ?Sized> {
-    // `Option` so `Condvar::wait` can temporarily take the std guard out
-    // while the thread is blocked, matching parking_lot's `&mut guard` API.
-    guard: Option<sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    _not_send: PhantomData<*const ()>,
 }
+
+unsafe impl<T: ?Sized + Sync> Sync for MutexGuard<'_, T> {}
 
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
     pub const fn new(value: T) -> Self {
         Mutex {
-            inner: sync::Mutex::new(value),
+            state: AtomicUsize::new(0),
+            data: UnsafeCell::new(value),
         }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.inner.into_inner() {
-            Ok(v) => v,
-            Err(p) => p.into_inner(),
-        }
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        let guard = match self.inner.lock() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        MutexGuard { guard: Some(guard) }
+        if self
+            .state
+            .compare_exchange_weak(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_slow();
+        }
+        MutexGuard {
+            mutex: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn lock_slow(&self) {
+        let key = self.key();
+        let mut spins = 0u32;
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            if state & LOCKED == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | LOCKED,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if state & PARKED == 0 {
+                if spins < spin_limit() {
+                    spins += 1;
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | PARKED,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+                {
+                    continue;
+                }
+            }
+            park(key, || {
+                self.state.load(Ordering::Relaxed) == LOCKED | PARKED
+            });
+            spins = 0;
+        }
     }
 
     /// Attempt to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { guard: Some(g) }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                guard: Some(p.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            if state & LOCKED != 0 {
+                return None;
+            }
+            match self.state.compare_exchange_weak(
+                state,
+                state | LOCKED,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    return Some(MutexGuard {
+                        mutex: self,
+                        _not_send: PhantomData,
+                    })
+                }
+                Err(s) => state = s,
+            }
         }
     }
 
     /// Mutably borrow the inner value (no locking needed: `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.inner.get_mut() {
-            Ok(v) => v,
-            Err(p) => p.into_inner(),
+        self.data.get_mut()
+    }
+
+    fn key(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
+    /// Release the lock without a guard (used by guard Drop and Condvar).
+    fn raw_unlock(&self) {
+        if self
+            .state
+            .compare_exchange(LOCKED, 0, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        self.unlock_slow();
+    }
+
+    #[cold]
+    fn unlock_slow(&self) {
+        // A parked bit is set: hand the have-more-waiters bit over to the
+        // state word under the bucket lock, then wake the oldest waiter. The
+        // woken thread (and any barging passer-by) re-contends normally.
+        let key = self.key();
+        unpark_one(key, |more| {
+            self.state
+                .store(if more { PARKED } else { 0 }, Ordering::Release);
+        });
+    }
+
+    /// Re-acquire after a Condvar wait (same as lock, kept separate so the
+    /// guard type needn't be reconstructed).
+    fn raw_lock(&self) {
+        if self
+            .state
+            .compare_exchange_weak(0, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_slow();
         }
     }
 }
@@ -80,73 +356,242 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.guard.as_ref().expect("guard taken during wait")
+        // Safety: the guard proves the calling thread holds the lock.
+        unsafe { &*self.mutex.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.guard.as_mut().expect("guard taken during wait")
+        // Safety: the guard proves the calling thread holds the lock.
+        unsafe { &mut *self.mutex.data.get() }
     }
 }
 
-/// A reader-writer lock; `read`/`write` never return poison errors.
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.mutex.raw_unlock();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+// RwLock word layout: bit 0 = writer holds the lock, bit 1 = threads are
+// parked (readers and writers share one parking key; releases wake everyone
+// and the woken threads re-contend), bits 2.. = reader count.
+const WRITER: usize = 1;
+const RW_PARKED: usize = 2;
+const READER_UNIT: usize = 4;
+
+/// A reader-writer lock; one word of state, no poisoning.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
-    inner: sync::RwLock<T>,
+    state: AtomicUsize,
+    data: UnsafeCell<T>,
 }
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
 
 /// RAII shared-read guard returned by [`RwLock::read`].
 pub struct RwLockReadGuard<'a, T: ?Sized> {
-    guard: sync::RwLockReadGuard<'a, T>,
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*const ()>,
 }
 
 /// RAII exclusive-write guard returned by [`RwLock::write`].
 pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    guard: sync::RwLockWriteGuard<'a, T>,
+    lock: &'a RwLock<T>,
+    _not_send: PhantomData<*const ()>,
 }
+
+unsafe impl<T: ?Sized + Sync> Sync for RwLockReadGuard<'_, T> {}
+unsafe impl<T: ?Sized + Sync> Sync for RwLockWriteGuard<'_, T> {}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock holding `value`.
     pub const fn new(value: T) -> Self {
         RwLock {
-            inner: sync::RwLock::new(value),
+            state: AtomicUsize::new(0),
+            data: UnsafeCell::new(value),
         }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        match self.inner.into_inner() {
-            Ok(v) => v,
-            Err(p) => p.into_inner(),
-        }
+        self.data.into_inner()
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
+    fn key(&self) -> usize {
+        self as *const _ as *const () as usize
+    }
+
     /// Acquire shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        let guard = match self.inner.read() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        RwLockReadGuard { guard }
+        let state = self.state.load(Ordering::Relaxed);
+        if state & (WRITER | RW_PARKED) != 0
+            || self
+                .state
+                .compare_exchange_weak(
+                    state,
+                    state + READER_UNIT,
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_err()
+        {
+            self.read_slow();
+        }
+        RwLockReadGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn read_slow(&self) {
+        let mut spins = 0u32;
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            // Readers defer to parked threads (a parked bit implies a writer
+            // is waiting) to avoid starving writers under a reader stream.
+            if state & (WRITER | RW_PARKED) == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state + READER_UNIT,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if spins < spin_limit() {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            if state & RW_PARKED == 0
+                && self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | RW_PARKED,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+            {
+                continue;
+            }
+            // Park while the parked bit is set: readers defer to parked
+            // threads whether or not the lock is momentarily free, and a set
+            // parked bit guarantees a wake-all is coming (the releaser
+            // clears the bit and then scans this bucket, and the bucket lock
+            // orders our enqueue against that scan).
+            park(self.key(), || {
+                self.state.load(Ordering::Relaxed) & RW_PARKED != 0
+            });
+            spins = 0;
+        }
     }
 
     /// Acquire exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        let guard = match self.inner.write() {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        RwLockWriteGuard { guard }
+        if self
+            .state
+            .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.write_slow();
+        }
+        RwLockWriteGuard {
+            lock: self,
+            _not_send: PhantomData,
+        }
+    }
+
+    #[cold]
+    fn write_slow(&self) {
+        let mut spins = 0u32;
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            // A writer may take the lock whenever no writer and no readers
+            // hold it, preserving (and inheriting) the parked bit.
+            if state & WRITER == 0 && state / READER_UNIT == 0 {
+                if self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | WRITER,
+                        Ordering::Acquire,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+                continue;
+            }
+            if spins < spin_limit() {
+                spins += 1;
+                std::hint::spin_loop();
+                continue;
+            }
+            if state & RW_PARKED == 0
+                && self
+                    .state
+                    .compare_exchange_weak(
+                        state,
+                        state | RW_PARKED,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_err()
+            {
+                continue;
+            }
+            park(self.key(), || {
+                let s = self.state.load(Ordering::Relaxed);
+                s & RW_PARKED != 0 && (s & WRITER != 0 || s / READER_UNIT != 0)
+            });
+            spins = 0;
+        }
     }
 
     /// Mutably borrow the inner value (no locking needed: `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        match self.inner.get_mut() {
-            Ok(v) => v,
-            Err(p) => p.into_inner(),
+        self.data.get_mut()
+    }
+
+    fn read_unlock(&self) {
+        let prev = self.state.fetch_sub(READER_UNIT, Ordering::Release);
+        if prev == READER_UNIT | RW_PARKED {
+            // Last reader out with threads parked: clear the bit and wake
+            // everyone; readers and waiting writers re-contend. If the CAS
+            // fails someone else acquired meanwhile and their release wakes.
+            if self
+                .state
+                .compare_exchange(RW_PARKED, 0, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                unpark_all(self.key());
+            }
+        }
+    }
+
+    fn write_unlock(&self) {
+        let prev = self.state.swap(0, Ordering::Release);
+        if prev & RW_PARKED != 0 {
+            unpark_all(self.key());
         }
     }
 }
@@ -160,49 +605,91 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.guard
+        // Safety: the guard proves shared read access is held.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.guard
+        // Safety: the guard proves exclusive access is held.
+        unsafe { &*self.lock.data.get() }
     }
 }
 
 impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.guard
+        // Safety: the guard proves exclusive access is held.
+        unsafe { &mut *self.lock.data.get() }
     }
 }
 
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.read_unlock();
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.write_unlock();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
 /// A condition variable whose `wait` borrows the guard (parking_lot style).
+/// Waiters park in the global table under the condvar's address; because a
+/// waiter enqueues itself *before* releasing the mutex, a notify performed
+/// after the condition was made true (under that mutex) is guaranteed to see
+/// the waiter — the classic lost-wakeup guarantee.
 #[derive(Default)]
 pub struct Condvar {
-    inner: sync::Condvar,
+    // The address is the parking key; the struct needs a stable, non-ZST
+    // footprint so distinct condvars have distinct keys.
+    _state: AtomicUsize,
 }
 
 impl Condvar {
     /// Create a new condition variable.
     pub const fn new() -> Self {
         Condvar {
-            inner: sync::Condvar::new(),
+            _state: AtomicUsize::new(0),
         }
     }
 
-    /// Block until notified, releasing `guard`'s mutex while blocked.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let std_guard = guard.guard.take().expect("guard taken during wait");
-        let std_guard = match self.inner.wait(std_guard) {
-            Ok(g) => g,
-            Err(p) => p.into_inner(),
-        };
-        guard.guard = Some(std_guard);
+    fn key(&self) -> usize {
+        self as *const _ as *const () as usize
     }
 
-    /// Block until `condition` returns false, releasing the mutex while blocked.
-    pub fn wait_while<T, F: FnMut(&mut T) -> bool>(
+    /// Block until notified, releasing `guard`'s mutex while blocked.
+    /// Spurious wake-ups are possible; callers re-check in a loop.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        let key = self.key();
+        let mutex = guard.mutex;
+        PARKER.with(|parker| {
+            parker.signaled.store(false, Ordering::Relaxed);
+            {
+                let mut queue = bucket_for(key).lock();
+                queue.push_back(Waiter {
+                    key,
+                    parker: Arc::clone(parker),
+                });
+            }
+            mutex.raw_unlock();
+            while !parker.signaled.load(Ordering::Acquire) {
+                thread::park();
+            }
+        });
+        mutex.raw_lock();
+    }
+
+    /// Block until `condition` returns false, releasing the mutex while
+    /// blocked.
+    pub fn wait_while<T: ?Sized, F: FnMut(&mut T) -> bool>(
         &self,
         guard: &mut MutexGuard<'_, T>,
         mut condition: F,
@@ -212,16 +699,14 @@ impl Condvar {
         }
     }
 
-    /// Wake one blocked waiter.
+    /// Wake one blocked waiter. Returns true if a waiter was woken.
     pub fn notify_one(&self) -> bool {
-        self.inner.notify_one();
-        true
+        unpark_one(self.key(), |_| {})
     }
 
-    /// Wake every blocked waiter.
+    /// Wake every blocked waiter. Returns the number woken.
     pub fn notify_all(&self) -> usize {
-        self.inner.notify_all();
-        0
+        unpark_all(self.key())
     }
 }
 
@@ -234,7 +719,8 @@ impl fmt::Debug for Condvar {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use std::sync::atomic::AtomicU64;
+    use std::time::Duration;
 
     #[test]
     fn mutex_roundtrip() {
@@ -245,11 +731,29 @@ mod tests {
     }
 
     #[test]
+    fn mutex_try_lock() {
+        let m = Mutex::new(5u32);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
     fn rwlock_roundtrip() {
         let l = RwLock::new(vec![1, 2]);
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_allows_concurrent_readers() {
+        let l = RwLock::new(0u32);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 0);
     }
 
     #[test]
@@ -263,8 +767,96 @@ mod tests {
                 cvar.wait(&mut started);
             }
         });
+        // Give the waiter a chance to actually park (not required for
+        // correctness, but exercises the parked path).
+        std::thread::sleep(Duration::from_millis(10));
         *pair.0.lock() = true;
         pair.1.notify_all();
         t.join().unwrap();
+    }
+
+    #[test]
+    fn contended_mutex_counts_exactly() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 80_000);
+    }
+
+    #[test]
+    fn contended_rwlock_writers_and_readers() {
+        let l = Arc::new(RwLock::new(0u64));
+        let sum = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    *l.write() += w + 1;
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let sum = Arc::clone(&sum);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5_000 {
+                    sum.fetch_add(*l.read(), Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 5_000 * (1 + 2 + 3 + 4));
+    }
+
+    #[test]
+    fn condvar_notify_one_wakes_exactly_one_eventually_all() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let pair = Arc::clone(&pair);
+            handles.push(std::thread::spawn(move || {
+                let (lock, cvar) = &*pair;
+                let mut count = lock.lock();
+                while *count == 0 {
+                    cvar.wait(&mut count);
+                }
+                *count -= 1;
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        for _ in 0..4 {
+            *pair.0.lock() += 1;
+            pair.1.notify_one();
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*pair.0.lock(), 0);
+    }
+
+    #[test]
+    fn panic_while_holding_lock_unlocks_on_unwind() {
+        let m = Arc::new(Mutex::new(1u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("intentional");
+        })
+        .join();
+        // No poisoning: the lock is usable again.
+        assert_eq!(*m.lock(), 1);
     }
 }

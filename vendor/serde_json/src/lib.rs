@@ -47,7 +47,12 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: us
                 if x.fract() == 0.0 && x.abs() < 1e15 {
                     out.push_str(&format!("{x:.1}"));
                 } else {
-                    out.push_str(&x.to_string());
+                    // `{:?}` is the shortest round-trippable form and uses
+                    // exponent notation for very large/small magnitudes
+                    // (e.g. `1e16`, `2.5e-9`), which the parser reads back
+                    // as a float — plain `{}` would print `1e16` as a bare
+                    // integer string and lose the value's float-ness.
+                    out.push_str(&format!("{x:?}"));
                 }
             } else {
                 out.push_str("null");
@@ -278,25 +283,15 @@ impl Parser<'_> {
                         Some(b'"') => out.push('"'),
                         Some(b'\\') => out.push('\\'),
                         Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
                         Some(b'n') => out.push('\n'),
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| Error("invalid \\u escape".into()))?,
-                                16,
-                            )
-                            .map_err(|_| Error("invalid \\u escape".into()))?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| Error("invalid \\u code point".into()))?,
-                            );
-                            self.pos += 4;
+                            self.pos += 1;
+                            out.push(self.unicode_escape()?);
+                            continue;
                         }
                         _ => return Err(Error("unknown escape".into())),
                     }
@@ -314,20 +309,94 @@ impl Parser<'_> {
         }
     }
 
+    /// Read four hex digits (cursor on the first digit; leaves it after the
+    /// last).
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        let code = u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error("invalid \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| Error("invalid \\u escape".into()))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Decode a `\uXXXX` escape (cursor just past the `u`), including UTF-16
+    /// surrogate pairs: characters outside the basic multilingual plane are
+    /// encoded in JSON as two consecutive escapes (`\uD834\uDD1E` is one
+    /// G-clef code point).
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        let code = self.hex4()?;
+        if (0xDC00..=0xDFFF).contains(&code) {
+            return Err(Error("unpaired low surrogate in \\u escape".into()));
+        }
+        if (0xD800..=0xDBFF).contains(&code) {
+            if self.bytes.get(self.pos) != Some(&b'\\')
+                || self.bytes.get(self.pos + 1) != Some(&b'u')
+            {
+                return Err(Error("unpaired high surrogate in \\u escape".into()));
+            }
+            self.pos += 2;
+            let low = self.hex4()?;
+            if !(0xDC00..=0xDFFF).contains(&low) {
+                return Err(Error("invalid low surrogate in \\u escape".into()));
+            }
+            let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            return char::from_u32(combined).ok_or_else(|| Error("invalid \\u code point".into()));
+        }
+        char::from_u32(code).ok_or_else(|| Error("invalid \\u code point".into()))
+    }
+
     fn number(&mut self) -> Result<Value, Error> {
+        // Proper JSON number grammar: `-? int frac? exp?` with `int` either
+        // `0` or a non-zero-led digit run, `frac` requiring a digit after the
+        // point and `exp` requiring a digit after `e[+-]?`. The previous
+        // scanner swallowed `.`/`e`/`+`/`-` anywhere in the token and leaned
+        // on `f64::from_str` to reject the garbage, which mis-parsed forms
+        // like `1e` (error where serde_json errors too — fine) but also
+        // mispositioned the cursor on inputs like `1e+` inside arrays.
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        let mut is_float = false;
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
                     self.pos += 1;
                 }
-                _ => break,
+            }
+            _ => return Err(Error(format!("invalid number at byte {}", self.pos))),
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error(format!("digit expected at byte {}", self.pos)));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(Error(format!(
+                    "exponent digit expected at byte {}",
+                    self.pos
+                )));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -337,13 +406,19 @@ impl Parser<'_> {
                 .map(Value::Float)
                 .map_err(|_| Error(format!("invalid number '{text}'")))
         } else if text.starts_with('-') {
-            text.parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| Error(format!("invalid number '{text}'")))
+            // Integers beyond i64/u64 range degrade to f64, as serde_json's
+            // default (non-arbitrary-precision) parser does.
+            text.parse::<i64>().map(Value::Int).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error(format!("invalid number '{text}'")))
+            })
         } else {
-            text.parse::<u64>()
-                .map(Value::UInt)
-                .map_err(|_| Error(format!("invalid number '{text}'")))
+            text.parse::<u64>().map(Value::UInt).or_else(|_| {
+                text.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| Error(format!("invalid number '{text}'")))
+            })
         }
     }
 }
@@ -403,6 +478,72 @@ mod tests {
         assert!(from_str_value("{\"a\": }").is_err());
         assert!(from_str_value("[1, 2").is_err());
         assert!(from_str_value("42 trailing").is_err());
+    }
+
+    #[test]
+    fn all_json_escapes_parse() {
+        // \b and \f are legal JSON escapes the parser used to reject.
+        let v = from_str_value(r#""a\bb\fc\/d""#).unwrap();
+        assert_eq!(v, Value::String("a\u{0008}b\u{000C}c/d".into()));
+        // Surrogate pairs decode to the astral-plane character.
+        let v = from_str_value(r#""G-clef: \ud834\udd1e""#).unwrap();
+        assert_eq!(v, Value::String("G-clef: \u{1D11E}".into()));
+        // Unpaired or malformed surrogates are errors, not garbage.
+        assert!(from_str_value(r#""\ud834""#).is_err());
+        assert!(from_str_value(r#""\ud834 ""#).is_err());
+        assert!(from_str_value(r#""\udd1e""#).is_err());
+    }
+
+    #[test]
+    fn exponent_form_numbers_parse() {
+        assert_eq!(from_str_value("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str_value("1E+3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str_value("-2.5e-2").unwrap(), Value::Float(-0.025));
+        assert_eq!(from_str_value("1e16").unwrap(), Value::Float(1e16));
+        // Malformed exponents and fractions are rejected with the cursor
+        // inside the token (not silently swallowed into neighbours).
+        assert!(from_str_value("1e").is_err());
+        assert!(from_str_value("1e+").is_err());
+        assert!(from_str_value("1.").is_err());
+        assert!(from_str_value("[1e+,2]").is_err());
+        // Integers beyond u64 degrade to floats rather than erroring.
+        assert_eq!(
+            from_str_value("100000000000000000000").unwrap(),
+            Value::Float(1e20)
+        );
+    }
+
+    #[test]
+    fn write_json_output_roundtrips_through_the_parser() {
+        // The exact document shape write_json produces: nested objects,
+        // arrays, exponent-range floats, whole floats, escapes.
+        let v = Value::Object(vec![
+            (
+                "label".into(),
+                Value::String("tab\there \u{0008}\u{000C} and \u{1D11E}".into()),
+            ),
+            (
+                "rows".into(),
+                Value::Array(vec![
+                    Value::Object(vec![
+                        ("whole".into(), Value::Float(192.0)),
+                        ("huge".into(), Value::Float(3.2e18)),
+                        ("tiny".into(), Value::Float(4.5e-9)),
+                        ("count".into(), Value::UInt(12)),
+                        ("delta".into(), Value::Int(-3)),
+                    ]),
+                    Value::Null,
+                    Value::Bool(true),
+                ]),
+            ),
+        ]);
+        for text in [
+            to_string(&Shim(v.clone())).unwrap(),
+            to_string_pretty(&Shim(v.clone())).unwrap(),
+        ] {
+            let reparsed = from_str_value(&text).unwrap();
+            assert_eq!(reparsed, v, "document changed across a round-trip: {text}");
+        }
     }
 
     #[test]
