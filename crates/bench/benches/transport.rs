@@ -1,0 +1,41 @@
+//! Wall-clock cost of the transport backends: how much host time the
+//! engine + backend machinery burns to carry a fan-in burst of page-sized
+//! messages, per backend. The virtual-time behaviour is covered by the
+//! `compare` gate and ablation 10; this bench watches the *simulator's* own
+//! overhead so a backend regression (e.g. an accidental global lock or a
+//! per-message allocation storm) shows up as wall-clock drift.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmpm2_bench::probe_fan_in;
+use dsmpm2_madeleine::{profiles, LossyConfig, TransportBackend, TransportTuning};
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport_fan_in");
+    group.sample_size(10);
+    let model = profiles::bip_myrinet();
+    let lossy = TransportTuning {
+        backend: TransportBackend::Lossy(LossyConfig {
+            seed: 7,
+            drop_per_mille: 100,
+            dup_per_mille: 20,
+            rto_factor: 2,
+        }),
+    };
+    for (label, tuning) in [
+        ("ideal", TransportTuning::ideal()),
+        ("contended", TransportTuning::contended()),
+        ("lossy", lossy),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("4x8_pages", label),
+            &tuning,
+            |b, tuning| {
+                b.iter(|| probe_fan_in(&model, *tuning, 4, 8));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -19,8 +19,8 @@
 //! Run in CI on every PR so perf-affecting changes must either stay inside
 //! the envelope or consciously regenerate the baseline.
 
-use dsmpm2_bench::{markdown_table, measure_handoff};
-use dsmpm2_madeleine::profiles;
+use dsmpm2_bench::{markdown_table, measure_handoff, probe_fan_in, probe_single_transfer};
+use dsmpm2_madeleine::{profiles, LossyConfig, TransportBackend, TransportTuning};
 use dsmpm2_workloads::{measure_read_fault, FaultPolicy};
 use serde::Value;
 
@@ -125,6 +125,71 @@ fn main() {
                 "Gate"
             ],
             &rows
+        )
+    );
+
+    // ----- transport backend envelope (virtual time) ------------------------
+    //
+    // The `Ideal` backend *is* the calibrated cost model: a single
+    // uncontended page transfer must take exactly
+    // `model.page_transfer_time(4096)` — zero drift allowed, so a transport
+    // refactor can never silently change the calibrated costs. The
+    // `Contended` backend and a loss-free `Lossy` backend must agree on the
+    // uncontended case (their queues are empty); the contended fan-in
+    // column shows where they stop agreeing, informationally.
+    let lossless = TransportTuning {
+        backend: TransportBackend::Lossy(LossyConfig {
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            ..LossyConfig::default()
+        }),
+    };
+    let mut transport_rows = Vec::new();
+    for model in profiles::all() {
+        let expected = model.page_transfer_time(4096);
+        let mut cells = vec![
+            model.name.clone(),
+            format!("{:.1}", expected.as_micros_f64()),
+        ];
+        let mut verdict = "ok";
+        for tuning in [
+            TransportTuning::ideal(),
+            TransportTuning::contended(),
+            lossless,
+        ] {
+            let probed = probe_single_transfer(&model, tuning);
+            cells.push(format!("{:.1}", probed.as_micros_f64()));
+            if probed != expected {
+                verdict = "FAIL";
+                failures.push(format!(
+                    "transport / {} / {}: uncontended 4 kB transfer took {} vs model {} \
+                     (exact match required)",
+                    model.name,
+                    tuning.backend.name(),
+                    probed,
+                    expected
+                ));
+            }
+        }
+        let fan_in = probe_fan_in(&model, TransportTuning::contended(), 3, 2);
+        cells.push(format!("{:.1}", fan_in.as_micros_f64()));
+        cells.push(verdict.to_string());
+        transport_rows.push(cells);
+    }
+    println!("Transport gate: uncontended 4 kB transfer must match the model exactly\n");
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Network",
+                "Model (us)",
+                "Ideal (us)",
+                "Contended (us)",
+                "Lossless (us)",
+                "Fan-in 3x2 contended (us)",
+                "Gate"
+            ],
+            &transport_rows
         )
     );
 

@@ -9,6 +9,8 @@
 
 pub mod handoff;
 pub mod report;
+pub mod transport_probe;
 
 pub use handoff::{measure_handoff, measure_handoff_mode, HandoffMeasurement};
 pub use report::{markdown_table, write_json};
+pub use transport_probe::{probe_fan_in, probe_single_transfer};

@@ -15,7 +15,7 @@
 
 use dsmpm2_madeleine::{NodeId, CONTROL_MESSAGE_BYTES};
 use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcReply, RpcRequestCtx};
-use dsmpm2_sim::{EngineCtl, SimDuration, SimHandle, TickOutbox};
+use dsmpm2_sim::{EngineCtl, SimDuration, SimHandle, SimTime, TickOutbox};
 
 use crate::ctx::{DsmThreadCtx, ServerCtx};
 use crate::diff::PageDiff;
@@ -36,11 +36,47 @@ pub const SVC_BARRIER: &str = "dsm_barrier";
 /// Per-tick batcher for coherence messages (invalidations, diffs,
 /// acknowledgements, ownership notices). One per runtime, present only when
 /// [`dsmpm2_pm2::DsmTuning::batch_messages`] is enabled: messages addressed
-/// to the same node within one virtual-time tick are coalesced into a single
-/// [`DsmMsg::Batch`] envelope flushed at the end of the tick.
-#[derive(Default)]
+/// to the same node within one batching window are coalesced into a single
+/// [`DsmMsg::Batch`] envelope flushed at the end of the window. The default
+/// window width is zero — only *same-instant* messages coalesce, the
+/// historical behaviour; a non-zero [`dsmpm2_pm2::DsmTuning::batch_window`]
+/// widens the bucket to a time window, parking each message (together with
+/// its logical send tick, which bounds how early the flushed envelope may
+/// depart) until the window closes.
 pub(crate) struct DsmOutbox {
-    queued: TickOutbox<(NodeId, NodeId), DsmMsg>,
+    queued: TickOutbox<(NodeId, NodeId), (SimTime, DsmMsg)>,
+    window: SimDuration,
+}
+
+impl DsmOutbox {
+    pub(crate) fn new(window: SimDuration) -> Self {
+        DsmOutbox {
+            queued: TickOutbox::new(),
+            window,
+        }
+    }
+
+    /// The bucket slot a message sent at `tick` lands in: the tick itself
+    /// for same-instant batching, or the enclosing window's start otherwise.
+    fn slot_of(&self, tick: SimTime) -> SimTime {
+        let w = self.window.as_nanos();
+        match tick.as_nanos().checked_div(w) {
+            Some(windows) => SimTime::from_nanos(windows * w),
+            // Zero-width window: every tick is its own slot.
+            None => tick,
+        }
+    }
+
+    /// When the bucket for `slot` must be flushed, as a delay from `tick`
+    /// (the pushing thread's local clock): immediately for same-instant
+    /// batching, at the window's end otherwise.
+    fn flush_delay(&self, slot: SimTime, tick: SimTime) -> SimDuration {
+        if self.window.is_zero() {
+            SimDuration::ZERO
+        } else {
+            (slot + self.window).since(tick)
+        }
+    }
 }
 
 /// Register the DSM services on the runtime's cluster. Called once from
@@ -320,15 +356,17 @@ impl DsmRuntime {
             return;
         };
         let tick = sim.now();
-        if outbox.queued.push((from, to), tick, msg) {
-            // First message for this (destination, tick): schedule exactly
-            // one flush at the end of the tick. The flush runs as an engine
-            // callback after every event of the tick, so all same-tick
-            // messages for this destination have been parked by then. (The
-            // pre-send link hook may have flushed the bucket earlier, in
-            // which case the callback finds it empty and does nothing.)
+        let slot = outbox.slot_of(tick);
+        if outbox.queued.push((from, to), slot, (tick, msg)) {
+            // First message for this (destination, window slot): schedule
+            // exactly one flush at the slot's end — for the default
+            // zero-width window that is the end of the current tick, so all
+            // same-tick messages for this destination have been parked by
+            // then. (The pre-send link hook may have flushed the bucket
+            // earlier, in which case the callback finds it empty and does
+            // nothing.)
             let rt = self.clone();
-            sim.call_after(SimDuration::ZERO, move |ctl| {
+            sim.call_after(outbox.flush_delay(slot, tick), move |ctl| {
                 rt.flush_coherence_link(ctl, from, to);
             });
         }
@@ -349,7 +387,12 @@ impl DsmRuntime {
     /// send below finds the buckets already drained and is a no-op).
     pub(crate) fn flush_coherence_link(&self, ctl: &EngineCtl, from: NodeId, to: NodeId) {
         let Some(outbox) = self.outbox() else { return };
-        for (tick, mut msgs) in outbox.queued.take_all((from, to)) {
+        for (_slot, items) in outbox.queued.take_all((from, to)) {
+            // The flushed envelope must not depart earlier than the latest
+            // parked message's logical send time (the sender's local clock,
+            // possibly ahead of the global clock).
+            let tick = items.iter().map(|(t, _)| *t).max().unwrap_or(SimTime::ZERO);
+            let mut msgs: Vec<DsmMsg> = items.into_iter().map(|(_, m)| m).collect();
             let (payload, class) = match msgs.len() {
                 0 => continue,
                 1 => {

@@ -61,5 +61,6 @@ pub use sync::{BarrierId, LockId};
 /// Convenience re-exports from the runtime layers below.
 pub use dsmpm2_madeleine::{NodeId, Topology};
 pub use dsmpm2_pm2::{
-    DsmTuning, Engine, Pm2Cluster, Pm2Config, Pm2ThreadState, SimDuration, SimTime,
+    DsmTuning, Engine, LossyConfig, Pm2Cluster, Pm2Config, Pm2ThreadState, SimDuration, SimTime,
+    TransportBackend, TransportTuning, WireStatsSnapshot,
 };

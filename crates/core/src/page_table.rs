@@ -51,7 +51,7 @@ pub struct PageEntry {
     /// Tail of the distributed write-acquisition queue as last seen by this
     /// node: the requester of the most recent write request it forwarded (or
     /// sent). Write requests chain behind it (and may be parked at it, see
-    /// [`crate::msg::PageRequest::queued`]); `prob_owner` itself only ever
+    /// the `queued` flag on [`crate::msg::PageRequest`]); `prob_owner` itself only ever
     /// records ownership *history*, so routing always has a terminating
     /// fallback even when the queue information is stale.
     pub queue_tail: Option<NodeId>,

@@ -1,7 +1,7 @@
 //! The DSM protocol library: thread-safe building blocks protocols are
 //! assembled from.
 //!
-//! The paper describes this layer as "a toolbox [that] provides routines to
+//! The paper describes this layer as "a toolbox \[that\] provides routines to
 //! perform elementary actions such as bringing a copy of a remote page to a
 //! thread, migrating a thread to some remote data, invalidating all copies of
 //! a page, etc.". The built-in protocols (`dsmpm2-protocols`) and user-defined

@@ -131,7 +131,9 @@ impl DsmRuntime {
             .collect();
         let runtime = DsmRuntime {
             inner: Arc::new(RuntimeInner {
-                outbox: tuning.batch_messages.then(crate::comm::DsmOutbox::default),
+                outbox: tuning
+                    .batch_messages
+                    .then(|| crate::comm::DsmOutbox::new(tuning.batch_window)),
                 cluster,
                 costs,
                 tuning,

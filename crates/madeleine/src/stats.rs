@@ -10,6 +10,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use dsmpm2_sim::SimDuration;
+
 use crate::topology::NodeId;
 
 /// Aggregated communication counters for one [`crate::Network`].
@@ -92,9 +94,106 @@ impl NetStats {
     }
 }
 
+/// Wire-level counters of one transport backend (as opposed to the
+/// message-level [`NetStats`], which count what the layers above put on the
+/// wire regardless of how the backend carries it).
+#[derive(Default)]
+pub struct WireStats {
+    fifo_stall_ns: AtomicU64,
+    egress_stall_ns: AtomicU64,
+    ingress_stall_ns: AtomicU64,
+    drops: AtomicU64,
+    retransmits: AtomicU64,
+    duplicates: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`WireStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WireStatsSnapshot {
+    /// Virtual time messages spent stretched by the per-link FIFO guarantee.
+    pub fifo_stall_ns: u64,
+    /// Virtual time frames waited for the sender's egress NIC.
+    pub egress_stall_ns: u64,
+    /// Virtual time frames waited for the receiver's ingress NIC.
+    pub ingress_stall_ns: u64,
+    /// Wire attempts dropped by the lossy backend.
+    pub drops: u64,
+    /// Retransmissions triggered by drops.
+    pub retransmits: u64,
+    /// Duplicate frames discarded by the sequence-number check.
+    pub duplicates: u64,
+}
+
+impl WireStatsSnapshot {
+    /// Total virtual time spent stalled on NICs (egress + ingress).
+    pub fn contention_stall_ns(&self) -> u64 {
+        self.egress_stall_ns + self.ingress_stall_ns
+    }
+}
+
+impl WireStats {
+    /// Account FIFO stretching of one message.
+    pub fn add_fifo_stall(&self, d: SimDuration) {
+        self.fifo_stall_ns
+            .fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Account egress-NIC waiting of one frame.
+    pub fn add_egress_stall(&self, d: SimDuration) {
+        self.egress_stall_ns
+            .fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Account ingress-NIC waiting of one frame.
+    pub fn add_ingress_stall(&self, d: SimDuration) {
+        self.ingress_stall_ns
+            .fetch_add(d.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Count one dropped wire attempt.
+    pub fn incr_drop(&self) {
+        self.drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one retransmission.
+    pub fn incr_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one discarded duplicate frame.
+    pub fn incr_duplicate(&self) {
+        self.duplicates.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent snapshot of every counter.
+    pub fn snapshot(&self) -> WireStatsSnapshot {
+        WireStatsSnapshot {
+            fifo_stall_ns: self.fifo_stall_ns.load(Ordering::Relaxed),
+            egress_stall_ns: self.egress_stall_ns.load(Ordering::Relaxed),
+            ingress_stall_ns: self.ingress_stall_ns.load(Ordering::Relaxed),
+            drops: self.drops.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wire_stats_accumulate_and_snapshot() {
+        let w = WireStats::default();
+        w.add_egress_stall(SimDuration::from_micros(2));
+        w.add_ingress_stall(SimDuration::from_micros(3));
+        w.incr_drop();
+        w.incr_retransmit();
+        w.incr_duplicate();
+        let s = w.snapshot();
+        assert_eq!(s.contention_stall_ns(), 5_000);
+        assert_eq!((s.drops, s.retransmits, s.duplicates), (1, 1, 1));
+    }
 
     #[test]
     fn record_accumulates_totals_and_links() {

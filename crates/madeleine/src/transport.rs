@@ -2,20 +2,23 @@
 //!
 //! [`Network`] plays the role of the Madeleine communication library: it
 //! gives every node an incoming message queue and lets any simulated thread
-//! send a typed message to any node. Transfer time is computed from the
-//! configured [`NetworkModel`] and charged as a virtual-time delivery delay,
-//! so higher layers (RPC, the DSM communication module) automatically inherit
-//! the calibrated cost of the selected interconnect.
+//! send a typed message to any node. The *cost* of a transfer comes from the
+//! configured [`NetworkModel`]; *when* it is delivered is decided by the
+//! pluggable [`crate::Transport`] backend ([`crate::TransportBackend`]):
+//! the default `Ideal` backend charges the model's delay at send time
+//! (uncontended infinite-capacity links, the historical behaviour), while
+//! the `Contended` and `Lossy` backends schedule delivery through NIC
+//! queues, retransmission timers and sequence numbers.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use dsmpm2_sim::{channel, EngineCtl, SimDuration, SimHandle, SimReceiver, SimSender, SimTime};
 
+use crate::backend::{build_transport, Transport, TransportTuning};
 use crate::model::{NetworkModel, CONTROL_MESSAGE_BYTES};
-use crate::stats::NetStats;
+use crate::stats::{NetStats, WireStatsSnapshot};
 use crate::topology::{NodeId, Topology};
 
 /// A message in flight (or delivered) between two nodes.
@@ -42,14 +45,14 @@ pub type PreSendHook = Arc<dyn Fn(NodeId, NodeId) + Send + Sync>;
 struct NetworkInner<M> {
     model: NetworkModel,
     topology: Topology,
+    tuning: TransportTuning,
     senders: Vec<SimSender<Envelope<M>>>,
     receivers: Vec<SimReceiver<Envelope<M>>>,
     stats: NetStats,
-    /// Madeleine channels are FIFO: per directed link, a message never
-    /// overtakes an earlier one (a small control message sent after a large
-    /// page transfer arrives after it). This map records the last scheduled
-    /// delivery time of each link.
-    fifo: Mutex<HashMap<(NodeId, NodeId), SimTime>>,
+    /// The wire-level backend: owns the per-directed-link state (FIFO
+    /// clocks, NIC reservations, retransmission machinery) and decides when
+    /// each envelope reaches its destination queue.
+    transport: Box<dyn Transport<M>>,
     /// Pre-send link hook (see [`PreSendHook`]).
     pre_send: RwLock<Option<PreSendHook>>,
 }
@@ -68,8 +71,19 @@ impl<M> Clone for Network<M> {
 }
 
 impl<M: Send + 'static> Network<M> {
-    /// Build a network for `topology` using the cost model `model`.
+    /// Build a network for `topology` using the cost model `model` and the
+    /// default (`Ideal`) transport backend.
     pub fn new(ctl: EngineCtl, model: NetworkModel, topology: Topology) -> Self {
+        Network::with_transport(ctl, model, topology, TransportTuning::default())
+    }
+
+    /// Build a network with an explicit transport backend selection.
+    pub fn with_transport(
+        ctl: EngineCtl,
+        model: NetworkModel,
+        topology: Topology,
+        tuning: TransportTuning,
+    ) -> Self {
         let mut senders = Vec::with_capacity(topology.num_nodes);
         let mut receivers = Vec::with_capacity(topology.num_nodes);
         for _ in 0..topology.num_nodes {
@@ -77,14 +91,16 @@ impl<M: Send + 'static> Network<M> {
             senders.push(tx);
             receivers.push(rx);
         }
+        let transport = build_transport::<M>(ctl, &model, &topology, tuning);
         Network {
             inner: Arc::new(NetworkInner {
                 model,
                 topology,
+                tuning,
                 senders,
                 receivers,
                 stats: NetStats::new(),
-                fifo: Mutex::new(HashMap::new()),
+                transport,
                 pre_send: RwLock::new(None),
             }),
         }
@@ -100,9 +116,20 @@ impl<M: Send + 'static> Network<M> {
         &self.inner.topology
     }
 
+    /// The transport tuning this network was built with.
+    pub fn transport_tuning(&self) -> TransportTuning {
+        self.inner.tuning
+    }
+
     /// Communication statistics collected so far.
     pub fn stats(&self) -> &NetStats {
         &self.inner.stats
+    }
+
+    /// Wire-level statistics of the transport backend (NIC stalls, drops,
+    /// retransmissions, duplicates).
+    pub fn wire_stats(&self) -> WireStatsSnapshot {
+        self.inner.transport.wire_stats()
     }
 
     /// The incoming message queue of `node`. Dispatcher threads hold a clone
@@ -127,14 +154,9 @@ impl<M: Send + 'static> Network<M> {
     }
 
     /// Send `msg` from `from` to `to`, accounting `payload_bytes` of payload.
-    /// The message is delivered after the model's transfer time; messages on
-    /// the same link are delivered in FIFO order because delivery times are
-    /// monotonic in send time for a fixed size... and ties preserve send order.
+    /// The message is delivered after the backend's transfer time; messages
+    /// on the same link are always delivered in FIFO order.
     pub fn send(&self, handle: &SimHandle, from: NodeId, to: NodeId, msg: M, payload_bytes: usize) {
-        assert!(
-            self.inner.topology.contains(from) && self.inner.topology.contains(to),
-            "send between unknown nodes {from} -> {to}"
-        );
         let delay = if from == to {
             // Loopback messages skip the wire but still pay a small software cost.
             SimDuration::from_micros_f64(self.inner.model.rpc_min_latency_us / 2.0)
@@ -149,8 +171,8 @@ impl<M: Send + 'static> Network<M> {
         self.send(handle, from, to, msg, CONTROL_MESSAGE_BYTES);
     }
 
-    /// Send with an explicitly chosen delivery delay (used by layers that
-    /// have already computed a cost, e.g. thread migration).
+    /// Send with an explicitly chosen idle-wire delivery delay (used by
+    /// layers that have already computed a cost, e.g. thread migration).
     pub fn send_with_delay(
         &self,
         handle: &SimHandle,
@@ -160,9 +182,7 @@ impl<M: Send + 'static> Network<M> {
         payload_bytes: usize,
         delay: SimDuration,
     ) {
-        self.run_pre_send_hook(from, to);
-        let (envelope, delay) = self.prepare(handle.now(), from, to, msg, payload_bytes, delay);
-        self.inner.senders[to.index()].send_delayed(handle, envelope, delay);
+        self.dispatch(handle.now(), from, to, msg, payload_bytes, delay);
     }
 
     /// Send from outside any simulated thread (scheduler callbacks). Used by
@@ -179,15 +199,13 @@ impl<M: Send + 'static> Network<M> {
         payload_bytes: usize,
         delay: SimDuration,
     ) {
-        self.run_pre_send_hook(from, to);
-        let (envelope, delay) = self.prepare(ctl.now(), from, to, msg, payload_bytes, delay);
-        self.inner.senders[to.index()].send_from_ctl(ctl, envelope, delay);
+        self.dispatch(ctl.now(), from, to, msg, payload_bytes, delay);
     }
 
-    /// Common half of every send: record statistics and enforce FIFO delivery
-    /// per directed link, returning the envelope and the (possibly stretched)
-    /// delivery delay.
-    fn prepare(
+    /// Common half of every send: run the pre-send hook, record statistics
+    /// and hand the envelope to the transport backend, which schedules the
+    /// delivery.
+    fn dispatch(
         &self,
         sent_at: SimTime,
         from: NodeId,
@@ -195,20 +213,13 @@ impl<M: Send + 'static> Network<M> {
         msg: M,
         payload_bytes: usize,
         delay: SimDuration,
-    ) -> (Envelope<M>, SimDuration) {
+    ) {
         assert!(
             self.inner.topology.contains(from) && self.inner.topology.contains(to),
             "send between unknown nodes {from} -> {to}"
         );
+        self.run_pre_send_hook(from, to);
         self.inner.stats.record(from, to, payload_bytes);
-        let delay = {
-            let mut fifo = self.inner.fifo.lock();
-            let earliest = fifo.entry((from, to)).or_insert(SimTime::ZERO);
-            let natural_arrival = sent_at + delay;
-            let arrival = natural_arrival.max(*earliest);
-            *earliest = arrival;
-            arrival - sent_at
-        };
         let envelope = Envelope {
             from,
             to,
@@ -216,7 +227,9 @@ impl<M: Send + 'static> Network<M> {
             sent_at,
             msg,
         };
-        (envelope, delay)
+        self.inner
+            .transport
+            .submit(envelope, delay, &self.inner.senders[to.index()]);
     }
 }
 
@@ -358,6 +371,14 @@ mod tests {
         assert_eq!(net.stats().messages(), 2);
         assert_eq!(net.stats().bytes(), 300);
         assert_eq!(net.stats().link(NodeId(0), NodeId(1)).messages, 2);
+    }
+
+    #[test]
+    fn default_backend_is_ideal_with_clean_wire_stats() {
+        let engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::bip_myrinet());
+        assert_eq!(net.transport_tuning(), TransportTuning::ideal());
+        assert_eq!(net.wire_stats(), WireStatsSnapshot::default());
     }
 
     #[test]

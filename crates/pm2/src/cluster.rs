@@ -55,7 +55,12 @@ impl Pm2Cluster {
     /// dispatcher daemon per node.
     pub fn new(engine: &Engine, config: Pm2Config) -> Self {
         let topology = Topology::flat(config.num_nodes);
-        let network = Network::new(engine.ctl(), config.network.clone(), topology.clone());
+        let network = Network::with_transport(
+            engine.ctl(),
+            config.network.clone(),
+            topology.clone(),
+            config.transport,
+        );
         let iso = IsoAllocator::new(config.num_nodes);
         let cluster = Pm2Cluster {
             inner: Arc::new(ClusterInner {

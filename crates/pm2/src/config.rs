@@ -1,6 +1,6 @@
 //! Cluster configuration and PM2 software cost constants.
 
-use dsmpm2_madeleine::{profiles, NetworkModel};
+use dsmpm2_madeleine::{profiles, NetworkModel, TransportTuning};
 use dsmpm2_sim::{SimDuration, SimTuning};
 
 /// Software-path cost constants of the PM2 runtime itself (independent of the
@@ -61,6 +61,13 @@ pub struct DsmTuning {
     /// notices) addressed to the same node within one virtual-time tick into
     /// a single batched envelope on the wire.
     pub batch_messages: bool,
+    /// Width of the batching window. With the default (`ZERO`), only
+    /// messages sent at the *same instant* coalesce — the historical
+    /// behaviour. A non-zero window parks coherence messages for the same
+    /// destination until the end of the window they were sent in, trading up
+    /// to one window of extra latency for fewer wire messages. Ignored when
+    /// `batch_messages` is off.
+    pub batch_window: SimDuration,
 }
 
 impl Default for DsmTuning {
@@ -68,6 +75,7 @@ impl Default for DsmTuning {
         DsmTuning {
             page_table_shards: 8,
             batch_messages: true,
+            batch_window: SimDuration::ZERO,
         }
     }
 }
@@ -80,7 +88,14 @@ impl DsmTuning {
         DsmTuning {
             page_table_shards: 1,
             batch_messages: false,
+            batch_window: SimDuration::ZERO,
         }
+    }
+
+    /// Same-instant batching widened to a time window.
+    pub fn with_batch_window(mut self, window: SimDuration) -> Self {
+        self.batch_window = window;
+        self
     }
 }
 
@@ -99,6 +114,9 @@ pub struct Pm2Config {
     /// that build their own [`dsmpm2_sim::Engine`] should construct it with
     /// these (the workload runners do); the default is the futex hand-off.
     pub sim: SimTuning,
+    /// Transport-layer tuning knobs (wire-level backend selection): the
+    /// default is the `Ideal` uncontended pipe of the paper's cost model.
+    pub transport: TransportTuning,
 }
 
 impl Pm2Config {
@@ -110,6 +128,7 @@ impl Pm2Config {
             costs: Pm2Costs::default(),
             dsm: DsmTuning::default(),
             sim: SimTuning::default(),
+            transport: TransportTuning::default(),
         }
     }
 
@@ -122,6 +141,12 @@ impl Pm2Config {
     /// Replace the simulation-engine tuning knobs.
     pub fn with_sim_tuning(mut self, sim: SimTuning) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Replace the transport-layer tuning knobs.
+    pub fn with_transport_tuning(mut self, transport: TransportTuning) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -179,8 +204,23 @@ mod tests {
         let config = Pm2Config::bip_myrinet(2);
         assert!(config.dsm.page_table_shards > 1);
         assert!(config.dsm.batch_messages);
+        assert!(config.dsm.batch_window.is_zero());
         let legacy = Pm2Config::bip_myrinet(2).with_dsm_tuning(DsmTuning::legacy());
         assert_eq!(legacy.dsm.page_table_shards, 1);
         assert!(!legacy.dsm.batch_messages);
+        let windowed = DsmTuning::default().with_batch_window(SimDuration::from_micros(50));
+        assert_eq!(windowed.batch_window, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn transport_tuning_defaults_to_ideal_and_threads_through() {
+        use dsmpm2_madeleine::TransportBackend;
+        let config = Pm2Config::bip_myrinet(2);
+        assert_eq!(config.transport, TransportTuning::ideal());
+        let contended =
+            Pm2Config::bip_myrinet(2).with_transport_tuning(TransportTuning::contended());
+        assert_eq!(contended.transport.backend, TransportBackend::Contended);
+        let lossy = Pm2Config::bip_myrinet(2).with_transport_tuning(TransportTuning::lossy(7));
+        assert!(matches!(lossy.transport.backend, TransportBackend::Lossy(c) if c.seed == 7));
     }
 }

@@ -39,5 +39,8 @@ pub use rpc::{
 
 /// Convenience re-exports of the layers below, so applications can depend on
 /// a single crate for cluster setup.
-pub use dsmpm2_madeleine::{profiles, NetworkModel, NodeId, Topology};
+pub use dsmpm2_madeleine::{
+    profiles, LossyConfig, NetworkModel, NodeId, Topology, TransportBackend, TransportTuning,
+    WireStatsSnapshot,
+};
 pub use dsmpm2_sim::{Engine, EngineConfig, SimDuration, SimError, SimHandle, SimTime, SimTuning};

@@ -138,6 +138,15 @@ impl<T: Send + 'static> SimSender<T> {
         self.enqueue_at(deliver_at, value);
     }
 
+    /// Send a message that becomes visible at the absolute virtual time
+    /// `deliver_at`. Used by transport backends whose delivery times come
+    /// from their own link state (NIC reservations, retransmission timers)
+    /// rather than from a caller-relative delay. A `deliver_at` in the past
+    /// delivers at the current instant.
+    pub fn send_at(&self, deliver_at: SimTime, value: T) {
+        self.enqueue_at(deliver_at, value);
+    }
+
     fn enqueue_at(&self, deliver_at: SimTime, value: T) {
         let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst);
         self.inner.in_flight.lock().push(Pending {

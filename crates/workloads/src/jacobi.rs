@@ -14,6 +14,7 @@ use parking_lot::Mutex;
 
 use dsmpm2_core::{
     DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, DsmTuning, HomePolicy, NodeId, Pm2Config,
+    TransportTuning, WireStatsSnapshot,
 };
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
@@ -37,6 +38,8 @@ pub struct JacobiConfig {
     pub tuning: DsmTuning,
     /// Simulation-engine tuning knobs (scheduler baton hand-off).
     pub sim: SimTuning,
+    /// Transport-layer tuning knobs (wire-level backend selection).
+    pub transport: TransportTuning,
 }
 
 impl JacobiConfig {
@@ -50,6 +53,7 @@ impl JacobiConfig {
             compute_per_cell_us: 0.05,
             tuning: DsmTuning::default(),
             sim: SimTuning::default(),
+            transport: TransportTuning::default(),
         }
     }
 }
@@ -69,6 +73,9 @@ pub struct JacobiResult {
     /// Total messages put on the wire (after any batching): the metric the
     /// batching ablation compares.
     pub wire_messages: u64,
+    /// Wire-level transport statistics (NIC stalls, drops, retransmits):
+    /// what the transport ablation compares across backends.
+    pub wire: WireStatsSnapshot,
 }
 
 fn cell_addr(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
@@ -82,7 +89,8 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
     // small grids rows share pages, which is fine (more sharing, not less).
     let cluster_config = Pm2Config::new(config.nodes, config.network.clone())
         .with_dsm_tuning(config.tuning)
-        .with_sim_tuning(config.sim);
+        .with_sim_tuning(config.sim)
+        .with_transport_tuning(config.transport);
     let engine = Engine::with_config(cluster_config.engine_config());
     let rt = DsmRuntime::new(&engine, cluster_config);
     let _ = register_all_protocols(&rt);
@@ -176,6 +184,7 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
         final_cells,
         stats: rt.stats().snapshot(),
         wire_messages: rt.cluster().network().stats().messages(),
+        wire: rt.cluster().network().wire_stats(),
     }
 }
 

@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use dsmpm2_core::{
     DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, DsmTuning, HomePolicy, NodeId, Pm2Config,
+    TransportTuning, WireStatsSnapshot,
 };
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
@@ -34,6 +35,8 @@ pub struct MatmulConfig {
     pub tuning: DsmTuning,
     /// Simulation-engine tuning knobs (scheduler baton hand-off).
     pub sim: SimTuning,
+    /// Transport-layer tuning knobs (wire-level backend selection).
+    pub transport: TransportTuning,
 }
 
 impl MatmulConfig {
@@ -46,6 +49,7 @@ impl MatmulConfig {
             compute_per_madd_us: 0.01,
             tuning: DsmTuning::default(),
             sim: SimTuning::default(),
+            transport: TransportTuning::default(),
         }
     }
 }
@@ -65,6 +69,9 @@ pub struct MatmulResult {
     /// Total messages put on the wire (after any batching): the metric the
     /// batching ablation compares.
     pub wire_messages: u64,
+    /// Wire-level transport statistics (NIC stalls, drops, retransmits):
+    /// what the transport ablation compares across backends.
+    pub wire: WireStatsSnapshot,
 }
 
 /// Deterministic input entry of `A`.
@@ -102,7 +109,8 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
     assert!(config.n >= config.nodes && config.n.is_multiple_of(config.nodes));
     let cluster_config = Pm2Config::new(config.nodes, config.network.clone())
         .with_dsm_tuning(config.tuning)
-        .with_sim_tuning(config.sim);
+        .with_sim_tuning(config.sim)
+        .with_transport_tuning(config.transport);
     let engine = Engine::with_config(cluster_config.engine_config());
     let rt = DsmRuntime::new(&engine, cluster_config);
     let _ = register_all_protocols(&rt);
@@ -189,6 +197,7 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
         final_cells,
         stats: rt.stats().snapshot(),
         wire_messages: rt.cluster().network().stats().messages(),
+        wire: rt.cluster().network().wire_stats(),
     }
 }
 
@@ -217,6 +226,7 @@ mod tests {
             compute_per_madd_us: 0.01,
             tuning: DsmTuning::default(),
             sim: SimTuning::default(),
+            transport: TransportTuning::default(),
         };
         let oracle = sequential_checksum(config.n);
         for proto in ["hbrc_mw", "hlrc_notices"] {

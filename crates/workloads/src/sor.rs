@@ -13,6 +13,7 @@ use parking_lot::Mutex;
 
 use dsmpm2_core::{
     DsmAddr, DsmAttr, DsmRuntime, DsmStatsSnapshot, DsmTuning, HomePolicy, NodeId, Pm2Config,
+    TransportTuning, WireStatsSnapshot,
 };
 use dsmpm2_madeleine::NetworkModel;
 use dsmpm2_pm2::Engine;
@@ -38,6 +39,8 @@ pub struct SorConfig {
     pub tuning: DsmTuning,
     /// Simulation-engine tuning knobs (scheduler baton hand-off).
     pub sim: SimTuning,
+    /// Transport-layer tuning knobs (wire-level backend selection).
+    pub transport: TransportTuning,
 }
 
 impl SorConfig {
@@ -52,6 +55,7 @@ impl SorConfig {
             compute_per_cell_us: 0.05,
             tuning: DsmTuning::default(),
             sim: SimTuning::default(),
+            transport: TransportTuning::default(),
         }
     }
 }
@@ -71,6 +75,9 @@ pub struct SorResult {
     /// Total messages put on the wire (after any batching): the metric the
     /// batching ablation compares.
     pub wire_messages: u64,
+    /// Wire-level transport statistics (NIC stalls, drops, retransmits):
+    /// what the transport ablation compares across backends.
+    pub wire: WireStatsSnapshot,
 }
 
 fn initial(size: usize, row: usize, col: usize) -> f64 {
@@ -121,7 +128,8 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
     assert!(config.size >= 4 && config.size.is_multiple_of(config.nodes));
     let cluster_config = Pm2Config::new(config.nodes, config.network.clone())
         .with_dsm_tuning(config.tuning)
-        .with_sim_tuning(config.sim);
+        .with_sim_tuning(config.sim)
+        .with_transport_tuning(config.transport);
     let engine = Engine::with_config(cluster_config.engine_config());
     let rt = DsmRuntime::new(&engine, cluster_config);
     let _ = register_all_protocols(&rt);
@@ -207,6 +215,7 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
         final_cells,
         stats: rt.stats().snapshot(),
         wire_messages: rt.cluster().network().stats().messages(),
+        wire: rt.cluster().network().wire_stats(),
     }
 }
 
@@ -229,6 +238,7 @@ mod tests {
             compute_per_cell_us: 0.05,
             tuning: DsmTuning::default(),
             sim: SimTuning::default(),
+            transport: TransportTuning::default(),
         };
         let oracle = sequential_checksum(&config);
         for proto in ["erc_sw", "hbrc_mw"] {

@@ -27,6 +27,7 @@ fn main() {
             compute_per_cell_us: 0.05,
             tuning: dsm_pm2::pm2::DsmTuning::default(),
             sim: dsm_pm2::pm2::SimTuning::default(),
+            transport: dsm_pm2::pm2::TransportTuning::default(),
         };
         let r = run_jacobi(&config, proto);
         println!(

@@ -27,6 +27,7 @@ fn main() {
         network: dsm_pm2::madeleine::profiles::bip_myrinet(),
         compute_per_madd_us: 0.01,
         tuning: dsm_pm2::pm2::DsmTuning::default(),
+        transport: dsm_pm2::pm2::TransportTuning::default(),
         sim: dsm_pm2::pm2::SimTuning::default(),
     };
     let mm_oracle = matmul::sequential_checksum(mm.n);
@@ -49,6 +50,7 @@ fn main() {
         network: dsm_pm2::madeleine::profiles::bip_myrinet(),
         compute_per_cell_us: 0.05,
         tuning: dsm_pm2::pm2::DsmTuning::default(),
+        transport: dsm_pm2::pm2::TransportTuning::default(),
         sim: dsm_pm2::pm2::SimTuning::default(),
     };
     let sor_oracle = sor::sequential_checksum(&sor_config);

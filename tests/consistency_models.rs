@@ -311,7 +311,7 @@ fn per_region_protocols_behave_independently() {
 // loudly. (`entry_sw` is excluded: it requires regions to be bound to locks
 // and is exercised by its own tests.)
 
-use dsm_pm2::pm2::{DsmTuning, SimTuning};
+use dsm_pm2::pm2::{DsmTuning, SimTuning, TransportTuning};
 use dsm_pm2::workloads::{
     jacobi::{run_jacobi, JacobiConfig},
     matmul::{run_matmul, MatmulConfig},
@@ -337,6 +337,7 @@ fn scale_out_tuning() -> DsmTuning {
     DsmTuning {
         page_table_shards: 8,
         batch_messages: true,
+        batch_window: Default::default(),
     }
 }
 
@@ -350,6 +351,7 @@ fn conformance_matrix_jacobi() {
         compute_per_cell_us: 0.02,
         tuning,
         sim: SimTuning::default(),
+        transport: TransportTuning::default(),
     };
     let baseline = run_jacobi(&config(1, DsmTuning::legacy()), "li_hudak");
     assert!(
@@ -378,6 +380,7 @@ fn conformance_matrix_sor() {
         compute_per_cell_us: 0.02,
         tuning,
         sim: SimTuning::default(),
+        transport: TransportTuning::default(),
     };
     let baseline = run_sor(&config(1, DsmTuning::legacy()), "li_hudak");
     assert!(baseline.final_cells.iter().any(|&c| c != 0));
@@ -407,6 +410,7 @@ fn conformance_matrix_under_legacy_condvar_handoff() {
         compute_per_cell_us: 0.02,
         tuning: scale_out_tuning(),
         sim,
+        transport: TransportTuning::default(),
     };
     let sor = |nodes: usize, sim: SimTuning| SorConfig {
         size: 16,
@@ -417,6 +421,7 @@ fn conformance_matrix_under_legacy_condvar_handoff() {
         compute_per_cell_us: 0.02,
         tuning: scale_out_tuning(),
         sim,
+        transport: TransportTuning::default(),
     };
     let matmul = |nodes: usize, sim: SimTuning| MatmulConfig {
         n: 8,
@@ -425,6 +430,7 @@ fn conformance_matrix_under_legacy_condvar_handoff() {
         compute_per_madd_us: 0.01,
         tuning: scale_out_tuning(),
         sim,
+        transport: TransportTuning::default(),
     };
     assert!(SimTuning::legacy().legacy_condvar_handoff);
     for proto in MATRIX_PROTOCOLS {
@@ -474,6 +480,7 @@ fn conformance_matrix_matmul() {
         compute_per_madd_us: 0.01,
         tuning,
         sim: SimTuning::default(),
+        transport: TransportTuning::default(),
     };
     let baseline = run_matmul(&config(1, DsmTuning::legacy()), "li_hudak");
     assert!(baseline.final_cells.iter().any(|&c| c != 0));
@@ -486,4 +493,113 @@ fn conformance_matrix_matmul() {
             );
         }
     }
+}
+
+/// The matrix under the `Contended` and `Lossy` transport backends: every
+/// protocol × workload × node-count cell must converge to the *same final
+/// shared memory* as the Ideal baseline — the wire may stall frames at NICs,
+/// drop them and retransmit, but above the transport seam the protocols must
+/// be unaffected. At the same time the wire statistics must show that the
+/// backends really did something: the contended rows must accumulate NIC
+/// stalls and the lossy rows must drop (and retransmit) frames somewhere in
+/// the matrix. Single-node cells are skipped — with one node there is no
+/// wire for the backends to act on.
+#[test]
+fn conformance_matrix_under_contended_and_lossy_transports() {
+    use dsm_pm2::pm2::TransportBackend;
+
+    let jacobi = |nodes: usize, transport: TransportTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning: scale_out_tuning(),
+        sim: SimTuning::default(),
+        transport,
+    };
+    let sor = |nodes: usize, transport: TransportTuning| SorConfig {
+        size: 16,
+        iterations: 2,
+        omega: 1.25,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning: scale_out_tuning(),
+        sim: SimTuning::default(),
+        transport,
+    };
+    let matmul = |nodes: usize, transport: TransportTuning| MatmulConfig {
+        n: 8,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_madd_us: 0.01,
+        tuning: scale_out_tuning(),
+        sim: SimTuning::default(),
+        transport,
+    };
+
+    let jacobi_baseline = run_jacobi(&jacobi(1, TransportTuning::ideal()), "li_hudak");
+    let sor_baseline = run_sor(&sor(1, TransportTuning::ideal()), "li_hudak");
+    let matmul_baseline = run_matmul(&matmul(1, TransportTuning::ideal()), "li_hudak");
+
+    let mut contended_stall_ns = 0u64;
+    let mut lossy_drops = 0u64;
+    let mut lossy_retransmits = 0u64;
+    for transport in [TransportTuning::contended(), TransportTuning::lossy(0xDD5)] {
+        let lossy = matches!(transport.backend, TransportBackend::Lossy(_));
+        for proto in MATRIX_PROTOCOLS {
+            for nodes in [2usize, 4] {
+                let r = run_jacobi(&jacobi(nodes, transport), proto);
+                assert_eq!(
+                    r.final_cells,
+                    jacobi_baseline.final_cells,
+                    "jacobi memory diverged under {proto} x {nodes} nodes on the {} backend",
+                    transport.backend.name()
+                );
+                if lossy {
+                    lossy_drops += r.wire.drops;
+                    lossy_retransmits += r.wire.retransmits;
+                } else {
+                    contended_stall_ns += r.wire.contention_stall_ns();
+                }
+
+                let r = run_sor(&sor(nodes, transport), proto);
+                assert_eq!(
+                    r.final_cells,
+                    sor_baseline.final_cells,
+                    "sor memory diverged under {proto} x {nodes} nodes on the {} backend",
+                    transport.backend.name()
+                );
+                if lossy {
+                    lossy_drops += r.wire.drops;
+                    lossy_retransmits += r.wire.retransmits;
+                } else {
+                    contended_stall_ns += r.wire.contention_stall_ns();
+                }
+
+                let r = run_matmul(&matmul(nodes, transport), proto);
+                assert_eq!(
+                    r.final_cells,
+                    matmul_baseline.final_cells,
+                    "matmul memory diverged under {proto} x {nodes} nodes on the {} backend",
+                    transport.backend.name()
+                );
+                if lossy {
+                    lossy_drops += r.wire.drops;
+                    lossy_retransmits += r.wire.retransmits;
+                } else {
+                    contended_stall_ns += r.wire.contention_stall_ns();
+                }
+            }
+        }
+    }
+    assert!(
+        contended_stall_ns > 0,
+        "the contended backend never stalled a frame across the whole matrix"
+    );
+    assert!(
+        lossy_drops > 0 && lossy_retransmits > 0,
+        "the lossy backend never dropped a frame across the whole matrix"
+    );
 }

@@ -39,6 +39,7 @@ fn run_interleaving(ops: &[Op], protocol: &str, shards: usize) -> Vec<u8> {
     let tuning = DsmTuning {
         page_table_shards: shards,
         batch_messages: true,
+        batch_window: Default::default(),
     };
     let rt = DsmRuntime::new(
         &engine,

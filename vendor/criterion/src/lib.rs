@@ -3,11 +3,13 @@
 //! Implements the subset the benches use (`benchmark_group`, `sample_size`,
 //! `bench_with_input`, `bench_function`, `BenchmarkId`, the `criterion_group!`
 //! / `criterion_main!` macros and `black_box`) with simple wall-clock timing:
-//! each benchmark runs `sample_size` samples after one warm-up iteration and
-//! reports the mean and min per-iteration time. No statistics, plots or
+//! each benchmark runs `sample_size` samples after one warm-up pass and
+//! reports the **median** per-iteration time with its **median absolute
+//! deviation** (a robust noise estimate), plus the mean and min. No plots or
 //! baselines — the point is that `cargo bench` compiles, runs and prints
-//! comparable numbers offline. Respects `--bench <filter>`-style positional
-//! filters by substring match on the benchmark id.
+//! comparable numbers *with an error bar* offline. Respects
+//! `--bench <filter>`-style positional filters by substring match on the
+//! benchmark id.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -53,27 +55,58 @@ impl From<String> for BenchmarkId {
     }
 }
 
+/// Robust summary of one benchmark's timed samples.
+#[derive(Clone, Copy, Debug)]
+pub struct SampleStats {
+    /// Median per-iteration time — robust against a noisy-neighbour outlier.
+    pub median: Duration,
+    /// Median absolute deviation from the median: the noise estimate
+    /// reported next to every number.
+    pub mad: Duration,
+    /// Arithmetic mean per-iteration time.
+    pub mean: Duration,
+    /// Fastest sample.
+    pub min: Duration,
+}
+
+impl SampleStats {
+    fn from_samples(samples: &mut [Duration]) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples[0];
+        let mut deviations: Vec<Duration> = samples.iter().map(|&s| s.abs_diff(median)).collect();
+        deviations.sort_unstable();
+        let mad = deviations[deviations.len() / 2];
+        SampleStats {
+            median,
+            mad,
+            mean,
+            min,
+        }
+    }
+}
+
 /// Passed to the measured closure; [`Bencher::iter`] runs and times it.
 pub struct Bencher {
     samples: usize,
-    /// Mean and min per-iteration time recorded by the last `iter` call.
-    result: Option<(Duration, Duration)>,
+    /// Sample statistics recorded by the last `iter` call.
+    result: Option<SampleStats>,
 }
 
 impl Bencher {
-    /// Run `routine` once as warm-up, then time `samples` further runs.
+    /// Run `routine` once as an untimed warm-up pass, then time `samples`
+    /// further runs and summarize them robustly (median + MAD).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         hint::black_box(routine());
-        let mut total = Duration::ZERO;
-        let mut min = Duration::MAX;
+        let mut samples = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let start = Instant::now();
             hint::black_box(routine());
-            let elapsed = start.elapsed();
-            total += elapsed;
-            min = min.min(elapsed);
+            samples.push(start.elapsed());
         }
-        self.result = Some((total / self.samples as u32, min));
+        self.result = Some(SampleStats::from_samples(&mut samples));
     }
 }
 
@@ -143,12 +176,15 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 }
 
-fn report(id: &str, samples: usize, result: Option<(Duration, Duration)>) {
+fn report(id: &str, samples: usize, result: Option<SampleStats>) {
     match result {
-        Some((mean, min)) => println!(
-            "bench {id:<60} mean {:>12} min {:>12} ({samples} samples)",
-            format_duration(mean),
-            format_duration(min),
+        Some(stats) => println!(
+            "bench {id:<60} median {:>12} ± {:>10} mean {:>12} min {:>12} \
+             ({samples} samples, 1 warmup)",
+            format_duration(stats.median),
+            format_duration(stats.mad),
+            format_duration(stats.mean),
+            format_duration(stats.min),
         ),
         None => println!("bench {id:<60} (no measurement: iter() never called)"),
     }
@@ -252,9 +288,27 @@ mod tests {
             result: None,
         };
         b.iter(|| std::thread::sleep(Duration::from_micros(50)));
-        let (mean, min) = b.result.unwrap();
-        assert!(min >= Duration::from_micros(50));
-        assert!(mean >= min);
+        let stats = b.result.unwrap();
+        assert!(stats.min >= Duration::from_micros(50));
+        assert!(stats.mean >= stats.min);
+        assert!(stats.median >= stats.min);
+    }
+
+    #[test]
+    fn sample_stats_median_and_mad() {
+        let mut samples = vec![
+            Duration::from_micros(10),
+            Duration::from_micros(12),
+            Duration::from_micros(11),
+            Duration::from_micros(100), // outlier
+            Duration::from_micros(9),
+        ];
+        let stats = SampleStats::from_samples(&mut samples);
+        assert_eq!(stats.median, Duration::from_micros(11));
+        // Deviations from 11us: [1, 1, 0, 89, 2] -> sorted [0, 1, 1, 2, 89].
+        assert_eq!(stats.mad, Duration::from_micros(1));
+        assert_eq!(stats.min, Duration::from_micros(9));
+        assert!(stats.mean > stats.median, "outlier drags the mean up");
     }
 
     #[test]
