@@ -1,0 +1,38 @@
+//! Criterion bench for the multi-worker engine: wall-clock time of one
+//! 4-node jacobi/hbrc_mw run at 1, 2 and 4 scheduler workers. The virtual
+//! result is identical at every worker count (the `engine_scaling` binary
+//! asserts it); this bench tracks only what the worker pool does to real
+//! time on this host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmpm2_pm2::DsmTuning;
+use dsmpm2_sim::SimTuning;
+use dsmpm2_workloads::jacobi::{run_jacobi, JacobiConfig};
+
+fn bench_engine_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling");
+    group.sample_size(5);
+    for workers in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("jacobi_4n", format!("{workers}w")),
+            &workers,
+            |b, &workers| {
+                let config = JacobiConfig {
+                    size: 16,
+                    iterations: 2,
+                    nodes: 4,
+                    network: dsmpm2_madeleine::profiles::bip_myrinet(),
+                    compute_per_cell_us: 0.02,
+                    tuning: DsmTuning::default(),
+                    sim: SimTuning::default().with_workers(workers),
+                    transport: Default::default(),
+                };
+                b.iter(|| run_jacobi(&config, "hbrc_mw").engine.events)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_scaling);
+criterion_main!(benches);

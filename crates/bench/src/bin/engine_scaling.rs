@@ -1,0 +1,95 @@
+//! `engine_scaling` — wall-clock scaling of the multi-worker engine.
+//!
+//! Runs the three 4-node conformance workloads (jacobi/hbrc_mw, sor/erc_sw,
+//! matmul/li_hudak) on the 1-, 2- and 4-worker engine, printing events/sec,
+//! the number of parallel scheduler rounds, and the speed-up over the
+//! single-worker baseline. Asserts the PR 5 ablation along the way: the
+//! final shared memory and the virtual completion time must be bit-identical
+//! across worker counts — only wall-clock is allowed to move.
+//!
+//! Records machine-readably:
+//!
+//! * `results/engine_scaling.json` — like every other harness binary;
+//! * `BENCH_pr5.json` (working directory, next to `BENCH_seed.json`) — the
+//!   PR 5 trajectory record referenced by EXPERIMENTS.md.
+//!
+//! Usage: `engine_scaling [--quick]`.
+
+use dsmpm2_bench::{markdown_table, measure_engine_scaling, write_json, ScalingMeasurement};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Pr5Baseline {
+    engine_scaling: ScalingMeasurement,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!(
+        "engine_scaling: 4-node conformance workloads at 1/2/4 scheduler workers \
+         ({} host CPUs)\n",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let m = measure_engine_scaling(quick);
+
+    let mut rows = Vec::new();
+    let mut base_eps = 0.0f64;
+    for row in &m.rows {
+        if row.workers == 1 {
+            base_eps = row.events_per_sec;
+        }
+        rows.push(vec![
+            format!("{}/{}", row.workload, row.protocol),
+            row.workers.to_string(),
+            format!("{:.1}", row.wall_ms),
+            row.events.to_string(),
+            format!("{:.0}", row.events_per_sec),
+            row.parallel_rounds.to_string(),
+            format!("{:.2}x", row.events_per_sec / base_eps),
+            format!("{:.1}", row.virtual_us),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &[
+                "Workload",
+                "Workers",
+                "Wall (ms)",
+                "Events",
+                "Events/s",
+                "Parallel rounds",
+                "Speed-up",
+                "Virtual (us)"
+            ],
+            &rows
+        )
+    );
+    println!("Ablation: memory and virtual time bit-identical across 1/2/4 workers (asserted).");
+    println!(
+        "Worst 4-worker speed-up: {:.2}x on {} host CPU(s).",
+        m.min_speedup_4w, m.host_cpus
+    );
+    if m.host_cpus == 1 {
+        println!(
+            "note: a single-CPU host cannot show parallel speed-up — the workers \
+             time-slice one core; see EXPERIMENTS.md for the analysis."
+        );
+    }
+
+    write_json("engine_scaling", &m);
+    let baseline = Pr5Baseline { engine_scaling: m };
+    match serde_json::to_string_pretty(&baseline) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write("BENCH_pr5.json", json + "\n") {
+                eprintln!("warning: could not write BENCH_pr5.json: {e}");
+            } else {
+                println!("\nRecorded baseline in BENCH_pr5.json.");
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize baseline: {e}"),
+    }
+}

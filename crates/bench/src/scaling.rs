@@ -1,0 +1,212 @@
+//! Wall-clock measurement of the multi-worker engine on the 4-node
+//! conformance workloads.
+//!
+//! For each workload the same program runs on the 1-, 2- and 4-worker
+//! engine. Two things are recorded:
+//!
+//! * the **ablation**: final shared memory and virtual completion time must
+//!   be bit-identical across worker counts (asserted — this is the PR 5
+//!   determinism guarantee), while the wall-clock times are free to differ;
+//! * the **scaling numbers**: wall-clock milliseconds and processed events
+//!   per second at each worker count, plus how many virtual instants were
+//!   actually dispatched to more than one worker (`parallel_rounds`) —
+//!   the measure of how much same-instant cross-node parallelism the
+//!   workload exposes.
+//!
+//! On a single-CPU host the parallel rounds cannot speed anything up (the
+//! workers time-slice one core and pay the coordination switches), so the
+//! interesting speed-up column needs a multi-core machine; the ablation and
+//! the parallel-rounds counts are meaningful everywhere.
+
+use std::time::Instant;
+
+use dsmpm2_pm2::DsmTuning;
+use dsmpm2_sim::{RunReport, SimTuning};
+use dsmpm2_workloads::{
+    jacobi::{run_jacobi, JacobiConfig},
+    matmul::{run_matmul, MatmulConfig},
+    sor::{run_sor, SorConfig},
+};
+use serde::Serialize;
+
+/// Worker counts the scaling bench sweeps.
+pub const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One (workload, workers) measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingRow {
+    /// Workload name (`jacobi`, `sor`, `matmul`).
+    pub workload: String,
+    /// Protocol the workload ran under.
+    pub protocol: String,
+    /// Scheduler worker count.
+    pub workers: usize,
+    /// Best-of-trials wall-clock milliseconds for the whole run.
+    pub wall_ms: f64,
+    /// Events processed by the run.
+    pub events: u64,
+    /// Events per wall-clock second (the scaling metric).
+    pub events_per_sec: f64,
+    /// Virtual instants dispatched to more than one worker.
+    pub parallel_rounds: u64,
+    /// Virtual completion time in µs (identical across worker counts).
+    pub virtual_us: f64,
+}
+
+/// The full scaling measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct ScalingMeasurement {
+    /// `std::thread::available_parallelism()` of the measuring host —
+    /// parallel speed-ups require this to exceed 1.
+    pub host_cpus: usize,
+    /// True when every workload produced bit-identical memory and virtual
+    /// time across all worker counts (asserted before this is returned).
+    pub identical_across_workers: bool,
+    /// `events_per_sec(workers = 4) / events_per_sec(workers = 1)`, worst
+    /// workload.
+    pub min_speedup_4w: f64,
+    /// Per-(workload, workers) rows.
+    pub rows: Vec<ScalingRow>,
+}
+
+fn tuning(workers: usize) -> SimTuning {
+    SimTuning::default().with_workers(workers)
+}
+
+/// Run one workload at `workers` and return (wall ms best-of-`trials`,
+/// engine report, final cells, virtual time µs).
+fn measure<F>(trials: u32, run: F) -> (f64, RunReport, Vec<u64>, f64)
+where
+    F: Fn() -> (RunReport, Vec<u64>, f64),
+{
+    let mut best_ms = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..trials {
+        let start = Instant::now();
+        let (report, cells, virtual_us) = run();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        if ms < best_ms {
+            best_ms = ms;
+        }
+        out = Some((report, cells, virtual_us));
+    }
+    let (report, cells, virtual_us) = out.expect("at least one trial");
+    (best_ms, report, cells, virtual_us)
+}
+
+/// Measure events/sec on the three 4-node conformance workloads at 1, 2 and
+/// 4 workers, asserting bit-identical memory and virtual time throughout.
+pub fn measure_engine_scaling(quick: bool) -> ScalingMeasurement {
+    let trials = if quick { 1 } else { 3 };
+    let (size, iters, n) = if quick { (16, 2, 8) } else { (32, 4, 12) };
+    let nodes = 4;
+    let net = dsmpm2_madeleine::profiles::bip_myrinet();
+
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+
+    type Runner = Box<dyn Fn(usize) -> (RunReport, Vec<u64>, f64)>;
+    let workloads: Vec<(&str, &str, Runner)> = vec![
+        ("jacobi", "hbrc_mw", {
+            let net = net.clone();
+            Box::new(move |workers| {
+                let r = run_jacobi(
+                    &JacobiConfig {
+                        size,
+                        iterations: iters,
+                        nodes,
+                        network: net.clone(),
+                        compute_per_cell_us: 0.02,
+                        tuning: DsmTuning::default(),
+                        sim: tuning(workers),
+                        transport: Default::default(),
+                    },
+                    "hbrc_mw",
+                );
+                (r.engine, r.final_cells, r.elapsed.as_micros_f64())
+            })
+        }),
+        ("sor", "erc_sw", {
+            let net = net.clone();
+            Box::new(move |workers| {
+                let r = run_sor(
+                    &SorConfig {
+                        size,
+                        iterations: iters,
+                        omega: 1.25,
+                        nodes,
+                        network: net.clone(),
+                        compute_per_cell_us: 0.02,
+                        tuning: DsmTuning::default(),
+                        sim: tuning(workers),
+                        transport: Default::default(),
+                    },
+                    "erc_sw",
+                );
+                (r.engine, r.final_cells, r.elapsed.as_micros_f64())
+            })
+        }),
+        ("matmul", "li_hudak", {
+            let net = net.clone();
+            Box::new(move |workers| {
+                let r = run_matmul(
+                    &MatmulConfig {
+                        n,
+                        nodes,
+                        network: net.clone(),
+                        compute_per_madd_us: 0.01,
+                        tuning: DsmTuning::default(),
+                        sim: tuning(workers),
+                        transport: Default::default(),
+                    },
+                    "li_hudak",
+                );
+                (r.engine, r.final_cells, r.elapsed.as_micros_f64())
+            })
+        }),
+    ];
+
+    for (workload, protocol, runner) in &workloads {
+        let mut baseline: Option<(Vec<u64>, f64, f64)> = None;
+        for &workers in &WORKER_COUNTS {
+            let (wall_ms, report, cells, virtual_us) = measure(trials, || runner(workers));
+            let events_per_sec = report.events as f64 / (wall_ms / 1e3);
+            match &baseline {
+                None => baseline = Some((cells, virtual_us, events_per_sec)),
+                Some((base_cells, base_virtual, base_eps)) => {
+                    assert_eq!(
+                        &cells, base_cells,
+                        "{workload}: final memory diverged at {workers} workers"
+                    );
+                    assert!(
+                        (virtual_us - base_virtual).abs() < f64::EPSILON,
+                        "{workload}: virtual time diverged at {workers} workers \
+                         ({virtual_us} vs {base_virtual})"
+                    );
+                    if workers == 4 {
+                        min_speedup = min_speedup.min(events_per_sec / base_eps);
+                    }
+                }
+            }
+            rows.push(ScalingRow {
+                workload: (*workload).to_string(),
+                protocol: (*protocol).to_string(),
+                workers,
+                wall_ms,
+                events: report.events,
+                events_per_sec,
+                parallel_rounds: report.parallel_rounds,
+                virtual_us,
+            });
+        }
+    }
+
+    ScalingMeasurement {
+        host_cpus: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        identical_across_workers: true,
+        min_speedup_4w: min_speedup,
+        rows,
+    }
+}

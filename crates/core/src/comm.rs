@@ -208,15 +208,20 @@ fn serve_dsm_msg(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, msg: DsmMsg) {
             for (i, sub) in msgs.into_iter().enumerate() {
                 ctx.sim.charge(thread_create);
                 let rt_sub = rt.clone();
-                ctx.sim.spawn(format!("dsm-batch@{local}#{i}"), move |sim| {
-                    let mut sub_ctx = ServerCtx {
-                        sim,
-                        runtime: rt_sub.clone(),
-                        local_node: local,
-                        from_node: from,
-                    };
-                    serve_dsm_msg(&rt_sub, &mut sub_ctx, sub);
-                });
+                // Handler threads are pinned to the local node's scheduler
+                // shard (like every thread of this node), so batch unpacking
+                // stays serialized with the node's other events.
+                let shard = local.index() as u64;
+                ctx.sim
+                    .spawn_on(shard, format!("dsm-batch@{local}#{i}"), move |sim| {
+                        let mut sub_ctx = ServerCtx {
+                            sim,
+                            runtime: rt_sub.clone(),
+                            local_node: local,
+                            from_node: from,
+                        };
+                        serve_dsm_msg(&rt_sub, &mut sub_ctx, sub);
+                    });
             }
         }
         DsmMsg::Request(req) => {
@@ -366,9 +371,16 @@ impl DsmRuntime {
             // earlier, in which case the callback finds it empty and does
             // nothing.)
             let rt = self.clone();
-            sim.call_after(outbox.flush_delay(slot, tick), move |ctl| {
-                rt.flush_coherence_link(ctl, from, to);
-            });
+            // The flush drains the (from, to) bucket and enqueues on the
+            // link's clocks — sender-side state, so it is pinned to the
+            // sending node's scheduler shard.
+            sim.call_after_on(
+                from.index() as u64,
+                outbox.flush_delay(slot, tick),
+                move |ctl| {
+                    rt.flush_coherence_link(ctl, from, to);
+                },
+            );
         }
     }
 

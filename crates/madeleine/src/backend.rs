@@ -328,7 +328,9 @@ impl<M: Send + 'static> Transport<M> for ContendedTransport {
             .reserve(from, to, start_tx + ser + wire_latency);
         let inner = Arc::clone(&self.inner);
         let tx = tx.clone();
-        self.ctl.call_at(at_nic, move |ctl| {
+        // The wire-arrival event reserves the *receiver's* NIC, so it runs
+        // on the receiver's shard, serialized with the node's other events.
+        self.ctl.call_at_on(to.index() as u64, at_nic, move |ctl| {
             let now = ctl.now();
             let start_rx = inner.ingress.reserve(to, now, ser);
             inner.stats.add_ingress_stall(start_rx.since(now));
@@ -452,7 +454,7 @@ impl<M: Send + 'static> LossyTransport<M> {
             let retransmit_at = depart_at + rto;
             let inner = Arc::clone(self_inner);
             let ctl_again = ctl.clone();
-            ctl.call_at(retransmit_at, move |_| {
+            ctl.call_at_on(to.index() as u64, retransmit_at, move |_| {
                 LossyTransport::attempt(
                     &inner,
                     &ctl_again,
@@ -474,7 +476,8 @@ impl<M: Send + 'static> LossyTransport<M> {
         }
         let arrive_at = depart_at + base_delay;
         let inner = Arc::clone(self_inner);
-        ctl.call_at(arrive_at, move |ctl| {
+        // Arrival mutates the receiver-side reorder buffer: receiver shard.
+        ctl.call_at_on(to.index() as u64, arrive_at, move |ctl| {
             let now = ctl.now();
             let mut link = inner.link(from, to).lock();
             debug_assert!(seq >= link.deliver_next, "duplicate real frame {seq}");

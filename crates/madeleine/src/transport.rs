@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use dsmpm2_sim::{channel, EngineCtl, SimDuration, SimHandle, SimReceiver, SimSender, SimTime};
+use dsmpm2_sim::{channel_on, EngineCtl, SimDuration, SimHandle, SimReceiver, SimSender, SimTime};
 
 use crate::backend::{build_transport, Transport, TransportTuning};
 use crate::model::{NetworkModel, CONTROL_MESSAGE_BYTES};
@@ -86,8 +86,10 @@ impl<M: Send + 'static> Network<M> {
     ) -> Self {
         let mut senders = Vec::with_capacity(topology.num_nodes);
         let mut receivers = Vec::with_capacity(topology.num_nodes);
-        for _ in 0..topology.num_nodes {
-            let (tx, rx) = channel::<Envelope<M>>(ctl.clone());
+        for node in 0..topology.num_nodes {
+            // Each endpoint's delivery callbacks run on the owning node's
+            // shard, serialized with the node's dispatcher and handlers.
+            let (tx, rx) = channel_on::<Envelope<M>>(ctl.clone(), node as u64);
             senders.push(tx);
             receivers.push(rx);
         }

@@ -83,9 +83,16 @@ impl Pm2Cluster {
         for node in topology.nodes() {
             let c = cluster.clone();
             let rx = network.endpoint(node);
-            engine.spawn_daemon(format!("pm2-dispatch-{node}"), move |h| {
-                c.dispatcher_loop(h, node, rx);
-            });
+            // The dispatcher is bound to its node's shard: handler threads it
+            // spawns inherit the shard, so all of a node's activity stays on
+            // one scheduler worker.
+            engine.spawn_daemon_on(
+                node.index() as u64,
+                format!("pm2-dispatch-{node}"),
+                move |h| {
+                    c.dispatcher_loop(h, node, rx);
+                },
+            );
         }
         cluster
     }
@@ -392,11 +399,13 @@ impl Pm2Cluster {
         self.inner.app_threads.lock().push(Arc::clone(&state));
         let cluster = self.clone();
         let thread_state = Arc::clone(&state);
-        self.inner.ctl.spawn(name, move |sim| {
-            let mut ctx = Pm2Context::new(sim, cluster, thread_state);
-            f(&mut ctx);
-            ctx.mark_finished();
-        });
+        self.inner
+            .ctl
+            .spawn_on(node.index() as u64, name, move |sim| {
+                let mut ctx = Pm2Context::new(sim, cluster, thread_state);
+                f(&mut ctx);
+                ctx.mark_finished();
+            });
         state
     }
 

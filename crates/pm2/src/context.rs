@@ -175,6 +175,11 @@ impl<'a> Pm2Context<'a> {
             dest,
             self.state.stack_bytes() + self.state.private_bytes(),
         );
+        // Re-home the thread onto the destination node's scheduler shard
+        // *before* sleeping, so the post-migration wake-up (and everything
+        // the thread does afterwards) executes on the worker that owns the
+        // destination node's state.
+        self.sim.set_shard(dest.index() as u64);
         self.sim.sleep(cost);
         *self.state.node.lock() = dest;
         self.state.migrations.fetch_add(1, Ordering::Relaxed);

@@ -53,6 +53,9 @@ struct Inner<T> {
     ready: Mutex<VecDeque<T>>,
     waiters: WaitSet,
     seq: AtomicU64,
+    /// Shard the promotion callbacks run on — the receivers' shard, so that
+    /// delivery events serialize with the receiving node's other events.
+    shard: u64,
     ctl: EngineCtl,
 }
 
@@ -100,13 +103,25 @@ impl<T> Clone for SimReceiver<T> {
     }
 }
 
-/// Create a new channel bound to the engine behind `ctl`.
+/// Create a new channel bound to the engine behind `ctl`, on shard 0.
+/// Receivers should live on the channel's shard; multi-node layers use
+/// [`channel_on`] with the receiving node's shard key.
 pub fn channel<T: Send + 'static>(ctl: EngineCtl) -> (SimSender<T>, SimReceiver<T>) {
+    channel_on(ctl, 0)
+}
+
+/// Create a new channel whose delivery callbacks run on shard `shard_key`
+/// (the shard of the receiving side).
+pub fn channel_on<T: Send + 'static>(
+    ctl: EngineCtl,
+    shard_key: u64,
+) -> (SimSender<T>, SimReceiver<T>) {
     let inner = Arc::new(Inner {
         in_flight: Mutex::new(BinaryHeap::new()),
         ready: Mutex::new(VecDeque::new()),
         waiters: WaitSet::new(),
         seq: AtomicU64::new(0),
+        shard: shard_key,
         ctl,
     });
     (
@@ -148,17 +163,26 @@ impl<T: Send + 'static> SimSender<T> {
     }
 
     fn enqueue_at(&self, deliver_at: SimTime, value: T) {
-        let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst);
-        self.inner.in_flight.lock().push(Pending {
-            deliver_at: deliver_at.as_nanos(),
-            seq,
-            value,
-        });
-        // At delivery time, promote the message and wake one waiting receiver.
+        // The whole enqueue is deferred to the canonical merge point when a
+        // parallel instant is executing (and runs immediately otherwise):
+        // the per-channel sequence number breaks ties between messages with
+        // equal delivery times, so it must be assigned in canonical event
+        // order, not in the wall-clock order two workers happened to race.
         let inner = Arc::clone(&self.inner);
-        self.inner.ctl.call_at(deliver_at, move |ctl| {
-            inner.promote(ctl.now());
-            inner.waiters.notify_one(ctl, SimDuration::ZERO);
+        self.inner.ctl.defer_or_run(move |ctl| {
+            let seq = inner.seq.fetch_add(1, Ordering::SeqCst);
+            inner.in_flight.lock().push(Pending {
+                deliver_at: deliver_at.as_nanos(),
+                seq,
+                value,
+            });
+            // At delivery time, promote the message and wake one waiting
+            // receiver — on the receivers' shard.
+            let inner2 = Arc::clone(&inner);
+            ctl.call_at_on(inner.shard, deliver_at, move |ctl| {
+                inner2.promote(ctl.now());
+                inner2.waiters.notify_one(ctl, SimDuration::ZERO);
+            });
         });
     }
 
@@ -207,9 +231,18 @@ impl<T: Send + 'static> SimReceiver<T> {
 /// Items pushed for the same (key, tick) *after* its flush ran simply open a
 /// fresh bucket, so no item is ever lost — a tick may occasionally produce
 /// two batches, never zero.
+///
+/// Within a bucket, items are ordered by the canonical event order of their
+/// pushes (like [`crate::WaitSet`] waiters), not by wall-clock push order,
+/// so batches assembled from same-instant pushes racing across scheduler
+/// workers still drain deterministically. With one worker the two orders
+/// coincide.
 pub struct TickOutbox<K, T> {
-    pending: Mutex<HashMap<(K, u64), Vec<T>>>,
+    pending: Mutex<HashMap<(K, u64), Bucket<T>>>,
 }
+
+/// One bucket's items, each tagged with its canonical order key.
+type Bucket<T> = Vec<((u64, u64, u64), T)>;
 
 impl<K: Eq + Hash + Copy, T> TickOutbox<K, T> {
     /// An empty outbox.
@@ -222,9 +255,11 @@ impl<K: Eq + Hash + Copy, T> TickOutbox<K, T> {
     /// Append `item` to the bucket for (`key`, `tick`). Returns `true` when
     /// this opened the bucket: the caller must schedule a flush at `tick`.
     pub fn push(&self, key: K, tick: SimTime, item: T) -> bool {
+        let order = crate::engine::next_order_key();
         let mut pending = self.pending.lock();
         let bucket = pending.entry((key, tick.as_nanos())).or_default();
-        bucket.push(item);
+        let at = bucket.partition_point(|(k, _)| *k < order);
+        bucket.insert(at, (order, item));
         bucket.len() == 1
     }
 
@@ -234,6 +269,7 @@ impl<K: Eq + Hash + Copy, T> TickOutbox<K, T> {
         self.pending
             .lock()
             .remove(&(key, tick.as_nanos()))
+            .map(|items| items.into_iter().map(|(_, item)| item).collect())
             .unwrap_or_default()
     }
 
@@ -251,9 +287,12 @@ impl<K: Eq + Hash + Copy, T> TickOutbox<K, T> {
         let mut buckets: Vec<(SimTime, Vec<T>)> = ticks
             .into_iter()
             .filter_map(|t| {
-                pending
-                    .remove(&(key, t))
-                    .map(|items| (SimTime::from_nanos(t), items))
+                pending.remove(&(key, t)).map(|items| {
+                    (
+                        SimTime::from_nanos(t),
+                        items.into_iter().map(|(_, item)| item).collect(),
+                    )
+                })
             })
             .collect();
         buckets.sort_by_key(|(t, _)| *t);

@@ -1,15 +1,40 @@
 //! The discrete-event scheduler.
 //!
-//! The engine owns a priority queue of events ordered by `(virtual time,
-//! sequence number)`. Exactly one simulated thread executes at a time; when a
-//! thread parks, control returns to the scheduler which pops the next event.
-//! Runs are therefore deterministic for a given program, independent of OS
-//! scheduling, which is essential for reproducible protocol experiments.
+//! The engine owns a set of priority queues ("shards") of events ordered by
+//! `(virtual time, sequence number)`. Every event carries a *shard key*
+//! (upper layers use the cluster node id; node-less events fall back to the
+//! spawning thread's key), and each shard is owned by one *worker*.
+//!
+//! With the default `workers = 1` configuration the engine behaves exactly
+//! like the historical single-threaded scheduler: one OS thread pops the
+//! globally smallest event and hands the baton to at most one simulated
+//! thread at a time. With `workers > 1` the engine drives the workers in
+//! lock-step over virtual *instants*: all events at the current minimum time
+//! execute in parallel across workers (each worker still runs its own events
+//! one at a time, in sequence order), and every side effect produced during
+//! the instant — wake-ups, scheduler calls, channel enqueues, spawns — is
+//! buffered into the executing worker's *outbox*, tagged with the global
+//! sequence number of the event that produced it. Before the clock advances,
+//! the coordinator merges the outboxes in ascending parent-sequence order
+//! and assigns fresh global sequence numbers in that order.
+//!
+//! Because each worker executes its instant-events in ascending sequence
+//! order, and the merge orders effects by parent sequence, the resulting
+//! global event order is exactly the order the single-worker engine would
+//! have produced: runs are deterministic for a given program, and the final
+//! memory and virtual time are independent of the worker count — which is
+//! what the conformance matrix asserts. (Event *counts* may differ slightly
+//! across worker counts: a same-instant cross-shard message that a polling
+//! receiver would have observed immediately under one worker is deferred to
+//! the instant's merge under many, costing one extra same-instant park/wake.
+//! Virtual time and memory are unaffected; all blocking primitives re-check
+//! their condition in a loop.)
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -17,7 +42,7 @@ use parking_lot::Mutex;
 
 use crate::error::SimError;
 use crate::handle::SimHandle;
-use crate::thread::{SchedHandle, ThreadId, ThreadSlot};
+use crate::thread::{GrantSource, SchedHandle, ThreadId, ThreadSlot};
 use crate::time::{SimDuration, SimTime};
 
 /// Marker panic payload used to unwind simulated threads during teardown.
@@ -35,10 +60,97 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Instant context: which worker/event is executing on this OS thread.
+// ---------------------------------------------------------------------------
+
+/// Per-OS-thread record of the event currently executing. Set when a worker
+/// (or the coordinator) grants the baton to a simulated thread or runs a
+/// scheduler callback; cleared when the thread parks again. Pushes into the
+/// engine consult it to decide between the direct path (single active shard)
+/// and the buffered per-worker outbox (parallel instant).
+#[derive(Clone, Copy)]
+pub(crate) struct InstantCtx {
+    /// Identity of the engine (`Arc::as_ptr` of its `Shared`), so a push
+    /// into a *different* engine is never mis-buffered.
+    pub engine: usize,
+    /// Index of the worker executing the parent event.
+    pub worker: usize,
+    /// Scheduled time of the parent event (its heap key, which together
+    /// with `parent_seq` is the engine's execution order).
+    pub parent_time: u64,
+    /// Global sequence number of the parent event.
+    pub parent_seq: u64,
+    /// Shard key of the parent event (inherited by key-less pushes).
+    pub shard: u64,
+    /// True during a parallel instant: effects must be buffered.
+    pub defer: bool,
+    /// Monotone counter of ordered emissions (wait-set registrations) made
+    /// by the parent event so far.
+    pub sub: u64,
+}
+
+thread_local! {
+    static INSTANT_CTX: Cell<Option<InstantCtx>> = const { Cell::new(None) };
+}
+
+pub(crate) fn set_instant_ctx(ctx: Option<InstantCtx>) {
+    INSTANT_CTX.with(|c| c.set(ctx));
+}
+
+pub(crate) fn instant_ctx() -> Option<InstantCtx> {
+    INSTANT_CTX.with(|c| c.get())
+}
+
+/// Update the shard key recorded in the current instant context (thread
+/// migration re-homes a running thread mid-event).
+pub(crate) fn set_instant_ctx_shard(shard: u64) {
+    INSTANT_CTX.with(|c| {
+        if let Some(mut ctx) = c.get() {
+            ctx.shard = shard;
+            c.set(Some(ctx));
+        }
+    });
+}
+
+/// Fallback for ordered emissions made outside any simulated context.
+static EXTERNAL_ORDER: AtomicU64 = AtomicU64::new(0);
+
+/// A totally ordered key identifying one "emission point" in the canonical
+/// execution order: `(parent event time, parent event sequence, emission
+/// index within the event)` — the first two components are exactly the
+/// event heap's ordering, i.e. the order events *execute* in (an event
+/// scheduled early for a late instant executes after a later-scheduled
+/// event for an earlier instant). Emissions from outside the engine (setup
+/// code) sort last, in program order. Used by [`crate::WaitSet`] and
+/// [`crate::TickOutbox`] so that waiter/bucket order is a pure function of
+/// the canonical execution order rather than of wall-clock interleaving
+/// between workers — and coincides with the historical wall-clock FIFO on a
+/// single worker.
+pub(crate) fn next_order_key() -> (u64, u64, u64) {
+    INSTANT_CTX.with(|c| match c.get() {
+        Some(mut ctx) => {
+            let key = (ctx.parent_time, ctx.parent_seq, ctx.sub);
+            ctx.sub += 1;
+            c.set(Some(ctx));
+            key
+        }
+        None => (
+            u64::MAX,
+            u64::MAX,
+            EXTERNAL_ORDER.fetch_add(1, Ordering::SeqCst),
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Tuning / configuration
+// ---------------------------------------------------------------------------
+
 /// Tuning knobs of the simulation engine itself (as opposed to the DSM-layer
-/// knobs on `Pm2Config`). The default is the futex-style baton hand-off; the
-/// legacy Condvar protocol stays selectable so conformance tests can assert
-/// both produce bit-identical runs.
+/// knobs on `Pm2Config`). The default is the futex-style baton hand-off on a
+/// single worker; the legacy Condvar protocol stays selectable so conformance
+/// tests can assert both produce bit-identical runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimTuning {
     /// Use the original Mutex+Condvar scheduler/thread hand-off instead of
@@ -47,6 +159,12 @@ pub struct SimTuning {
     /// Iterations of `spin_loop` each side of the futex baton burns before
     /// parking its OS thread (ignored by the legacy path).
     pub handoff_spin: u32,
+    /// Number of event-queue shards / scheduler workers. `1` (the default)
+    /// is the historical single-threaded engine; larger values run
+    /// same-instant events of different shards in parallel OS threads while
+    /// preserving the deterministic event order. Defaults to the
+    /// `DSM_SIM_WORKERS` environment variable when set.
+    pub workers: usize,
 }
 
 impl Default for SimTuning {
@@ -54,6 +172,7 @@ impl Default for SimTuning {
         SimTuning {
             legacy_condvar_handoff: false,
             handoff_spin: default_handoff_spin(),
+            workers: default_workers(),
         }
     }
 }
@@ -70,14 +189,39 @@ fn default_handoff_spin() -> u32 {
     })
 }
 
+/// Hard cap on the worker count: beyond this the per-instant coordination
+/// cost dwarfs any conceivable parallelism win.
+const MAX_WORKERS: usize = 64;
+
+/// Default worker count: the `DSM_SIM_WORKERS` environment variable when set
+/// (the CI matrix re-runs the test suite with it), otherwise 1.
+fn default_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::env::var("DSM_SIM_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|w| w.clamp(1, MAX_WORKERS))
+            .unwrap_or(1)
+    })
+}
+
 impl SimTuning {
-    /// The pre-futex behaviour: every hand-off goes through Mutex+Condvar.
-    /// Used as the microbenchmark baseline and by conformance-matrix rows.
+    /// The pre-futex behaviour: every hand-off goes through Mutex+Condvar on
+    /// a single worker. Used as the microbenchmark baseline and by
+    /// conformance-matrix rows.
     pub fn legacy() -> Self {
         SimTuning {
             legacy_condvar_handoff: true,
             handoff_spin: 0,
+            workers: 1,
         }
+    }
+
+    /// This tuning with an explicit worker count (clamped to `1..=64`).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.clamp(1, MAX_WORKERS);
+        self
     }
 }
 
@@ -89,7 +233,7 @@ pub struct EngineConfig {
     pub max_events: u64,
     /// Human-readable label used in traces.
     pub name: String,
-    /// Engine tuning knobs (baton hand-off selection).
+    /// Engine tuning knobs (baton hand-off selection, worker count).
     pub tuning: SimTuning,
 }
 
@@ -104,7 +248,7 @@ impl Default for EngineConfig {
 }
 
 /// Summary of a completed simulation run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunReport {
     /// Virtual time at which the last event was processed.
     pub final_time: SimTime,
@@ -114,7 +258,14 @@ pub struct RunReport {
     pub context_switches: u64,
     /// Total number of simulated threads spawned over the run.
     pub threads_spawned: u64,
+    /// Number of virtual instants whose events were dispatched to more than
+    /// one worker in parallel (always 0 with `workers = 1`).
+    pub parallel_rounds: u64,
 }
+
+// ---------------------------------------------------------------------------
+// Events and buffered effects
+// ---------------------------------------------------------------------------
 
 enum EventKind {
     /// Hand the baton to a parked simulated thread.
@@ -126,6 +277,9 @@ enum EventKind {
 struct Event {
     time: u64,
     seq: u64,
+    /// Shard key the event was scheduled with (inherited by key-less pushes
+    /// made while it executes).
+    shard: u64,
     kind: EventKind,
 }
 
@@ -146,6 +300,22 @@ impl Ord for Event {
     }
 }
 
+/// One side effect buffered during a parallel instant, applied at the merge
+/// barrier in canonical `(parent seq, emission order)` order.
+enum Effect {
+    /// An event push (wake, call, spawn wake).
+    Push {
+        time: u64,
+        shard: u64,
+        kind: EventKind,
+    },
+    /// An arbitrary engine-state mutation that must run in canonical order
+    /// (channel enqueues: their per-channel sequence numbers break delivery
+    /// ties, so they must be assigned in canonical order, not wall-clock
+    /// order).
+    Action(Box<dyn FnOnce(&EngineCtl) + Send>),
+}
+
 struct ThreadEntry {
     slot: Arc<ThreadSlot>,
     join: Option<JoinHandle<()>>,
@@ -154,41 +324,180 @@ struct ThreadEntry {
     daemon: bool,
 }
 
+// ---------------------------------------------------------------------------
+// Worker control
+// ---------------------------------------------------------------------------
+
+const W_IDLE: u32 = 0;
+const W_REQUESTED: u32 = 1;
+const W_RUNNING: u32 = 2;
+const W_DONE: u32 = 3;
+const W_QUIT: u32 = 4;
+
+/// Coordinator → worker command mailbox (one per worker OS thread).
+struct WorkerCtrl {
+    state: AtomicU32,
+    /// Virtual instant the requested round must drain.
+    round_time: AtomicU64,
+    /// The worker's OS thread, for coordinator-side unparks.
+    os: std::sync::OnceLock<std::thread::Thread>,
+}
+
+impl WorkerCtrl {
+    fn new() -> Self {
+        WorkerCtrl {
+            state: AtomicU32::new(W_IDLE),
+            round_time: AtomicU64::new(0),
+            os: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+/// One event-queue shard and the state of the worker that owns it.
+struct Shard {
+    queue: Mutex<BinaryHeap<Reverse<Event>>>,
+    /// The owning worker's scheduler handle: simulated threads granted by
+    /// this worker unpark it through their slot's granter pointer.
+    sched: Arc<SchedHandle>,
+    /// Effects buffered during a parallel instant, tagged with the producing
+    /// event's global sequence number (ascending within the vector).
+    effects: Mutex<Vec<(u64, Effect)>>,
+    ctrl: WorkerCtrl,
+    /// Thread-id allocation lane for spawns executed on this worker during
+    /// parallel instants (keeps ids deterministic without cross-worker
+    /// coordination).
+    next_tid: AtomicU64,
+}
+
+/// Base of the per-worker thread-id lanes: ids allocated during parallel
+/// instants are `(worker + 1) << 32 | local`, disjoint from the sequential
+/// lane used by setup code and single-shard instants (bounded by the event
+/// budget, far below 2^32).
+const TID_LANE_BASE: u64 = 1 << 32;
+
 pub(crate) struct Shared {
     now: AtomicU64,
-    queue: Mutex<BinaryHeap<Reverse<Event>>>,
     seq: AtomicU64,
+    shards: Vec<Shard>,
+    /// The coordinator's (run()-calling thread's) handle; also the default
+    /// granter of freshly created slots.
+    coord: Arc<SchedHandle>,
     threads: Mutex<HashMap<u64, ThreadEntry>>,
     next_tid: AtomicU64,
     panic_info: Mutex<Option<(String, String)>>,
     context_switches: AtomicU64,
     events_processed: AtomicU64,
     threads_spawned: AtomicU64,
-    /// The scheduler's OS-thread handle, shared by every slot's futex baton.
-    sched: Arc<SchedHandle>,
+    parallel_rounds: AtomicU64,
+    /// Set by a worker that exhausted the event budget mid-round.
+    limit_hit: AtomicBool,
+    worker_joins: Mutex<Vec<JoinHandle<()>>>,
     config: EngineConfig,
 }
 
 impl Shared {
+    fn token(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    fn num_workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn worker_of(&self, shard_key: u64) -> usize {
+        (shard_key % self.shards.len() as u64) as usize
+    }
+
     pub(crate) fn now(&self) -> SimTime {
         SimTime::from_nanos(self.now.load(Ordering::SeqCst))
     }
 
-    fn push_event(&self, time: SimTime, kind: EventKind) {
+    /// Append an event directly to its shard's queue with a fresh global
+    /// sequence number. Only called from contexts that are serialized with
+    /// respect to each other (setup code, inline execution, the merge
+    /// barrier), so sequence assignment order is deterministic.
+    fn push_direct(&self, time: u64, kind: EventKind, shard_key: u64) {
         let seq = self.seq.fetch_add(1, Ordering::SeqCst);
-        self.queue.lock().push(Reverse(Event {
-            time: time.as_nanos(),
-            seq,
-            kind,
-        }));
+        self.shards[self.worker_of(shard_key)]
+            .queue
+            .lock()
+            .push(Reverse(Event {
+                time,
+                seq,
+                shard: shard_key,
+                kind,
+            }));
     }
 
-    pub(crate) fn schedule_wake(&self, tid: ThreadId, at: SimTime) {
-        self.push_event(at, EventKind::Wake(tid));
+    /// Push an event, buffering it into the executing worker's outbox when a
+    /// parallel instant is in progress on this engine.
+    fn submit(self: &Arc<Self>, time: SimTime, kind: EventKind, shard_key: u64) {
+        if let Some(ctx) = instant_ctx() {
+            if ctx.defer && ctx.engine == self.token() {
+                self.shards[ctx.worker].effects.lock().push((
+                    ctx.parent_seq,
+                    Effect::Push {
+                        time: time.as_nanos(),
+                        shard: shard_key,
+                        kind,
+                    },
+                ));
+                return;
+            }
+        }
+        self.push_direct(time.as_nanos(), kind, shard_key);
     }
 
-    pub(crate) fn schedule_call(&self, at: SimTime, f: Box<dyn FnOnce(&EngineCtl) + Send>) {
-        self.push_event(at, EventKind::Call(f));
+    /// Run `f` immediately, or — during a parallel instant — buffer it to
+    /// run at the merge barrier in canonical order. Used for engine-adjacent
+    /// state whose mutation order must follow the canonical event order
+    /// (channel enqueues).
+    pub(crate) fn defer_or_run(self: &Arc<Self>, f: Box<dyn FnOnce(&EngineCtl) + Send + 'static>) {
+        if let Some(ctx) = instant_ctx() {
+            if ctx.defer && ctx.engine == self.token() {
+                self.shards[ctx.worker]
+                    .effects
+                    .lock()
+                    .push((ctx.parent_seq, Effect::Action(f)));
+                return;
+            }
+        }
+        let ctl = EngineCtl {
+            shared: Arc::clone(self),
+        };
+        f(&ctl);
+    }
+
+    /// Shard key of `tid`: its slot's current key, falling back to the raw
+    /// thread id for threads already reaped (stale wakes are no-ops anyway).
+    fn shard_key_of(&self, tid: ThreadId) -> u64 {
+        self.threads
+            .lock()
+            .get(&tid.0)
+            .map(|e| e.slot.shard_key())
+            .unwrap_or(tid.0)
+    }
+
+    pub(crate) fn schedule_wake(self: &Arc<Self>, tid: ThreadId, at: SimTime) {
+        let key = self.shard_key_of(tid);
+        self.submit(at, EventKind::Wake(tid), key);
+    }
+
+    /// Wake with a known shard key (a thread scheduling its own wake-up).
+    pub(crate) fn schedule_wake_keyed(self: &Arc<Self>, tid: ThreadId, at: SimTime, key: u64) {
+        self.submit(at, EventKind::Wake(tid), key);
+    }
+
+    pub(crate) fn schedule_call(
+        self: &Arc<Self>,
+        at: SimTime,
+        key: Option<u64>,
+        f: Box<dyn FnOnce(&EngineCtl) + Send>,
+    ) {
+        // Key-less calls inherit the executing event's shard so their state
+        // stays on the same worker; outside any event they default to shard 0.
+        let key = key.or_else(|| instant_ctx().map(|c| c.shard)).unwrap_or(0);
+        self.submit(at, EventKind::Call(f), key);
     }
 
     pub(crate) fn record_panic(&self, thread: String, message: String) {
@@ -198,22 +507,50 @@ impl Shared {
         }
     }
 
+    /// Allocate a thread id. Spawns executed during a parallel instant draw
+    /// from the executing worker's lane (deterministic: each worker runs its
+    /// events in sequence order); everything else draws from the sequential
+    /// lane, exactly as the historical engine did.
+    fn alloc_tid(self: &Arc<Self>) -> ThreadId {
+        match instant_ctx() {
+            Some(ctx) if ctx.defer && ctx.engine == self.token() => {
+                let local = self.shards[ctx.worker]
+                    .next_tid
+                    .fetch_add(1, Ordering::SeqCst);
+                ThreadId(TID_LANE_BASE * (ctx.worker as u64 + 1) + local)
+            }
+            _ => ThreadId(self.next_tid.fetch_add(1, Ordering::SeqCst)),
+        }
+    }
+
     pub(crate) fn spawn_thread<F>(
         self: &Arc<Self>,
         name: String,
         start_at: SimTime,
         daemon: bool,
+        shard_key: Option<u64>,
         f: F,
     ) -> ThreadId
     where
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
-        let tid = ThreadId(self.next_tid.fetch_add(1, Ordering::SeqCst));
+        let tid = self.alloc_tid();
+        // Key preference: explicit > inherited from the spawning event >
+        // the thread's own id.
+        let key = shard_key
+            .or_else(|| {
+                instant_ctx()
+                    .filter(|c| c.engine == self.token())
+                    .map(|c| c.shard)
+            })
+            .unwrap_or(tid.0);
         let slot = Arc::new(ThreadSlot::new(
             tid,
             name.clone(),
             &self.config.tuning,
-            Arc::clone(&self.sched),
+            Arc::clone(&self.coord),
+            self.token(),
+            key,
         ));
         let shared = Arc::clone(self);
         let slot_for_thread = Arc::clone(&slot);
@@ -251,7 +588,7 @@ impl Shared {
             },
         );
         self.threads_spawned.fetch_add(1, Ordering::SeqCst);
-        self.schedule_wake(tid, start_at);
+        self.schedule_wake_keyed(tid, start_at, key);
         tid
     }
 
@@ -309,12 +646,25 @@ impl EngineCtl {
         self.shared.schedule_wake(tid, at);
     }
 
-    /// Schedule a closure to run on the scheduler at absolute time `at`.
+    /// Schedule a closure to run on the scheduler at absolute time `at`. The
+    /// event inherits the shard of the context scheduling it (shard 0 when
+    /// scheduled from outside the simulation).
     pub fn call_at<F>(&self, at: SimTime, f: F)
     where
         F: FnOnce(&EngineCtl) + Send + 'static,
     {
-        self.shared.schedule_call(at, Box::new(f));
+        self.shared.schedule_call(at, None, Box::new(f));
+    }
+
+    /// Schedule a closure on an explicit shard: the closure will execute on
+    /// the worker owning `shard_key`, serialized with every other event of
+    /// that shard. Layers use this to pin callbacks that touch a node's
+    /// state to the node's shard (e.g. transport delivery at the receiver).
+    pub fn call_at_on<F>(&self, shard_key: u64, at: SimTime, f: F)
+    where
+        F: FnOnce(&EngineCtl) + Send + 'static,
+    {
+        self.shared.schedule_call(at, Some(shard_key), Box::new(f));
     }
 
     /// Spawn a simulated thread that becomes runnable at the current global
@@ -324,7 +674,18 @@ impl EngineCtl {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.now();
-        self.shared.spawn_thread(name.into(), now, false, f)
+        self.shared.spawn_thread(name.into(), now, false, None, f)
+    }
+
+    /// Spawn a simulated thread bound to shard `shard_key` (see
+    /// [`Engine::spawn_on`]).
+    pub fn spawn_on<F>(&self, shard_key: u64, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.now();
+        self.shared
+            .spawn_thread(name.into(), now, false, Some(shard_key), f)
     }
 
     /// Spawn a daemon thread (see [`Engine::spawn_daemon`]) from a controller.
@@ -333,7 +694,26 @@ impl EngineCtl {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.now();
-        self.shared.spawn_thread(name.into(), now, true, f)
+        self.shared.spawn_thread(name.into(), now, true, None, f)
+    }
+
+    /// Spawn a daemon thread bound to shard `shard_key`.
+    pub fn spawn_daemon_on<F>(&self, shard_key: u64, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.now();
+        self.shared
+            .spawn_thread(name.into(), now, true, Some(shard_key), f)
+    }
+
+    /// Run `f` now, or at the end of the current parallel instant in
+    /// canonical order (see [`Shared::defer_or_run`]).
+    pub(crate) fn defer_or_run<F>(&self, f: F)
+    where
+        F: FnOnce(&EngineCtl) + Send + 'static,
+    {
+        self.shared.defer_or_run(Box::new(f));
     }
 }
 
@@ -342,6 +722,10 @@ impl std::fmt::Debug for EngineCtl {
         write!(f, "EngineCtl(now={})", self.now())
     }
 }
+
+// ---------------------------------------------------------------------------
+// The engine proper
+// ---------------------------------------------------------------------------
 
 /// The discrete-event simulation engine.
 pub struct Engine {
@@ -357,18 +741,31 @@ impl Engine {
 
     /// Create a new engine with an explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
+        let workers = config.tuning.workers.clamp(1, MAX_WORKERS);
+        let shards = (0..workers)
+            .map(|_| Shard {
+                queue: Mutex::new(BinaryHeap::new()),
+                sched: Arc::new(SchedHandle::new()),
+                effects: Mutex::new(Vec::new()),
+                ctrl: WorkerCtrl::new(),
+                next_tid: AtomicU64::new(0),
+            })
+            .collect();
         Engine {
             shared: Arc::new(Shared {
                 now: AtomicU64::new(0),
-                queue: Mutex::new(BinaryHeap::new()),
                 seq: AtomicU64::new(0),
+                shards,
+                coord: Arc::new(SchedHandle::new()),
                 threads: Mutex::new(HashMap::new()),
                 next_tid: AtomicU64::new(0),
                 panic_info: Mutex::new(None),
                 context_switches: AtomicU64::new(0),
                 events_processed: AtomicU64::new(0),
                 threads_spawned: AtomicU64::new(0),
-                sched: Arc::new(SchedHandle::new()),
+                parallel_rounds: AtomicU64::new(0),
+                limit_hit: AtomicBool::new(false),
+                worker_joins: Mutex::new(Vec::new()),
                 config,
             }),
             ran: false,
@@ -394,7 +791,20 @@ impl Engine {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.shared.now();
-        self.shared.spawn_thread(name.into(), now, false, f)
+        self.shared.spawn_thread(name.into(), now, false, None, f)
+    }
+
+    /// Spawn a simulated thread bound to shard `shard_key`: all its wake-ups
+    /// execute on the worker owning that shard, serialized with every other
+    /// event of the shard. Upper layers pass the cluster node id so that all
+    /// activity of one node stays on one worker.
+    pub fn spawn_on<F>(&self, shard_key: u64, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.shared.now();
+        self.shared
+            .spawn_thread(name.into(), now, false, Some(shard_key), f)
     }
 
     /// Spawn a daemon thread: it behaves like a normal simulated thread but
@@ -405,7 +815,17 @@ impl Engine {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.shared.now();
-        self.shared.spawn_thread(name.into(), now, true, f)
+        self.shared.spawn_thread(name.into(), now, true, None, f)
+    }
+
+    /// Spawn a daemon thread bound to shard `shard_key`.
+    pub fn spawn_daemon_on<F>(&self, shard_key: u64, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let now = self.shared.now();
+        self.shared
+            .spawn_thread(name.into(), now, true, Some(shard_key), f)
     }
 
     /// Run the simulation to completion.
@@ -420,8 +840,10 @@ impl Engine {
         // The scheduler loop itself must never skip teardown: a panic that
         // escaped run_inner (e.g. out of a scheduler callback, or a bug in
         // the engine) would otherwise leave simulated threads parked forever
-        // with no one holding the baton. Tear down first, then re-raise.
+        // with no one holding the baton. Shut the worker pool down and tear
+        // every slot down first, then re-raise.
         let result = panic::catch_unwind(AssertUnwindSafe(|| self.run_inner()));
+        self.shutdown_workers();
         self.teardown();
         match result {
             Ok(result) => result,
@@ -431,17 +853,57 @@ impl Engine {
 
     fn run_inner(&self) -> Result<RunReport, SimError> {
         let shared = &self.shared;
-        // Publish the scheduler's OS-thread handle before the first grant so
-        // simulated threads can wake us from their futex batons.
-        shared.sched.register_current();
+        // Publish the coordinator's OS-thread handle before the first grant
+        // so simulated threads can wake us from their futex batons.
+        shared.coord.register_current();
+        if shared.num_workers() > 1 {
+            self.spawn_workers();
+        }
+        let spin = shared.config.tuning.handoff_spin;
+        // Events processed since the last reap of finished OS threads.
+        let mut since_reap = 0u64;
+        let mut last_processed = 0u64;
         loop {
             if let Some((thread, message)) = shared.panic_info.lock().take() {
                 return Err(SimError::ThreadPanic { thread, message });
             }
+            if shared.limit_hit.load(Ordering::SeqCst) {
+                return Err(SimError::EventLimitExceeded {
+                    limit: shared.config.max_events,
+                });
+            }
 
-            let next = shared.queue.lock().pop();
-            let Some(Reverse(event)) = next else {
-                let parked: Vec<String> = shared
+            // Periodically reclaim the OS threads of finished simulated
+            // threads so message-heavy runs do not exhaust the thread quota.
+            let processed = shared.events_processed.load(Ordering::SeqCst);
+            since_reap += processed - last_processed;
+            last_processed = processed;
+            if since_reap >= 512 {
+                since_reap = 0;
+                shared.reap_finished();
+            }
+
+            // Find the minimum event time across the shards and the set of
+            // shards holding events at it.
+            let mut min_time = u64::MAX;
+            let mut active: Vec<usize> = Vec::new();
+            for (i, shard) in shared.shards.iter().enumerate() {
+                let queue = shard.queue.lock();
+                if let Some(Reverse(head)) = queue.peek() {
+                    match head.time.cmp(&min_time) {
+                        std::cmp::Ordering::Less => {
+                            min_time = head.time;
+                            active.clear();
+                            active.push(i);
+                        }
+                        std::cmp::Ordering::Equal => active.push(i),
+                        std::cmp::Ordering::Greater => {}
+                    }
+                }
+            }
+
+            if active.is_empty() {
+                let mut parked: Vec<String> = shared
                     .threads
                     .lock()
                     .values()
@@ -451,61 +913,149 @@ impl Engine {
                 if parked.is_empty() {
                     return Ok(self.report());
                 }
+                parked.sort();
                 return Err(SimError::Deadlock {
                     at: shared.now(),
                     parked_threads: parked,
                 });
-            };
-
-            let processed = shared.events_processed.fetch_add(1, Ordering::SeqCst) + 1;
-            if processed > shared.config.max_events {
-                return Err(SimError::EventLimitExceeded {
-                    limit: shared.config.max_events,
-                });
-            }
-            // Periodically reclaim the OS threads of finished simulated
-            // threads so message-heavy runs do not exhaust the thread quota.
-            if processed.is_multiple_of(512) {
-                shared.reap_finished();
             }
 
-            // The clock never moves backwards: events scheduled "in the past"
-            // (e.g. zero-delay wake-ups racing with compute charges) are
-            // processed at the current time.
-            let current = shared.now.load(Ordering::SeqCst);
-            if event.time > current {
-                shared.now.store(event.time, Ordering::SeqCst);
+            // The clock never moves backwards: events scheduled "in the
+            // past" (e.g. zero-delay wake-ups racing with compute charges)
+            // are processed at the current time.
+            if min_time > shared.now.load(Ordering::SeqCst) {
+                shared.now.store(min_time, Ordering::SeqCst);
             }
 
-            match event.kind {
-                EventKind::Wake(tid) => {
-                    let slot = shared
-                        .threads
-                        .lock()
-                        .get(&tid.0)
-                        .map(|e| Arc::clone(&e.slot));
-                    if let Some(slot) = slot {
-                        if !slot.is_finished() {
-                            slot.wait_until_parked_or_finished();
-                            if slot.grant_and_wait() {
-                                shared.context_switches.fetch_add(1, Ordering::SeqCst);
-                            }
-                        }
+            if active.len() == 1 {
+                // Single active shard: execute the globally smallest event
+                // inline on the coordinator — the historical engine, and the
+                // only path ever taken with workers = 1.
+                let worker = active[0];
+                let event = match shared.shards[worker].queue.lock().pop() {
+                    Some(Reverse(e)) => e,
+                    None => continue,
+                };
+                let processed = shared.events_processed.fetch_add(1, Ordering::SeqCst) + 1;
+                if processed > shared.config.max_events {
+                    return Err(SimError::EventLimitExceeded {
+                        limit: shared.config.max_events,
+                    });
+                }
+                let source = GrantSource {
+                    handle: &shared.coord,
+                    spin,
+                };
+                execute_event(shared, event, worker, false, &source);
+            } else {
+                // Parallel instant: every active shard drains its events at
+                // `min_time` on its own worker; effects buffer into the
+                // per-worker outboxes and merge canonically afterwards.
+                shared.parallel_rounds.fetch_add(1, Ordering::SeqCst);
+                for &w in &active {
+                    let ctrl = &shared.shards[w].ctrl;
+                    ctrl.round_time.store(min_time, Ordering::SeqCst);
+                    ctrl.state.store(W_REQUESTED, Ordering::SeqCst);
+                    if let Some(t) = ctrl.os.get() {
+                        t.unpark();
                     }
                 }
-                EventKind::Call(f) => {
-                    let ctl = EngineCtl {
-                        shared: Arc::clone(shared),
-                    };
-                    // A panicking scheduler callback must not take down the
-                    // scheduler loop (teardown would never release the other
-                    // threads' batons); record it like a thread panic and
-                    // let the loop head convert it into the run's error.
+                let mut spins = 0u32;
+                loop {
+                    let all_done = active
+                        .iter()
+                        .all(|&w| shared.shards[w].ctrl.state.load(Ordering::SeqCst) == W_DONE);
+                    if all_done {
+                        break;
+                    }
+                    if spins < spin {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::park();
+                    }
+                }
+                for &w in &active {
+                    let _ = shared.shards[w].ctrl.state.compare_exchange(
+                        W_DONE,
+                        W_IDLE,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    );
+                }
+                self.merge_effects();
+            }
+        }
+    }
+
+    /// Apply every buffered effect in ascending parent-sequence order,
+    /// assigning fresh global sequence numbers in that order. Each worker's
+    /// vector is already sorted (it executed its events in sequence order),
+    /// so this is a k-way merge.
+    fn merge_effects(&self) {
+        let shared = &self.shared;
+        let mut lists: Vec<std::vec::IntoIter<(u64, Effect)>> = shared
+            .shards
+            .iter()
+            .map(|s| std::mem::take(&mut *s.effects.lock()).into_iter())
+            .collect();
+        let mut heads: Vec<Option<(u64, Effect)>> = lists.iter_mut().map(|l| l.next()).collect();
+        let ctl = EngineCtl {
+            shared: Arc::clone(shared),
+        };
+        loop {
+            let mut best: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some((seq, _)) = head {
+                    if best.is_none_or(|b| *seq < heads[b].as_ref().expect("head").0) {
+                        best = Some(i);
+                    }
+                }
+            }
+            let Some(i) = best else { break };
+            let (_, effect) = heads[i].take().expect("selected head");
+            heads[i] = lists[i].next();
+            match effect {
+                Effect::Push { time, shard, kind } => shared.push_direct(time, kind, shard),
+                Effect::Action(f) => {
+                    // Runs with no instant context: its pushes go directly
+                    // into the shards, in canonical order.
                     if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&ctl))) {
-                        shared.record_panic("scheduler-call".to_string(), panic_message(&*payload));
+                        shared.record_panic("merge-action".to_string(), panic_message(&*payload));
                     }
                 }
             }
+        }
+    }
+
+    fn spawn_workers(&self) {
+        let mut joins = self.shared.worker_joins.lock();
+        for w in 0..self.shared.num_workers() {
+            let shared = Arc::clone(&self.shared);
+            let join = std::thread::Builder::new()
+                .name(format!("sim-worker-{w}"))
+                .spawn(move || worker_main(shared, w))
+                .expect("failed to spawn scheduler worker");
+            joins.push(join);
+        }
+    }
+
+    /// Signal every worker to quit and join them. A worker that is still
+    /// draining a round observes the quit when it tries to publish its
+    /// completion and exits instead.
+    fn shutdown_workers(&self) {
+        let joins: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.worker_joins.lock());
+        if joins.is_empty() {
+            return;
+        }
+        for shard in &self.shared.shards {
+            shard.ctrl.state.swap(W_QUIT, Ordering::SeqCst);
+            if let Some(t) = shard.ctrl.os.get() {
+                t.unpark();
+            }
+        }
+        for join in joins {
+            let _ = join.join();
         }
     }
 
@@ -515,6 +1065,7 @@ impl Engine {
             events: self.shared.events_processed.load(Ordering::SeqCst),
             context_switches: self.shared.context_switches.load(Ordering::SeqCst),
             threads_spawned: self.shared.threads_spawned.load(Ordering::SeqCst),
+            parallel_rounds: self.shared.parallel_rounds.load(Ordering::SeqCst),
         }
     }
 
@@ -539,6 +1090,132 @@ impl Engine {
     }
 }
 
+/// Execute one event. For `Wake` events the baton goes to the slot through
+/// `source` (the executing worker's — or the coordinator's — handle); for
+/// `Call` events the closure runs right here with the instant context
+/// installed, so its pushes route correctly.
+fn execute_event(
+    shared: &Arc<Shared>,
+    event: Event,
+    worker: usize,
+    defer: bool,
+    source: &GrantSource<'_>,
+) {
+    match event.kind {
+        EventKind::Wake(tid) => {
+            let slot = shared
+                .threads
+                .lock()
+                .get(&tid.0)
+                .map(|e| Arc::clone(&e.slot));
+            if let Some(slot) = slot {
+                if !slot.is_finished()
+                    && slot.grant_and_wait(source, worker, event.time, event.seq, defer)
+                {
+                    shared.context_switches.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        EventKind::Call(f) => {
+            let ctl = EngineCtl {
+                shared: Arc::clone(shared),
+            };
+            set_instant_ctx(Some(InstantCtx {
+                engine: shared.token(),
+                worker,
+                parent_time: event.time,
+                parent_seq: event.seq,
+                shard: event.shard,
+                defer,
+                sub: 0,
+            }));
+            // A panicking scheduler callback must not take down the
+            // scheduler loop (teardown would never release the other
+            // threads' batons); record it like a thread panic and let the
+            // loop head convert it into the run's error.
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(&ctl))) {
+                shared.record_panic("scheduler-call".to_string(), panic_message(&*payload));
+            }
+            set_instant_ctx(None);
+        }
+    }
+}
+
+/// Body of one scheduler worker OS thread: wait for a round request, drain
+/// this shard's events at the requested instant, publish completion.
+fn worker_main(shared: Arc<Shared>, w: usize) {
+    let shard = &shared.shards[w];
+    shard
+        .ctrl
+        .os
+        .set(std::thread::current())
+        .expect("worker registers its handle once");
+    shard.sched.register_current();
+    let spin = shared.config.tuning.handoff_spin;
+    loop {
+        // Wait for a command.
+        let mut spins = 0u32;
+        loop {
+            match shard.ctrl.state.load(Ordering::SeqCst) {
+                W_REQUESTED => break,
+                W_QUIT => return,
+                _ => {
+                    if spins < spin {
+                        spins += 1;
+                        std::hint::spin_loop();
+                    } else {
+                        std::thread::park();
+                    }
+                }
+            }
+        }
+        shard.ctrl.state.store(W_RUNNING, Ordering::SeqCst);
+        let t = shard.ctrl.round_time.load(Ordering::SeqCst);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| drain_instant(&shared, w, t)));
+        if let Err(payload) = result {
+            set_instant_ctx(None);
+            shared.record_panic(format!("sim-worker-{w}"), panic_message(&*payload));
+        }
+        // Publish completion — unless the engine is tearing down, in which
+        // case quit without clobbering the signal.
+        if shard
+            .ctrl
+            .state
+            .compare_exchange(W_RUNNING, W_DONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return;
+        }
+        shared.coord.unpark();
+    }
+}
+
+/// Drain every event of shard `w` at virtual times `<= t`, in sequence
+/// order, buffering all effects.
+fn drain_instant(shared: &Arc<Shared>, w: usize, t: u64) {
+    let spin = shared.config.tuning.handoff_spin;
+    let source = GrantSource {
+        handle: &shared.shards[w].sched,
+        spin,
+    };
+    loop {
+        let event = {
+            let mut queue = shared.shards[w].queue.lock();
+            match queue.peek() {
+                Some(Reverse(head)) if head.time <= t => queue.pop().map(|Reverse(e)| e),
+                _ => None,
+            }
+        };
+        let Some(event) = event else { break };
+        let processed = shared.events_processed.fetch_add(1, Ordering::SeqCst) + 1;
+        if processed > shared.config.max_events {
+            shared.limit_hit.store(true, Ordering::SeqCst);
+            break;
+        }
+        execute_event(shared, event, w, true, &source);
+    }
+}
+
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
@@ -548,6 +1225,7 @@ impl Default for Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         if !self.ran {
+            self.shutdown_workers();
             self.teardown();
         }
     }
@@ -712,5 +1390,159 @@ mod tests {
         });
         engine.run().unwrap();
         assert_eq!(t.load(Ordering::SeqCst), 7_000);
+    }
+
+    // ----- multi-worker engine ----------------------------------------------
+
+    fn multi(workers: usize) -> Engine {
+        Engine::with_config(EngineConfig {
+            tuning: SimTuning::default().with_workers(workers),
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn worker_pool_runs_an_empty_engine() {
+        for workers in [2, 4] {
+            let mut engine = multi(workers);
+            let report = engine.run().unwrap();
+            assert_eq!(report.final_time, SimTime::ZERO);
+            assert_eq!(report.parallel_rounds, 0);
+        }
+    }
+
+    #[test]
+    fn same_instant_events_on_distinct_shards_run_in_parallel_rounds() {
+        for workers in [2, 4] {
+            let mut engine = multi(workers);
+            let hits = Arc::new(AtomicUsize::new(0));
+            for shard in 0..4u64 {
+                let hits = hits.clone();
+                engine.spawn_on(shard, format!("t{shard}"), move |h| {
+                    // Everyone wakes at the same instants.
+                    for _ in 0..3 {
+                        h.sleep(SimDuration::from_micros(10));
+                    }
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            let report = engine.run().unwrap();
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+            assert!(
+                report.parallel_rounds > 0,
+                "{workers} workers: same-instant events of distinct shards \
+                 must be dispatched in parallel"
+            );
+            assert_eq!(report.final_time, SimTime::from_micros(30));
+        }
+    }
+
+    #[test]
+    fn virtual_time_and_order_match_across_worker_counts() {
+        // A small cross-shard program: per-shard threads sleep, wake each
+        // other and spawn children. Per-shard observation logs (appended
+        // only by that shard's threads) and the final virtual time must be
+        // identical across worker counts.
+        fn run(workers: usize) -> (Vec<Vec<u64>>, SimTime) {
+            let mut engine = multi(workers);
+            let logs: Vec<Arc<Mutex<Vec<u64>>>> =
+                (0..4).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+            for shard in 0..4u64 {
+                let log = logs[shard as usize].clone();
+                engine.spawn_on(shard, format!("t{shard}"), move |h| {
+                    for i in 0..5u64 {
+                        h.sleep(SimDuration::from_micros(7 + (shard + i) % 3));
+                        log.lock().push(h.now().as_nanos());
+                        if i == 2 {
+                            let log2 = log.clone();
+                            h.spawn_on(shard, format!("child{shard}"), move |h| {
+                                h.sleep(SimDuration::from_micros(1));
+                                log2.lock().push(h.now().as_nanos());
+                            });
+                        }
+                    }
+                });
+            }
+            let report = engine.run().unwrap();
+            let logs = logs.iter().map(|l| l.lock().clone()).collect();
+            (logs, report.final_time)
+        }
+        let (logs1, t1) = run(1);
+        for workers in [2, 4] {
+            let (logs, t) = run(workers);
+            assert_eq!(logs, logs1, "{workers} workers diverged");
+            assert_eq!(t, t1, "{workers} workers: virtual time diverged");
+        }
+    }
+
+    #[test]
+    fn worker_thread_panic_is_reported_and_torn_down() {
+        for workers in [1, 4] {
+            let mut engine = multi(workers);
+            for shard in 0..4u64 {
+                engine.spawn_on(shard, format!("t{shard}"), move |h| {
+                    h.sleep(SimDuration::from_micros(10));
+                    if shard == 2 {
+                        panic!("intentional worker-pool panic");
+                    }
+                    h.sleep(SimDuration::from_micros(10));
+                });
+            }
+            match engine.run() {
+                Err(SimError::ThreadPanic { thread, message }) => {
+                    assert_eq!(thread, "t2", "{workers} workers");
+                    assert!(message.contains("intentional worker-pool panic"));
+                }
+                other => panic!("{workers} workers: expected panic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn event_limit_stops_a_parallel_run() {
+        let mut engine = Engine::with_config(EngineConfig {
+            max_events: 40,
+            name: "tiny".into(),
+            tuning: SimTuning::default().with_workers(4),
+        });
+        for shard in 0..4u64 {
+            engine.spawn_on(shard, format!("spin{shard}"), move |h| loop {
+                h.sleep(SimDuration::from_micros(1));
+            });
+        }
+        match engine.run() {
+            Err(SimError::EventLimitExceeded { limit }) => assert_eq!(limit, 40),
+            other => panic!("expected event limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_shard_wakes_merge_canonically() {
+        // Shard-0 and shard-1 threads wake a shard-2 sleeper at the same
+        // instant; the sleeper observes exactly one wake time regardless of
+        // the worker count.
+        fn run(workers: usize) -> u64 {
+            let mut engine = multi(workers);
+            let ctl = engine.ctl();
+            let woken = Arc::new(AtomicU64::new(0));
+            let w = woken.clone();
+            let sleeper = engine.spawn_on(2, "sleeper", move |h| {
+                h.park();
+                w.store(h.now().as_nanos(), Ordering::SeqCst);
+            });
+            for shard in 0..2u64 {
+                let ctl = ctl.clone();
+                engine.spawn_on(shard, format!("waker{shard}"), move |h| {
+                    h.sleep(SimDuration::from_micros(50));
+                    ctl.wake_at(sleeper, h.now());
+                });
+            }
+            engine.run().unwrap();
+            woken.load(Ordering::SeqCst)
+        }
+        let t1 = run(1);
+        assert_eq!(t1, 50_000);
+        assert_eq!(run(2), t1);
+        assert_eq!(run(4), t1);
     }
 }

@@ -72,12 +72,29 @@ impl SimHandle {
         }
     }
 
+    /// The shard key this thread is currently bound to: all its wake-ups
+    /// execute on the worker owning that shard. Defaults to the key it was
+    /// spawned with (the spawner's shard, or the thread id).
+    pub fn shard(&self) -> u64 {
+        self.slot.shard_key()
+    }
+
+    /// Re-home this thread onto shard `key`. Layers call this when a thread
+    /// migrates between cluster nodes, *before* the migration's sleep, so
+    /// the post-migration wake-up already executes on the destination
+    /// node's worker.
+    pub fn set_shard(&mut self, key: u64) {
+        self.slot.set_shard_key(key);
+        crate::engine::set_instant_ctx_shard(key);
+    }
+
     /// Advance virtual time by `d` (plus any pending compute), yielding to the
     /// scheduler so other threads and messages can make progress.
     pub fn sleep(&mut self, d: SimDuration) {
         let wake_at = self.shared.now() + self.pending + d;
         self.pending = SimDuration::ZERO;
-        self.shared.schedule_wake(self.tid, wake_at);
+        self.shared
+            .schedule_wake_keyed(self.tid, wake_at, self.slot.shard_key());
         self.park_raw();
     }
 
@@ -119,32 +136,60 @@ impl SimHandle {
     }
 
     /// Spawn a new simulated thread that becomes runnable at this thread's
-    /// current local time.
+    /// current local time, on this thread's shard.
     pub fn spawn<F>(&mut self, name: impl Into<String>, f: F) -> ThreadId
     where
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let start_at = self.now();
-        self.shared.spawn_thread(name.into(), start_at, false, f)
+        let key = self.slot.shard_key();
+        self.shared
+            .spawn_thread(name.into(), start_at, false, Some(key), f)
+    }
+
+    /// Spawn a new simulated thread bound to an explicit shard (see
+    /// [`crate::Engine::spawn_on`]), runnable at this thread's local time.
+    pub fn spawn_on<F>(&mut self, shard_key: u64, name: impl Into<String>, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
+        let start_at = self.now();
+        self.shared
+            .spawn_thread(name.into(), start_at, false, Some(shard_key), f)
     }
 
     /// Spawn a daemon thread (see [`crate::Engine::spawn_daemon`]) starting at
-    /// this thread's current local time.
+    /// this thread's current local time, on this thread's shard.
     pub fn spawn_daemon<F>(&mut self, name: impl Into<String>, f: F) -> ThreadId
     where
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let start_at = self.now();
-        self.shared.spawn_thread(name.into(), start_at, true, f)
+        let key = self.slot.shard_key();
+        self.shared
+            .spawn_thread(name.into(), start_at, true, Some(key), f)
     }
 
     /// Schedule a closure to run on the scheduler after `delay` from this
-    /// thread's local time (used to model message delivery).
+    /// thread's local time (used to model message delivery). The closure
+    /// executes on this thread's shard; use [`SimHandle::call_after_on`] to
+    /// pin it elsewhere.
     pub fn call_after<F>(&self, delay: SimDuration, f: F)
     where
         F: FnOnce(&EngineCtl) + Send + 'static,
     {
-        self.shared.schedule_call(self.now() + delay, Box::new(f));
+        self.shared
+            .schedule_call(self.now() + delay, Some(self.slot.shard_key()), Box::new(f));
+    }
+
+    /// Schedule a closure on an explicit shard after `delay` from this
+    /// thread's local time.
+    pub fn call_after_on<F>(&self, shard_key: u64, delay: SimDuration, f: F)
+    where
+        F: FnOnce(&EngineCtl) + Send + 'static,
+    {
+        self.shared
+            .schedule_call(self.now() + delay, Some(shard_key), Box::new(f));
     }
 
     /// A cloneable controller over the engine, usable from shared data

@@ -44,7 +44,7 @@ mod thread;
 mod time;
 mod wait;
 
-pub use channel::{channel, SimReceiver, SimSender, TickOutbox};
+pub use channel::{channel, channel_on, SimReceiver, SimSender, TickOutbox};
 pub use engine::{Engine, EngineConfig, EngineCtl, RunReport, SimTuning};
 pub use error::SimError;
 pub use handle::SimHandle;

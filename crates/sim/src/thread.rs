@@ -1,10 +1,14 @@
 //! Simulated thread identity and the scheduler/thread hand-off slot.
 //!
 //! Each simulated thread is backed by one OS thread, but at most one
-//! simulated thread executes at any wall-clock instant: the scheduler hands a
-//! "baton" to the thread chosen by the event queue and waits until the thread
-//! parks again. This makes every run fully deterministic while letting user
-//! code be written as ordinary imperative Rust (the PM2 programming model).
+//! simulated thread *per scheduler worker* executes at any wall-clock
+//! instant: the granting side (a worker, or the coordinator itself on
+//! single-shard instants) hands a "baton" to the thread chosen by the event
+//! queue and waits until the thread parks again. With the default single
+//! worker this makes every run fully deterministic while letting user code
+//! be written as ordinary imperative Rust (the PM2 programming model); with
+//! several workers, determinism is preserved by the engine's canonical
+//! effect merge (see [`crate::Engine`]).
 //!
 //! Two baton implementations exist:
 //!
@@ -12,20 +16,20 @@
 //!   each side publishes its transition with one atomic store and wakes the
 //!   other with one `std::thread::unpark`, spinning briefly before parking.
 //!   No lock is held across any wait, so a hand-off between two running
-//!   cores is a store + an unpark — the scheduler grants and reclaims the
-//!   baton with at most one atomic RMW-equivalent and one unpark per step.
+//!   cores is a store + an unpark — the granting side grants and reclaims
+//!   the baton with at most one atomic RMW and one unpark per step.
 //! * **Legacy Condvar** ([`crate::SimTuning::legacy_condvar_handoff`]): the
 //!   original Mutex+Condvar protocol on `std::sync` (what the pre-PR 3
 //!   `parking_lot` shim wrapped), kept selectable so the conformance matrix
 //!   can assert both hand-offs produce bit-identical runs and so the
 //!   `sched_handoff` microbenchmark measures the true historical baseline.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::thread::Thread;
 use std::{fmt, ptr, sync};
 
-use crate::engine::SimTuning;
+use crate::engine::{set_instant_ctx, InstantCtx, SimTuning};
 
 /// Identifier of a simulated thread, unique within one [`crate::Engine`].
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,6 +69,11 @@ pub(crate) enum Phase {
     Running = 3,
     /// The thread body returned (or panicked); it will never run again.
     Finished = 4,
+    /// A granter won the `Parked -> Granting` CAS and is publishing the
+    /// grant context; the thread keeps waiting until `Granted`. This makes
+    /// the context stores exclusive even if two same-instant wakes for one
+    /// thread race from different workers.
+    Granting = 5,
 }
 
 impl Phase {
@@ -75,6 +84,7 @@ impl Phase {
             2 => Phase::Granted,
             3 => Phase::Running,
             4 => Phase::Finished,
+            5 => Phase::Granting,
             other => unreachable!("invalid phase word {other}"),
         }
     }
@@ -87,11 +97,11 @@ pub(crate) struct SlotState {
     pub shutdown: bool,
 }
 
-/// The scheduler's OS-thread handle, published (once per engine run) through
-/// an `AtomicPtr` so simulated threads can wake the scheduler with SeqCst
+/// A granting side's OS-thread handle, published (once per worker) through
+/// an `AtomicPtr` so simulated threads can wake their granter with SeqCst
 /// Dekker-style visibility: a thread that stores its phase and then fails to
-/// see the handle is guaranteed the scheduler has not yet read the phase, so
-/// the scheduler will observe the store before parking.
+/// see the handle is guaranteed the granter has not yet read the phase, so
+/// the granter will observe the store before parking.
 pub(crate) struct SchedHandle {
     ptr: AtomicPtr<Thread>,
 }
@@ -103,8 +113,8 @@ impl SchedHandle {
         }
     }
 
-    /// Publish the calling thread as the scheduler. Idempotent; only ever
-    /// called from the (single) scheduler thread.
+    /// Publish the calling thread as this handle's owner. Idempotent; only
+    /// ever called from the owning (coordinator or worker) thread.
     pub fn register_current(&self) {
         if self.ptr.load(Ordering::SeqCst).is_null() {
             let boxed = Box::into_raw(Box::new(std::thread::current()));
@@ -119,7 +129,7 @@ impl SchedHandle {
         }
     }
 
-    fn unpark(&self) {
+    pub(crate) fn unpark(&self) {
         let p = self.ptr.load(Ordering::SeqCst);
         if !p.is_null() {
             unsafe { &*p }.unpark();
@@ -136,6 +146,20 @@ impl Drop for SchedHandle {
     }
 }
 
+/// The granting side of a baton hand-off: its wake-up handle and how long it
+/// spins before parking while waiting for the thread.
+pub(crate) struct GrantSource<'a> {
+    /// The granter's [`SchedHandle`] — must be owned by the engine's
+    /// `Shared` so the raw granter pointer stored in the slot stays valid
+    /// for the lifetime of every simulated thread.
+    pub handle: &'a SchedHandle,
+    /// Spin iterations before parking.
+    pub spin: u32,
+}
+
+/// Sentinel for "granted inline by the coordinator" in the worker index slot.
+pub(crate) const NO_WORKER: usize = usize::MAX;
+
 /// Hand-off slot shared between the scheduler and one simulated thread.
 pub(crate) struct ThreadSlot {
     pub id: ThreadId,
@@ -144,6 +168,10 @@ pub(crate) struct ThreadSlot {
     legacy: bool,
     /// Spin iterations before parking (futex path).
     spin: u32,
+    /// Identity of the owning engine (for the instant context).
+    engine_token: usize,
+    /// Current shard key of the thread (updated on migration).
+    shard: AtomicU64,
     // ----- futex path -------------------------------------------------------
     /// The atomic phase word ([`Phase`] as u32).
     phase: AtomicU32,
@@ -153,8 +181,19 @@ pub(crate) struct ThreadSlot {
     /// `Parked` store (the release/acquire hand-off on `phase` publishes it
     /// to the scheduler).
     os_thread: OnceLock<Thread>,
-    /// Handle of the scheduler thread, shared engine-wide.
-    sched: std::sync::Arc<SchedHandle>,
+    /// Handle used to wake the granting side before any grant happened (the
+    /// coordinator's engine-wide handle).
+    default_sched: std::sync::Arc<SchedHandle>,
+    /// The most recent granter's handle; null means "use `default_sched`".
+    /// Points into the engine's `Shared` (worker handles), which outlives
+    /// every simulated thread: the spawn closure holds an `Arc<Shared>`.
+    granter: AtomicPtr<SchedHandle>,
+    // ----- grant context (published exclusively by the CAS-winning granter
+    // between the `Granting` and `Granted` phase stores) --------------------
+    grant_worker: AtomicUsize,
+    grant_time: AtomicU64,
+    grant_seq: AtomicU64,
+    grant_defer: AtomicBool,
     // ----- legacy Condvar path (std::sync, the pre-PR 3 substrate) ----------
     state: sync::Mutex<SlotState>,
     cond: sync::Condvar,
@@ -165,22 +204,52 @@ impl ThreadSlot {
         id: ThreadId,
         name: String,
         tuning: &SimTuning,
-        sched: std::sync::Arc<SchedHandle>,
+        default_sched: std::sync::Arc<SchedHandle>,
+        engine_token: usize,
+        shard: u64,
     ) -> Self {
         ThreadSlot {
             id,
             name,
             legacy: tuning.legacy_condvar_handoff,
             spin: tuning.handoff_spin,
+            engine_token,
+            shard: AtomicU64::new(shard),
             phase: AtomicU32::new(Phase::Created as u32),
             shutdown: AtomicBool::new(false),
             os_thread: OnceLock::new(),
-            sched,
+            default_sched,
+            granter: AtomicPtr::new(ptr::null_mut()),
+            grant_worker: AtomicUsize::new(NO_WORKER),
+            grant_time: AtomicU64::new(0),
+            grant_seq: AtomicU64::new(0),
+            grant_defer: AtomicBool::new(false),
             state: sync::Mutex::new(SlotState {
                 phase: Phase::Created,
                 shutdown: false,
             }),
             cond: sync::Condvar::new(),
+        }
+    }
+
+    /// The thread's current shard key.
+    pub fn shard_key(&self) -> u64 {
+        self.shard.load(Ordering::SeqCst)
+    }
+
+    /// Re-home the thread onto another shard (thread migration). Takes
+    /// effect for wake-ups scheduled after this call.
+    pub fn set_shard_key(&self, key: u64) {
+        self.shard.store(key, Ordering::SeqCst);
+    }
+
+    /// Wake whoever granted us last (or the coordinator before any grant).
+    fn wake_granter(&self) {
+        let p = self.granter.load(Ordering::SeqCst);
+        if p.is_null() {
+            self.default_sched.unpark();
+        } else {
+            unsafe { &*p }.unpark();
         }
     }
 
@@ -207,15 +276,42 @@ impl ThreadSlot {
     /// Called by the backing OS thread: announce that we are parked and wait
     /// until the scheduler grants the baton. Returns `false` if the engine is
     /// shutting down and the thread must unwind without running user code.
+    /// On `true`, the instant context of the granting event has been
+    /// installed in this OS thread's thread-local slot.
     pub fn park_and_wait(&self) -> bool {
-        if self.legacy {
-            return self.park_and_wait_legacy();
+        // We are about to stop executing the current event.
+        set_instant_ctx(None);
+        let granted = if self.legacy {
+            self.park_and_wait_legacy()
+        } else {
+            self.park_and_wait_futex()
+        };
+        if !granted {
+            return false;
         }
+        // Resuming on behalf of the granting event: install its context so
+        // pushes made by user code route to the right worker outbox.
+        set_instant_ctx(Some(InstantCtx {
+            engine: self.engine_token,
+            worker: match self.grant_worker.load(Ordering::SeqCst) {
+                NO_WORKER => 0,
+                w => w,
+            },
+            parent_time: self.grant_time.load(Ordering::SeqCst),
+            parent_seq: self.grant_seq.load(Ordering::SeqCst),
+            shard: self.shard.load(Ordering::SeqCst),
+            defer: self.grant_defer.load(Ordering::SeqCst),
+            sub: 0,
+        }));
+        true
+    }
+
+    fn park_and_wait_futex(&self) -> bool {
         // Publish our handle before the Parked store so the scheduler can
         // unpark us as soon as it observes the phase.
         let _ = self.os_thread.set(std::thread::current());
         self.phase.store(Phase::Parked as u32, Ordering::SeqCst);
-        self.sched.unpark();
+        self.wake_granter();
         let mut spins = 0u32;
         loop {
             let phase = self.phase.load(Ordering::SeqCst);
@@ -256,30 +352,41 @@ impl ThreadSlot {
         true
     }
 
-    /// Spin-then-park (on the scheduler thread) until the slot's phase is
+    /// Spin-then-park (on the granting thread) until the slot's phase is
     /// `Parked` or `Finished`, returning the phase observed.
-    fn sched_await_parked_or_finished(&self) -> Phase {
+    ///
+    /// Parks are unbounded only while the slot's granter pointer is *ours*:
+    /// the thread notifies exactly the granter recorded in that pointer when
+    /// it parks or finishes, so a granter that is not (or no longer) the
+    /// recorded one — because a concurrent same-instant wake from another
+    /// shard raced it — is off the wake-up path and must poll with bounded
+    /// parks instead.
+    fn await_parked_or_finished(&self, source: &GrantSource<'_>) -> Phase {
         // Make sure the simulated thread can wake us before we decide to
         // sleep (SeqCst pairing with the thread's phase store).
-        self.sched.register_current();
+        source.handle.register_current();
+        let me = source.handle as *const SchedHandle as *mut SchedHandle;
         let mut spins = 0u32;
         loop {
             let phase = self.phase.load(Ordering::SeqCst);
             if phase == Phase::Parked as u32 || phase == Phase::Finished as u32 {
                 return Phase::from_u32(phase);
             }
-            if spins < self.spin {
+            if spins < source.spin {
                 spins += 1;
                 std::hint::spin_loop();
-            } else {
+            } else if self.granter.load(Ordering::SeqCst) == me {
                 std::thread::park();
+            } else {
+                std::thread::park_timeout(std::time::Duration::from_micros(50));
             }
         }
     }
 
-    /// Called by the scheduler: wait until the OS thread has reached its
+    /// Called by the granting side: wait until the OS thread has reached its
     /// first park (right after spawn, the thread may not have started yet).
-    pub fn wait_until_parked_or_finished(&self) {
+    #[cfg(test)]
+    pub fn wait_until_parked_or_finished(&self, source: &GrantSource<'_>) {
         if self.legacy {
             let mut st = self.legacy_state();
             while st.phase != Phase::Parked && st.phase != Phase::Finished {
@@ -287,39 +394,95 @@ impl ThreadSlot {
             }
             return;
         }
-        self.sched_await_parked_or_finished();
+        self.await_parked_or_finished(source);
     }
 
-    /// Called by the scheduler: grant the baton to a parked thread and block
-    /// until it parks again or finishes. Returns `false` if the thread was
-    /// already finished (stale wake event).
-    pub fn grant_and_wait(&self) -> bool {
+    /// Called by the granting side: grant the baton to the (eventually)
+    /// parked thread and block until it parks again or finishes. `worker`,
+    /// `parent_time`/`parent_seq` and `defer` describe the granting event;
+    /// the resumed thread installs them as its instant context. Returns
+    /// `false` if the thread was already finished (stale wake event).
+    pub fn grant_and_wait(
+        &self,
+        source: &GrantSource<'_>,
+        worker: usize,
+        parent_time: u64,
+        parent_seq: u64,
+        defer: bool,
+    ) -> bool {
         if self.legacy {
-            return self.grant_and_wait_legacy();
+            return self.grant_and_wait_legacy(source, worker, parent_time, parent_seq, defer);
         }
-        if self.sched_await_parked_or_finished() == Phase::Finished {
-            return false;
+        let me = source.handle as *const SchedHandle as *mut SchedHandle;
+        // Publish ourselves as the granter *before* waiting for the park, so
+        // a freshly spawned thread's first `Parked` store wakes us and not
+        // the engine-wide default handle. A concurrent granter may overwrite
+        // this; await_parked_or_finished then degrades to bounded parks.
+        self.granter.store(me, Ordering::SeqCst);
+        loop {
+            if self.await_parked_or_finished(source) == Phase::Finished {
+                return false;
+            }
+            // Win the grant first; publish the context only as the winner.
+            if self
+                .phase
+                .compare_exchange(
+                    Phase::Parked as u32,
+                    Phase::Granting as u32,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            {
+                break;
+            }
         }
-        // The grant itself: one store + one unpark. The thread is parked, so
-        // its handle is guaranteed to be published.
+        // Exclusive between the Granting and Granted stores: the thread only
+        // reads these after observing Granted. Re-store the granter pointer
+        // in case a racing granter's early store overwrote it.
+        self.granter.store(me, Ordering::SeqCst);
+        self.grant_worker.store(worker, Ordering::SeqCst);
+        self.grant_time.store(parent_time, Ordering::SeqCst);
+        self.grant_seq.store(parent_seq, Ordering::SeqCst);
+        self.grant_defer.store(defer, Ordering::SeqCst);
         self.phase.store(Phase::Granted as u32, Ordering::SeqCst);
         self.os_thread
             .get()
             .expect("parked thread published its handle")
             .unpark();
-        self.sched_await_parked_or_finished();
+        self.await_parked_or_finished(source);
         true
     }
 
-    fn grant_and_wait_legacy(&self) -> bool {
+    fn grant_and_wait_legacy(
+        &self,
+        source: &GrantSource<'_>,
+        worker: usize,
+        parent_time: u64,
+        parent_seq: u64,
+        defer: bool,
+    ) -> bool {
+        let _ = source;
         let mut st = self.legacy_state();
-        while st.phase == Phase::Created {
+        // Wait for the thread to park (it may not have started yet, or a
+        // concurrent granter may be mid-hand-off — the condvar broadcast on
+        // every transition keeps all waiting granters live).
+        while st.phase != Phase::Parked && st.phase != Phase::Finished {
             st = self.legacy_wait(st);
         }
         if st.phase == Phase::Finished {
             return false;
         }
-        debug_assert_eq!(st.phase, Phase::Parked, "thread {} not parked", self.name);
+        // Publish the grant context under the slot lock, exclusive with any
+        // concurrent granter by construction.
+        self.granter.store(
+            source.handle as *const SchedHandle as *mut SchedHandle,
+            Ordering::SeqCst,
+        );
+        self.grant_worker.store(worker, Ordering::SeqCst);
+        self.grant_time.store(parent_time, Ordering::SeqCst);
+        self.grant_seq.store(parent_seq, Ordering::SeqCst);
+        self.grant_defer.store(defer, Ordering::SeqCst);
         st.phase = Phase::Granted;
         self.cond.notify_all();
         while st.phase != Phase::Parked && st.phase != Phase::Finished {
@@ -330,6 +493,7 @@ impl ThreadSlot {
 
     /// Called by the backing OS thread when its body has returned or panicked.
     pub fn mark_finished(&self) {
+        set_instant_ctx(None);
         if self.legacy {
             let mut st = self.legacy_state();
             st.phase = Phase::Finished;
@@ -337,11 +501,11 @@ impl ThreadSlot {
             return;
         }
         self.phase.store(Phase::Finished as u32, Ordering::SeqCst);
-        self.sched.unpark();
+        self.wake_granter();
     }
 
-    /// Called by the scheduler during teardown: release any thread that is
-    /// still waiting for the baton so its OS thread can exit.
+    /// Called during teardown: release any thread that is still waiting for
+    /// the baton so its OS thread can exit.
     pub fn request_shutdown(&self) {
         if self.legacy {
             let mut st = self.legacy_state();
@@ -382,12 +546,14 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    fn slot(id: u64, tuning: &SimTuning) -> Arc<ThreadSlot> {
+    fn slot(id: u64, tuning: &SimTuning, sched: &Arc<SchedHandle>) -> Arc<ThreadSlot> {
         Arc::new(ThreadSlot::new(
             ThreadId(id),
             "t".into(),
             tuning,
-            Arc::new(SchedHandle::new()),
+            Arc::clone(sched),
+            0,
+            id,
         ))
     }
 
@@ -411,19 +577,24 @@ mod tests {
     #[test]
     fn slot_handoff_roundtrip() {
         for tuning in both_tunings() {
-            let slot = slot(1, &tuning);
+            let sched = Arc::new(SchedHandle::new());
+            let source = GrantSource {
+                handle: &sched,
+                spin: tuning.handoff_spin,
+            };
+            let slot = slot(1, &tuning, &sched);
             let s2 = slot.clone();
             let h = std::thread::spawn(move || {
                 // First park, then run once, then finish.
                 assert!(s2.park_and_wait());
                 s2.mark_finished();
             });
-            slot.wait_until_parked_or_finished();
+            slot.wait_until_parked_or_finished(&source);
             assert!(slot.is_parked() || slot.is_finished());
-            assert!(slot.grant_and_wait());
+            assert!(slot.grant_and_wait(&source, NO_WORKER, 0, 0, false));
             assert!(slot.is_finished());
             // A second grant on a finished thread reports staleness.
-            assert!(!slot.grant_and_wait());
+            assert!(!slot.grant_and_wait(&source, NO_WORKER, 0, 0, false));
             h.join().unwrap();
         }
     }
@@ -431,14 +602,19 @@ mod tests {
     #[test]
     fn shutdown_releases_parked_thread() {
         for tuning in both_tunings() {
-            let slot = slot(2, &tuning);
+            let sched = Arc::new(SchedHandle::new());
+            let source = GrantSource {
+                handle: &sched,
+                spin: tuning.handoff_spin,
+            };
+            let slot = slot(2, &tuning, &sched);
             let s2 = slot.clone();
             let h = std::thread::spawn(move || {
                 let resumed = s2.park_and_wait();
                 assert!(!resumed);
                 s2.mark_finished();
             });
-            slot.wait_until_parked_or_finished();
+            slot.wait_until_parked_or_finished(&source);
             slot.request_shutdown();
             h.join().unwrap();
             assert!(slot.is_finished());
@@ -448,7 +624,12 @@ mod tests {
     #[test]
     fn many_handoffs_roundtrip_quickly() {
         for tuning in both_tunings() {
-            let slot = slot(3, &tuning);
+            let sched = Arc::new(SchedHandle::new());
+            let source = GrantSource {
+                handle: &sched,
+                spin: tuning.handoff_spin,
+            };
+            let slot = slot(3, &tuning, &sched);
             let s2 = slot.clone();
             let h = std::thread::spawn(move || {
                 for _ in 0..10_000 {
@@ -458,13 +639,22 @@ mod tests {
                 }
                 s2.mark_finished();
             });
-            for _ in 0..10_000 {
-                slot.wait_until_parked_or_finished();
-                assert!(slot.grant_and_wait());
+            for seq in 0..10_000 {
+                assert!(slot.grant_and_wait(&source, NO_WORKER, 0, seq, false));
             }
             slot.request_shutdown();
-            let _ = slot.grant_and_wait();
+            let _ = slot.grant_and_wait(&source, NO_WORKER, 0, 10_000, false);
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn shard_key_is_updatable() {
+        let tuning = SimTuning::default();
+        let sched = Arc::new(SchedHandle::new());
+        let slot = slot(7, &tuning, &sched);
+        assert_eq!(slot.shard_key(), 7);
+        slot.set_shard_key(2);
+        assert_eq!(slot.shard_key(), 2);
     }
 }

@@ -11,27 +11,40 @@
 //! ([`SimHandle::park`] → `ThreadSlot`), so wait sets automatically inherit
 //! whichever hand-off implementation the engine was configured with
 //! ([`crate::SimTuning`]); nothing here depends on the baton's mechanics.
-
-use std::collections::VecDeque;
+//!
+//! Waiters are ordered by a *canonical key* — the global sequence number of
+//! the event whose execution registered them (plus an emission index within
+//! that event) — rather than by wall-clock registration order. With one
+//! scheduler worker the two orders coincide (events execute in sequence
+//! order), so this is exactly the historical FIFO; with several workers the
+//! canonical key keeps the pop order a pure function of the event order even
+//! when same-instant registrations race across workers.
 
 use parking_lot::Mutex;
 
-use crate::engine::EngineCtl;
+use crate::engine::{next_order_key, EngineCtl};
 use crate::handle::SimHandle;
 use crate::thread::ThreadId;
 use crate::time::SimDuration;
 
-/// A FIFO set of blocked simulated threads.
+/// A set of blocked simulated threads, FIFO in canonical event order.
 #[derive(Default)]
 pub struct WaitSet {
-    waiters: Mutex<VecDeque<ThreadId>>,
+    /// Waiters keyed by `(parent event time, parent event seq, emission
+    /// index)` — the engine's execution order — kept sorted ascending (keys
+    /// are unique). The waiter's shard key is captured at registration so
+    /// wake-ups skip the engine's thread-table lookup (a parked thread
+    /// cannot migrate, so the key cannot go stale while registered).
+    waiters: Mutex<Vec<(OrderKey, ThreadId, u64)>>,
 }
+
+type OrderKey = (u64, u64, u64);
 
 impl WaitSet {
     /// Creates an empty wait set.
     pub fn new() -> Self {
         WaitSet {
-            waiters: Mutex::new(VecDeque::new()),
+            waiters: Mutex::new(Vec::new()),
         }
     }
 
@@ -48,31 +61,44 @@ impl WaitSet {
     /// Register the calling thread as a waiter. Must be followed by
     /// [`SimHandle::park`] inside a condition re-check loop.
     pub fn register(&self, handle: &SimHandle) {
-        self.waiters.lock().push_back(handle.id());
+        let key = next_order_key();
+        let mut waiters = self.waiters.lock();
+        let at = waiters.partition_point(|(k, _, _)| *k < key);
+        waiters.insert(at, (key, handle.id(), handle.shard()));
     }
 
     /// Remove the calling thread from the set (used when a waiter gives up,
     /// e.g. after its condition became true through another path).
     pub fn deregister(&self, handle: &SimHandle) {
-        self.waiters.lock().retain(|&t| t != handle.id());
+        self.waiters.lock().retain(|&(_, t, _)| t != handle.id());
     }
 
-    /// Wake the oldest waiter (if any) after `delay`, removing it from the set.
-    /// Returns the thread that was woken.
+    /// Wake the canonically oldest waiter (if any) after `delay`, removing
+    /// it from the set. Returns the thread that was woken.
     pub fn notify_one(&self, ctl: &EngineCtl, delay: SimDuration) -> Option<ThreadId> {
-        let tid = self.waiters.lock().pop_front();
-        if let Some(tid) = tid {
-            ctl.wake_after(tid, delay);
+        let woken = {
+            let mut waiters = self.waiters.lock();
+            if waiters.is_empty() {
+                None
+            } else {
+                let (_, tid, shard) = waiters.remove(0);
+                Some((tid, shard))
+            }
+        };
+        if let Some((tid, shard)) = woken {
+            let at = ctl.now() + delay;
+            ctl.shared.schedule_wake_keyed(tid, at, shard);
         }
-        tid
+        woken.map(|(tid, _)| tid)
     }
 
     /// Wake every registered waiter after `delay`, clearing the set.
     /// Returns the number of threads woken.
     pub fn notify_all(&self, ctl: &EngineCtl, delay: SimDuration) -> usize {
-        let drained: Vec<ThreadId> = self.waiters.lock().drain(..).collect();
-        for &tid in &drained {
-            ctl.wake_after(tid, delay);
+        let drained: Vec<(OrderKey, ThreadId, u64)> = std::mem::take(&mut *self.waiters.lock());
+        let at = ctl.now() + delay;
+        for &(_, tid, shard) in &drained {
+            ctl.shared.schedule_wake_keyed(tid, at, shard);
         }
         drained.len()
     }
@@ -186,6 +212,37 @@ mod tests {
 
         engine.run().unwrap();
         assert_eq!(order.lock().clone(), vec!["woken-for-real"]);
+    }
+
+    #[test]
+    fn registration_order_follows_execution_order_across_instants() {
+        // "late" is spawned first (its wake event gets the lower sequence
+        // number) but sleeps longer, so "early" registers first in execution
+        // order. notify_one must wake "early" — the historical wall-clock
+        // FIFO — not the thread with the smaller event sequence number.
+        let mut engine = Engine::new();
+        let ws = Arc::new(WaitSet::new());
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for (name, sleep_us) in [("late", 100u64), ("early", 50)] {
+            let ws = ws.clone();
+            let order = order.clone();
+            engine.spawn(name, move |h| {
+                h.sleep(SimDuration::from_micros(sleep_us));
+                ws.register(h);
+                h.park();
+                ws.deregister(h);
+                order.lock().push(name);
+            });
+        }
+        let ws2 = ws.clone();
+        engine.spawn("notifier", move |h| {
+            h.sleep(SimDuration::from_micros(200));
+            ws2.notify_one(&h.ctl(), SimDuration::ZERO);
+            h.sleep(SimDuration::from_micros(10));
+            ws2.notify_one(&h.ctl(), SimDuration::ZERO);
+        });
+        engine.run().unwrap();
+        assert_eq!(order.lock().clone(), vec!["early", "late"]);
     }
 
     #[test]

@@ -76,6 +76,9 @@ pub struct JacobiResult {
     /// Wire-level transport statistics (NIC stalls, drops, retransmits):
     /// what the transport ablation compares across backends.
     pub wire: WireStatsSnapshot,
+    /// Engine-level run report (events processed, context switches,
+    /// parallel scheduler rounds): what the `engine_scaling` bench reads.
+    pub engine: dsmpm2_sim::RunReport,
 }
 
 fn cell_addr(base: DsmAddr, size: usize, row: usize, col: usize) -> DsmAddr {
@@ -174,7 +177,7 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
     }
 
     let mut engine = engine;
-    engine.run().expect("jacobi must not deadlock");
+    let report = engine.run().expect("jacobi must not deadlock");
     let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
     let checksum = *checksum.lock();
     let final_cells = std::mem::take(&mut *final_cells.lock());
@@ -185,6 +188,7 @@ pub fn run_jacobi(config: &JacobiConfig, protocol_name: &str) -> JacobiResult {
         stats: rt.stats().snapshot(),
         wire_messages: rt.cluster().network().stats().messages(),
         wire: rt.cluster().network().wire_stats(),
+        engine: report,
     }
 }
 

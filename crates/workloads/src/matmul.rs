@@ -72,6 +72,9 @@ pub struct MatmulResult {
     /// Wire-level transport statistics (NIC stalls, drops, retransmits):
     /// what the transport ablation compares across backends.
     pub wire: WireStatsSnapshot,
+    /// Engine-level run report (events processed, context switches,
+    /// parallel scheduler rounds): what the `engine_scaling` bench reads.
+    pub engine: dsmpm2_sim::RunReport,
 }
 
 /// Deterministic input entry of `A`.
@@ -187,7 +190,7 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
     }
 
     let mut engine = engine;
-    engine.run().expect("matmul must not deadlock");
+    let report = engine.run().expect("matmul must not deadlock");
     let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
     let checksum = *checksum.lock();
     let final_cells = std::mem::take(&mut *final_cells.lock());
@@ -198,6 +201,7 @@ pub fn run_matmul(config: &MatmulConfig, protocol_name: &str) -> MatmulResult {
         stats: rt.stats().snapshot(),
         wire_messages: rt.cluster().network().stats().messages(),
         wire: rt.cluster().network().wire_stats(),
+        engine: report,
     }
 }
 

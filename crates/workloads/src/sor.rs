@@ -78,6 +78,9 @@ pub struct SorResult {
     /// Wire-level transport statistics (NIC stalls, drops, retransmits):
     /// what the transport ablation compares across backends.
     pub wire: WireStatsSnapshot,
+    /// Engine-level run report (events processed, context switches,
+    /// parallel scheduler rounds): what the `engine_scaling` bench reads.
+    pub engine: dsmpm2_sim::RunReport,
 }
 
 fn initial(size: usize, row: usize, col: usize) -> f64 {
@@ -205,7 +208,7 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
     }
 
     let mut engine = engine;
-    engine.run().expect("sor must not deadlock");
+    let report = engine.run().expect("sor must not deadlock");
     let elapsed = finish.lock().iter().copied().max().unwrap_or(SimTime::ZERO);
     let checksum = *checksum.lock();
     let final_cells = std::mem::take(&mut *final_cells.lock());
@@ -216,6 +219,7 @@ pub fn run_sor(config: &SorConfig, protocol_name: &str) -> SorResult {
         stats: rt.stats().snapshot(),
         wire_messages: rt.cluster().network().stats().messages(),
         wire: rt.cluster().network().wire_stats(),
+        engine: report,
     }
 }
 

@@ -471,6 +471,86 @@ fn conformance_matrix_under_legacy_condvar_handoff() {
     }
 }
 
+/// The matrix across scheduler worker counts: every protocol × workload ×
+/// node-count cell runs on the 1-, 2- and 4-worker engine, and the 2- and
+/// 4-worker runs must be bit-identical to the 1-worker run — final shared
+/// memory AND virtual completion time. This is the safety net of the PR 5
+/// multi-worker engine: sharding the event queue and executing same-instant
+/// events of different nodes in parallel must never change what the
+/// simulation computes, only how fast the host computes it.
+#[test]
+fn conformance_matrix_across_worker_counts() {
+    let jacobi = |nodes: usize, sim: SimTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning: scale_out_tuning(),
+        sim,
+        transport: TransportTuning::default(),
+    };
+    let sor = |nodes: usize, sim: SimTuning| SorConfig {
+        size: 16,
+        iterations: 2,
+        omega: 1.25,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning: scale_out_tuning(),
+        sim,
+        transport: TransportTuning::default(),
+    };
+    let matmul = |nodes: usize, sim: SimTuning| MatmulConfig {
+        n: 8,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_madd_us: 0.01,
+        tuning: scale_out_tuning(),
+        sim,
+        transport: TransportTuning::default(),
+    };
+    let one = |w: usize| SimTuning::default().with_workers(w);
+    for proto in MATRIX_PROTOCOLS {
+        for nodes in [2usize, 4] {
+            let base_j = run_jacobi(&jacobi(nodes, one(1)), proto);
+            let base_s = run_sor(&sor(nodes, one(1)), proto);
+            let base_m = run_matmul(&matmul(nodes, one(1)), proto);
+            for workers in [2usize, 4] {
+                let r = run_jacobi(&jacobi(nodes, one(workers)), proto);
+                assert_eq!(
+                    r.final_cells, base_j.final_cells,
+                    "jacobi memory diverged at {workers} workers under {proto} x {nodes} nodes"
+                );
+                assert_eq!(
+                    r.elapsed, base_j.elapsed,
+                    "jacobi virtual time diverged at {workers} workers under {proto} x {nodes} nodes"
+                );
+
+                let r = run_sor(&sor(nodes, one(workers)), proto);
+                assert_eq!(
+                    r.final_cells, base_s.final_cells,
+                    "sor memory diverged at {workers} workers under {proto} x {nodes} nodes"
+                );
+                assert_eq!(
+                    r.elapsed, base_s.elapsed,
+                    "sor virtual time diverged at {workers} workers under {proto} x {nodes} nodes"
+                );
+
+                let r = run_matmul(&matmul(nodes, one(workers)), proto);
+                assert_eq!(
+                    r.final_cells, base_m.final_cells,
+                    "matmul memory diverged at {workers} workers under {proto} x {nodes} nodes"
+                );
+                assert_eq!(
+                    r.elapsed, base_m.elapsed,
+                    "matmul virtual time diverged at {workers} workers under {proto} x {nodes} nodes"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn conformance_matrix_matmul() {
     let config = |nodes: usize, tuning: DsmTuning| MatmulConfig {

@@ -1,0 +1,159 @@
+//! Property test of the multi-worker engine's canonical effect merge.
+//!
+//! Each sampled case is a random cross-shard program on the raw simulation
+//! engine: threads pinned to distinct shards run schedules of sleeps whose
+//! durations *collide on purpose* (everything is a multiple of a few
+//! microseconds, so many events share an instant), and at sampled points
+//! they send messages to other shards' channels, wake other shards' threads
+//! and spawn children. The observable record — per-receiver message
+//! sequences with their arrival times, per-thread wake times, and the run's
+//! final virtual time — must be bit-identical whether the program runs on
+//! one worker (the historical serial engine), two, or four: the canonical
+//! `(parent event seq, emission index)` merge makes the global event order a
+//! pure function of the program, independent of how the instant's events
+//! were interleaved across worker OS threads.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+use dsm_pm2::sim::{
+    channel_on, Engine, EngineConfig, SimDuration, SimReceiver, SimSender, SimTuning,
+};
+
+const SHARDS: u64 = 4;
+
+/// One sampled step of a thread's schedule: (sleep slot multiplier 0..4,
+/// action selector). Action: 0‑2 → send `(shard, step)` to channel
+/// `(shard + 1 + sel) % SHARDS`; 3 → wake the next shard's thread; 4 → spawn
+/// a child that sleeps one slot and sends one message home; 5+ → no action,
+/// just the sleep.
+type Step = (u64, u8);
+
+/// The per-shard observation record: (messages in arrival order with their
+/// arrival times, wake times of the shard's main thread).
+type ShardLog = (Vec<((u64, u64), u64)>, Vec<u64>);
+
+fn run(programs: &[Vec<Step>], workers: usize) -> (Vec<ShardLog>, u64, u64) {
+    let mut engine = Engine::with_config(EngineConfig {
+        tuning: SimTuning::default().with_workers(workers),
+        ..EngineConfig::default()
+    });
+    let ctl = engine.ctl();
+
+    // One channel per shard, receivers pinned to the channel's shard.
+    let mut senders: Vec<SimSender<(u64, u64)>> = Vec::new();
+    let mut receivers: Vec<Option<SimReceiver<(u64, u64)>>> = Vec::new();
+    for shard in 0..SHARDS {
+        let (tx, rx) = channel_on::<(u64, u64)>(ctl.clone(), shard);
+        senders.push(tx);
+        receivers.push(Some(rx));
+    }
+
+    // Count the messages each shard will receive so its receiver can stop.
+    let mut expected = vec![0usize; SHARDS as usize];
+    for (shard, program) in programs.iter().enumerate() {
+        for &(_, sel) in program {
+            match sel {
+                0..=2 => {
+                    let to = (shard as u64 + 1 + u64::from(sel)) % SHARDS;
+                    expected[to as usize] += 1;
+                }
+                4 => expected[shard] += 1, // the spawned child sends home
+                _ => {}
+            }
+        }
+    }
+
+    let logs: Vec<Arc<Mutex<ShardLog>>> = (0..SHARDS)
+        .map(|_| Arc::new(Mutex::new((Vec::new(), Vec::new()))))
+        .collect();
+
+    // Receivers, one per shard, on the shard.
+    for shard in 0..SHARDS as usize {
+        let rx = receivers[shard].take().expect("receiver exists");
+        let log = logs[shard].clone();
+        let count = expected[shard];
+        engine.spawn_on(shard as u64, format!("rx{shard}"), move |h| {
+            for _ in 0..count {
+                let msg = rx.recv(h);
+                log.lock().0.push((msg, h.now().as_nanos()));
+            }
+        });
+    }
+
+    // Main thread of each shard, plus a tid registry so wake actions can
+    // target the *next* shard's main thread (all registrations complete
+    // during setup, before the engine runs).
+    let tids: Arc<Mutex<Vec<Option<dsm_pm2::sim::ThreadId>>>> =
+        Arc::new(Mutex::new(vec![None; SHARDS as usize]));
+    for (shard, program) in programs.iter().enumerate() {
+        let program = program.clone();
+        let log = logs[shard].clone();
+        let ctl2 = ctl.clone();
+        let tids2 = Arc::clone(&tids);
+        let senders = senders.clone();
+        let tid = engine.spawn_on(shard as u64, format!("main{shard}"), move |h| {
+            for (step, &(slot, sel)) in program.iter().enumerate() {
+                // Colliding sleep quanta: many same-instant events.
+                h.sleep(SimDuration::from_micros(5 * (slot + 1)));
+                log.lock().1.push(h.now().as_nanos());
+                match sel {
+                    0..=2 => {
+                        let to = (shard as u64 + 1 + u64::from(sel)) % SHARDS;
+                        senders[to as usize].send_delayed(
+                            h,
+                            (shard as u64, step as u64),
+                            SimDuration::from_micros(5),
+                        );
+                    }
+                    3 => {
+                        let target = (shard + 1) % SHARDS as usize;
+                        if let Some(tid) = tids2.lock()[target] {
+                            ctl2.wake_at(tid, h.now());
+                        }
+                    }
+                    4 => {
+                        let tx = senders[shard].clone();
+                        h.spawn(format!("child{shard}-{step}"), move |h| {
+                            h.sleep(SimDuration::from_micros(5));
+                            tx.send(h, (u64::MAX, u64::MAX));
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        });
+        tids.lock()[shard] = Some(tid);
+    }
+
+    let report = engine.run().expect("program must terminate");
+    let logs = logs.iter().map(|l| l.lock().clone()).collect();
+    (logs, report.final_time.as_nanos(), report.threads_spawned)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// The canonical merge order is independent of worker execution order:
+    /// 1-, 2- and 4-worker runs of the same cross-shard program observe
+    /// identical message orders, arrival times, wake times and final time.
+    #[test]
+    fn canonical_merge_is_independent_of_worker_count(
+        programs in proptest::collection::vec(
+            proptest::collection::vec((0u64..4, 0u8..8), 1..12),
+            SHARDS as usize..(SHARDS as usize + 1),
+        ),
+    ) {
+        let (logs1, t1, n1) = run(&programs, 1);
+        for workers in [2usize, 4] {
+            let (logs, t, n) = run(&programs, workers);
+            prop_assert_eq!(
+                &logs, &logs1,
+                "observations diverged between 1 and {} workers", workers
+            );
+            prop_assert_eq!(t, t1, "final time diverged at {} workers", workers);
+            prop_assert_eq!(n, n1, "spawn count diverged at {} workers", workers);
+        }
+    }
+}

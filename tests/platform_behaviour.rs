@@ -185,18 +185,23 @@ fn post_mortem_monitor_reports_elementary_functions() {
     assert!(rendered.contains("dsm_page_fault"));
 }
 
-/// Regression (PR 3): a user-code panic while the thread holds the scheduler
-/// baton — mid-critical-section, with three other nodes blocked on the same
-/// lock and coherence traffic in flight — must surface as the run's error
-/// (carrying the panic message), release every other thread, and never hang,
-/// under both baton implementations.
+/// Regression (PR 3, extended to the PR 5 worker pool): a user-code panic
+/// while the thread holds the scheduler baton — mid-critical-section, with
+/// three other nodes blocked on the same lock and coherence traffic in
+/// flight — must surface as the run's error (carrying the panic message),
+/// release every other thread, join every scheduler worker, and never hang,
+/// under both baton implementations and with the 4-worker engine.
 #[test]
 fn panic_mid_critical_section_reclaims_baton_under_both_handoffs() {
     use dsm_pm2::core::{DsmAttr, DsmRuntime, HomePolicy};
     use dsm_pm2::pm2::{EngineConfig, SimError, SimTuning};
     use dsm_pm2::prelude::*;
 
-    for sim in [SimTuning::default(), SimTuning::legacy()] {
+    for sim in [
+        SimTuning::default(),
+        SimTuning::legacy(),
+        SimTuning::default().with_workers(4),
+    ] {
         let engine = Engine::with_config(EngineConfig {
             tuning: sim,
             ..EngineConfig::default()
@@ -261,6 +266,40 @@ fn scheduler_call_panic_is_reported_and_torn_down() {
         Err(SimError::ThreadPanic { thread, message }) => {
             assert_eq!(thread, "scheduler-call");
             assert!(message.contains("intentional scheduler-call panic"));
+        }
+        other => panic!("expected scheduler-call panic error, got {other:?}"),
+    }
+}
+
+/// The PR 3 scheduler-call panic regression on the PR 5 worker pool: the
+/// panicking callback fires at an instant where all four shards have events,
+/// so it executes *on a worker*, mid-parallel-round. The panic must become
+/// the run's error, all workers must be joined and every simulated thread
+/// torn down — reaching the match arm is the no-hang assertion.
+#[test]
+fn scheduler_call_panic_mid_parallel_round_is_reported_and_torn_down() {
+    use dsm_pm2::sim::{Engine, EngineConfig, SimDuration, SimError, SimTime, SimTuning};
+
+    let mut engine = Engine::with_config(EngineConfig {
+        tuning: SimTuning::default().with_workers(4),
+        ..EngineConfig::default()
+    });
+    let ctl = engine.ctl();
+    for shard in 0..4u64 {
+        engine.spawn_on(shard, format!("sleeper{shard}"), |h| {
+            // Every shard has a wake at t = 10us, making that instant a
+            // parallel round; the panicking call below joins it on shard 2.
+            h.sleep(SimDuration::from_micros(10));
+            h.sleep(SimDuration::from_micros(500));
+        });
+    }
+    ctl.call_at_on(2, SimTime::from_micros(10), |_| {
+        panic!("intentional mid-round scheduler-call panic");
+    });
+    match engine.run() {
+        Err(SimError::ThreadPanic { thread, message }) => {
+            assert_eq!(thread, "scheduler-call");
+            assert!(message.contains("intentional mid-round scheduler-call panic"));
         }
         other => panic!("expected scheduler-call panic error, got {other:?}"),
     }

@@ -5,11 +5,16 @@
 //! / `criterion_main!` macros and `black_box`) with simple wall-clock timing:
 //! each benchmark runs `sample_size` samples after one warm-up pass and
 //! reports the **median** per-iteration time with its **median absolute
-//! deviation** (a robust noise estimate), plus the mean and min. No plots or
-//! baselines — the point is that `cargo bench` compiles, runs and prints
-//! comparable numbers *with an error bar* offline. Respects
-//! `--bench <filter>`-style positional filters by substring match on the
-//! benchmark id.
+//! deviation** (a robust noise estimate), plus the mean and min. No plots —
+//! the point is that `cargo bench` compiles, runs and prints comparable
+//! numbers *with an error bar* offline. Respects `--bench <filter>`-style
+//! positional filters by substring match on the benchmark id.
+//!
+//! **Baselines**: the first run of a benchmark writes its median to
+//! `results/criterion/<id>.json`; subsequent runs print the delta versus
+//! the stored median next to the fresh numbers. The stored baseline is
+//! informational (the `compare` binary owns the hard CI gates); refresh it
+//! with `DSMPM2_BENCH_UPDATE_BASELINES=1 cargo bench`.
 
 use std::hint;
 use std::time::{Duration, Instant};
@@ -178,15 +183,105 @@ impl BenchmarkGroup<'_> {
 
 fn report(id: &str, samples: usize, result: Option<SampleStats>) {
     match result {
-        Some(stats) => println!(
-            "bench {id:<60} median {:>12} ± {:>10} mean {:>12} min {:>12} \
-             ({samples} samples, 1 warmup)",
-            format_duration(stats.median),
-            format_duration(stats.mad),
-            format_duration(stats.mean),
-            format_duration(stats.min),
-        ),
+        Some(stats) => {
+            let delta = baseline::compare_and_store(id, stats.median);
+            println!(
+                "bench {id:<60} median {:>12} ± {:>10} mean {:>12} min {:>12} \
+                 ({samples} samples, 1 warmup){delta}",
+                format_duration(stats.median),
+                format_duration(stats.mad),
+                format_duration(stats.mean),
+                format_duration(stats.min),
+            );
+        }
         None => println!("bench {id:<60} (no measurement: iter() never called)"),
+    }
+}
+
+/// Persisted per-bench baselines under `results/criterion/`.
+mod baseline {
+    use std::path::PathBuf;
+    use std::time::Duration;
+
+    /// The workspace root: `cargo bench` sets the working directory to the
+    /// *package* (e.g. `crates/bench`), while the harness binaries run from
+    /// the workspace root — anchor on the nearest ancestor holding a
+    /// `Cargo.lock` so both agree on one `results/criterion/` tree.
+    fn results_root() -> PathBuf {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        let mut dir = cwd.clone();
+        loop {
+            if dir.join("Cargo.lock").exists() {
+                return dir;
+            }
+            if !dir.pop() {
+                return cwd;
+            }
+        }
+    }
+
+    fn path_for(root: &std::path::Path, id: &str) -> PathBuf {
+        let sanitized: String = id
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        root.join("results")
+            .join("criterion")
+            .join(format!("{sanitized}.json"))
+    }
+
+    /// Minimal hand-rolled parse of the `{"median_ns": N}` baseline file
+    /// (the shim must not depend on the workspace's serde shim).
+    fn read_median_ns(text: &str) -> Option<u128> {
+        let key = "\"median_ns\"";
+        let at = text.find(key)? + key.len();
+        let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+        let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+        digits.parse().ok()
+    }
+
+    /// Compare `median` against the stored baseline for `id`, storing the
+    /// fresh median when there is none yet (or when
+    /// `DSMPM2_BENCH_UPDATE_BASELINES` is set). Returns the suffix to
+    /// append to the report line.
+    pub(super) fn compare_and_store(id: &str, median: Duration) -> String {
+        compare_and_store_in(&results_root(), id, median)
+    }
+
+    /// Testable core of [`compare_and_store`]: the baseline tree root is
+    /// explicit, so tests never mutate the process-global working directory.
+    pub(super) fn compare_and_store_in(
+        root: &std::path::Path,
+        id: &str,
+        median: Duration,
+    ) -> String {
+        let path = path_for(root, id);
+        let update = std::env::var_os("DSMPM2_BENCH_UPDATE_BASELINES").is_some();
+        let stored = std::fs::read_to_string(&path)
+            .ok()
+            .as_deref()
+            .and_then(read_median_ns);
+        match stored {
+            Some(base_ns) if !update => {
+                let base = base_ns.max(1) as f64;
+                let delta = (median.as_nanos() as f64 - base) / base * 100.0;
+                format!(" [{delta:+.1}% vs stored median]")
+            }
+            _ => {
+                if let Some(dir) = path.parent() {
+                    let _ = std::fs::create_dir_all(dir);
+                }
+                let json = format!(
+                    "{{\n  \"id\": \"{}\",\n  \"median_ns\": {}\n}}\n",
+                    id.replace('"', "'"),
+                    median.as_nanos()
+                );
+                match std::fs::write(&path, json) {
+                    Ok(()) => " [baseline stored]".to_string(),
+                    Err(_) => String::new(),
+                }
+            }
+        }
     }
 }
 
@@ -315,5 +410,22 @@ mod tests {
     fn benchmark_id_formats() {
         assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn baseline_roundtrip_and_delta() {
+        // First call stores, second call reports a delta against the stored
+        // median. An explicit temp root keeps the repo's results/ tree (and
+        // the process working directory) untouched.
+        let dir =
+            std::env::temp_dir().join(format!("criterion-shim-baseline-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let stored =
+            baseline::compare_and_store_in(&dir, "unit/test-bench", Duration::from_micros(100));
+        let delta =
+            baseline::compare_and_store_in(&dir, "unit/test-bench", Duration::from_micros(150));
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(stored, " [baseline stored]");
+        assert!(delta.contains("+50.0%"), "got '{delta}'");
     }
 }
