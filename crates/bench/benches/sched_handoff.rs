@@ -1,9 +1,9 @@
-//! Criterion bench for the scheduler baton hand-off: wall-clock cost of a
-//! simulated step (one event pop + one baton grant + one baton return)
-//! under the futex-style and the legacy Condvar implementations.
+//! Criterion bench for the scheduler hand-off: wall-clock cost of a
+//! simulated step (one event pop + one grant + one return) under the
+//! continuation, futex-baton and legacy-Condvar substrates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsmpm2_sim::{Engine, EngineConfig, SimTuning};
+use dsmpm2_sim::{Engine, EngineConfig, HandoffMode, SimTuning};
 
 fn run_steps(tuning: SimTuning, steps: u64) -> u64 {
     let mut engine = Engine::with_config(EngineConfig {
@@ -22,7 +22,11 @@ fn bench_handoff(c: &mut Criterion) {
     let mut group = c.benchmark_group("sched_handoff");
     group.sample_size(10);
     for (label, tuning) in [
-        ("futex", SimTuning::default()),
+        (
+            "continuation",
+            SimTuning::default().with_handoff(HandoffMode::Continuation),
+        ),
+        ("futex", SimTuning::baton()),
         ("legacy_condvar", SimTuning::legacy()),
     ] {
         group.bench_with_input(

@@ -1,13 +1,17 @@
-//! `sched_handoff` — wall-clock microbenchmark of the scheduler baton.
+//! `sched_handoff` — wall-clock microbenchmark of the scheduler hand-off.
 //!
 //! Measures the real (not virtual) cost of one simulated step under the
-//! futex-style baton and under the legacy Mutex+Condvar baton, prints the
-//! comparison, and records it machine-readably:
+//! three hand-off substrates — continuation (the slice runs as a coroutine
+//! on the scheduler's own OS thread), futex-style OS-thread baton, legacy
+//! Mutex+Condvar baton — prints the comparison, and records it
+//! machine-readably:
 //!
 //! * `results/sched_handoff.json` — like every other harness binary;
-//! * `BENCH_pr3.json` (working directory, next to `BENCH_seed.json`) — the
-//!   baseline the `compare` gate reads to enforce the hand-off envelope
-//!   (futex must stay ≥2× faster than the Condvar baton).
+//! * `BENCH_pr6.json` (working directory, next to `BENCH_seed.json`) — the
+//!   baseline the `compare` gate reads for context while enforcing the two
+//!   hand-off envelopes (continuation ≥10× faster than the futex baton,
+//!   futex ≥2× faster than the Condvar baton). `BENCH_pr3.json` is the
+//!   PR 3-era record of the futex-vs-Condvar numbers and is left untouched.
 //!
 //! Usage: `sched_handoff [--quick]`.
 
@@ -15,7 +19,7 @@ use dsmpm2_bench::{markdown_table, measure_handoff, write_json};
 use serde::Serialize;
 
 #[derive(Serialize)]
-struct Pr3Baseline {
+struct Pr6Baseline {
     sched_handoff: dsmpm2_bench::HandoffMeasurement,
 }
 
@@ -30,10 +34,15 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["Baton", "ns/step", "steps/s"],
+            &["Hand-off", "ns/step", "steps/s"],
             &[
                 vec![
-                    "futex (default)".into(),
+                    "continuation (default)".into(),
+                    format!("{:.0}", m.continuation_ns_per_step),
+                    format!("{:.0}", 1e9 / m.continuation_ns_per_step),
+                ],
+                vec![
+                    "futex baton".into(),
                     format!("{:.0}", m.futex_ns_per_step),
                     format!("{:.0}", 1e9 / m.futex_ns_per_step),
                 ],
@@ -46,18 +55,18 @@ fn main() {
         )
     );
     println!(
-        "Speed-up: {:.2}x fewer wall-clock ns/step with the futex baton.",
-        m.speedup
+        "Speed-ups: continuation {:.2}x over the futex baton; futex {:.2}x over Condvar.",
+        m.continuation_speedup, m.speedup
     );
 
     write_json("sched_handoff", &m);
-    let baseline = Pr3Baseline { sched_handoff: m };
+    let baseline = Pr6Baseline { sched_handoff: m };
     match serde_json::to_string_pretty(&baseline) {
         Ok(json) => {
-            if let Err(e) = std::fs::write("BENCH_pr3.json", json + "\n") {
-                eprintln!("warning: could not write BENCH_pr3.json: {e}");
+            if let Err(e) = std::fs::write("BENCH_pr6.json", json + "\n") {
+                eprintln!("warning: could not write BENCH_pr6.json: {e}");
             } else {
-                println!("\nRecorded baseline in BENCH_pr3.json.");
+                println!("\nRecorded baseline in BENCH_pr6.json.");
             }
         }
         Err(e) => eprintln!("warning: could not serialize baseline: {e}"),

@@ -1,29 +1,47 @@
-//! Wall-clock measurement of the scheduler/thread baton hand-off.
+//! Wall-clock measurement of the scheduler/thread hand-off.
 //!
 //! Unlike every other number in this harness, this one is *real* time, not
-//! virtual time: the baton is the simulator's own hot path (two OS-thread
-//! wake-ups per simulated step), so its cost is pure wall-clock overhead
+//! virtual time: the hand-off is the simulator's own hot path (one grant and
+//! one return per simulated step), so its cost is pure wall-clock overhead
 //! that scales every simulation. The measurement runs one simulated thread
 //! that yields `steps` times and divides the elapsed wall-clock time by the
-//! step count; each step is one event pop, one baton grant and one baton
-//! return.
+//! step count. Three substrates are measured: the continuation mode (the
+//! slice runs as a coroutine on the scheduler's own OS thread — two stack
+//! switches, no OS scheduling), the futex-style OS-thread baton (two futex
+//! wake-ups) and the legacy Mutex+Condvar baton.
 
 use std::time::Instant;
 
-use dsmpm2_sim::{Engine, EngineConfig, SimTuning};
+use dsmpm2_sim::{Engine, EngineConfig, HandoffMode, SimTuning};
 use serde::Serialize;
 
-/// Result of measuring both hand-off implementations.
+/// Result of measuring the hand-off substrates.
 #[derive(Clone, Debug, Serialize)]
 pub struct HandoffMeasurement {
     /// Simulated yield steps per trial.
     pub steps: u64,
+    /// Best-of-trials wall-clock nanoseconds per step, continuation mode.
+    pub continuation_ns_per_step: f64,
     /// Best-of-trials wall-clock nanoseconds per step, futex baton.
     pub futex_ns_per_step: f64,
     /// Best-of-trials wall-clock nanoseconds per step, legacy Condvar baton.
     pub condvar_ns_per_step: f64,
-    /// `condvar_ns_per_step / futex_ns_per_step`.
+    /// `condvar_ns_per_step / futex_ns_per_step` (the PR 3 envelope).
     pub speedup: f64,
+    /// `futex_ns_per_step / continuation_ns_per_step` (the PR 6 envelope:
+    /// how much cheaper a continuation grant is than an OS-thread baton).
+    pub continuation_speedup: f64,
+}
+
+/// The fixed tunings the harness measures, by mode name.
+pub fn tuning_for(mode: HandoffMode) -> SimTuning {
+    match mode {
+        // Pin modes explicitly: SimTuning::default() honours DSM_SIM_HANDOFF
+        // and the benchmark must not silently measure the same mode twice.
+        HandoffMode::Continuation => SimTuning::default().with_handoff(HandoffMode::Continuation),
+        HandoffMode::Baton => SimTuning::baton(),
+        HandoffMode::LegacyCondvar => SimTuning::legacy(),
+    }
 }
 
 /// Wall-clock ns/step of one hand-off implementation (best of `trials`).
@@ -49,17 +67,25 @@ pub fn measure_handoff_mode(tuning: SimTuning, steps: u64, trials: u32) -> f64 {
     best
 }
 
-/// Measure both hand-offs back to back (a warm-up trial of each runs first
-/// so neither pays first-touch costs).
+/// Measure all three hand-offs back to back (a warm-up trial of each runs
+/// first so none pays first-touch costs).
 pub fn measure_handoff(steps: u64, trials: u32) -> HandoffMeasurement {
-    measure_handoff_mode(SimTuning::default(), steps / 4, 1);
-    measure_handoff_mode(SimTuning::legacy(), steps / 4, 1);
-    let futex = measure_handoff_mode(SimTuning::default(), steps, trials);
-    let condvar = measure_handoff_mode(SimTuning::legacy(), steps, trials);
+    for mode in [
+        HandoffMode::Continuation,
+        HandoffMode::Baton,
+        HandoffMode::LegacyCondvar,
+    ] {
+        measure_handoff_mode(tuning_for(mode), steps / 4, 1);
+    }
+    let continuation = measure_handoff_mode(tuning_for(HandoffMode::Continuation), steps, trials);
+    let futex = measure_handoff_mode(tuning_for(HandoffMode::Baton), steps, trials);
+    let condvar = measure_handoff_mode(tuning_for(HandoffMode::LegacyCondvar), steps, trials);
     HandoffMeasurement {
         steps,
+        continuation_ns_per_step: continuation,
         futex_ns_per_step: futex,
         condvar_ns_per_step: condvar,
         speedup: condvar / futex,
+        continuation_speedup: futex / continuation,
     }
 }

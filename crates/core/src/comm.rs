@@ -15,7 +15,7 @@
 
 use dsmpm2_madeleine::{NodeId, CONTROL_MESSAGE_BYTES};
 use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcReply, RpcRequestCtx};
-use dsmpm2_sim::{EngineCtl, SimDuration, SimHandle, SimTime, TickOutbox};
+use dsmpm2_sim::{BlockReason, EngineCtl, SimDuration, SimHandle, SimTime, TickOutbox};
 
 use crate::ctx::{DsmThreadCtx, ServerCtx};
 use crate::diff::PageDiff;
@@ -168,7 +168,9 @@ pub(crate) fn register_dsm_services(rt: &DsmRuntime) {
             let state_for_wait = state.clone();
             state
                 .waiters
-                .wait_until(rpc.sim, || state_for_wait.round.lock().1 != my_round);
+                .wait_until_why(rpc.sim, BlockReason::Barrier, || {
+                    state_for_wait.round.lock().1 != my_round
+                });
         }
         Some(RpcReply::control(()))
     }));

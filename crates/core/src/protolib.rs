@@ -8,7 +8,7 @@
 //! hybrid protocols are written almost entirely in terms of these routines.
 
 use dsmpm2_madeleine::NodeId;
-use dsmpm2_sim::SimHandle;
+use dsmpm2_sim::{BlockReason, SimHandle};
 
 use crate::ctx::DsmThreadCtx;
 use crate::msg::{Invalidation, PageRequest, PageTransfer};
@@ -67,7 +67,7 @@ pub fn request_page_and_wait(
             waiters.deregister(sim);
             return;
         }
-        sim.park();
+        sim.park_with(BlockReason::PageFault);
         waiters.deregister(sim);
     }
 }
@@ -98,7 +98,7 @@ pub fn defer_while_fetching(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, 
         return;
     }
     let waiters = table.waiters(page);
-    waiters.wait_until(sim, || {
+    waiters.wait_until_why(sim, BlockReason::PageFault, || {
         table.read(page, |e| !e.pending_fetch || e.fetch_seq != fetch_seq)
     });
     // Yield for a short re-dispatch delay so the local threads woken by the
@@ -246,7 +246,7 @@ pub fn forward_request(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: 
             }
             let own_admission = queue_tail == Some(req.requester);
             if queue_tail.is_some() && !own_admission {
-                waiters.wait_until(sim, || {
+                waiters.wait_until_why(sim, BlockReason::PageFault, || {
                     table.read(page, |e| {
                         e.owned || e.queue_tail.is_none() || e.queue_tail == Some(req.requester)
                     })
@@ -257,7 +257,7 @@ pub fn forward_request(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: 
                 // Record is stale (points at this non-owning node) or at the
                 // requester's own unfinished acquisition: wait for fresher
                 // ownership information.
-                waiters.wait_until(sim, || {
+                waiters.wait_until_why(sim, BlockReason::PageFault, || {
                     table.read(page, |e| {
                         e.owned
                             || (e.prob_owner != node
@@ -340,7 +340,9 @@ pub fn send_copyset_invalidations(
 pub fn await_invalidation_acks(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, page: PageId) {
     let table = rt.page_table(node);
     let waiters = table.waiters(page);
-    waiters.wait_until(sim, || table.read(page, |e| e.pending_acks == 0));
+    waiters.wait_until_why(sim, BlockReason::Ack, || {
+        table.read(page, |e| e.pending_acks == 0)
+    });
 }
 
 /// Apply an invalidation locally: drop the local copy and all rights, update
@@ -500,7 +502,9 @@ pub fn flush_diffs_to_homes(
     }
     for page in waiting_pages {
         let waiters = table.waiters(page);
-        waiters.wait_until(sim, || table.read(page, |e| e.pending_acks == 0));
+        waiters.wait_until_why(sim, BlockReason::Ack, || {
+            table.read(page, |e| e.pending_acks == 0)
+        });
     }
 }
 

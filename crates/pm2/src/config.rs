@@ -110,9 +110,13 @@ pub struct Pm2Config {
     pub costs: Pm2Costs,
     /// DSM-layer tuning knobs (page-table sharding, message batching).
     pub dsm: DsmTuning,
-    /// Simulation-engine tuning knobs (scheduler baton hand-off). Consumers
-    /// that build their own [`dsmpm2_sim::Engine`] should construct it with
-    /// these (the workload runners do); the default is the futex hand-off.
+    /// Simulation-engine tuning knobs (hand-off substrate, spin budget,
+    /// scheduler workers). Consumers that build their own
+    /// [`dsmpm2_sim::Engine`] should construct it with these (the workload
+    /// runners do). The default hand-off is the continuation mode, overridable
+    /// process-wide with `DSM_SIM_HANDOFF=continuation|baton|legacy` — the
+    /// default [`SimTuning`] reads that variable, so it flows through this
+    /// field into every workload config without further plumbing.
     pub sim: SimTuning,
     /// Transport-layer tuning knobs (wire-level backend selection): the
     /// default is the `Ideal` uncontended pipe of the paper's cost model.
@@ -192,11 +196,15 @@ mod tests {
 
     #[test]
     fn sim_tuning_flows_into_engine_config() {
-        let config = Pm2Config::bip_myrinet(2);
-        assert!(!config.sim.legacy_condvar_handoff);
+        use dsmpm2_sim::HandoffMode;
         let legacy = Pm2Config::bip_myrinet(2).with_sim_tuning(SimTuning::legacy());
-        assert!(legacy.sim.legacy_condvar_handoff);
-        assert!(legacy.engine_config().tuning.legacy_condvar_handoff);
+        assert_eq!(legacy.sim.handoff, HandoffMode::LegacyCondvar);
+        assert_eq!(
+            legacy.engine_config().tuning.handoff,
+            HandoffMode::LegacyCondvar
+        );
+        let baton = Pm2Config::bip_myrinet(2).with_sim_tuning(SimTuning::baton());
+        assert_eq!(baton.engine_config().tuning.handoff, HandoffMode::Baton);
     }
 
     #[test]

@@ -43,4 +43,7 @@ pub use dsmpm2_madeleine::{
     profiles, LossyConfig, NetworkModel, NodeId, Topology, TransportBackend, TransportTuning,
     WireStatsSnapshot,
 };
-pub use dsmpm2_sim::{Engine, EngineConfig, SimDuration, SimError, SimHandle, SimTime, SimTuning};
+pub use dsmpm2_sim::{
+    BlockReason, Engine, EngineConfig, HandoffMode, SimDuration, SimError, SimHandle, SimTime,
+    SimTuning, SpawnOptions,
+};

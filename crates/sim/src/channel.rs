@@ -203,7 +203,7 @@ impl<T: Send + 'static> SimReceiver<T> {
                 return v;
             }
             self.inner.waiters.register(handle);
-            handle.park();
+            handle.park_with(crate::engine::BlockReason::Channel);
             self.inner.waiters.deregister(handle);
         }
     }

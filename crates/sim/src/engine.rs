@@ -40,10 +40,15 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use crate::continuation::{Coro, DEFAULT_STACK_BYTES};
 use crate::error::SimError;
 use crate::handle::SimHandle;
-use crate::thread::{GrantSource, SchedHandle, ThreadId, ThreadSlot};
+use crate::thread::{Backing, GrantSource, SchedHandle, ThreadId, ThreadSlot};
 use crate::time::{SimDuration, SimTime};
+
+/// Cap on the number of recycled continuation stacks kept around. Beyond
+/// this, finished stacks are simply freed.
+const STACK_POOL_CAP: usize = 32;
 
 /// Marker panic payload used to unwind simulated threads during teardown.
 pub(crate) struct ShutdownUnwind;
@@ -147,17 +152,68 @@ pub(crate) fn next_order_key() -> (u64, u64, u64) {
 // Tuning / configuration
 // ---------------------------------------------------------------------------
 
+/// How the scheduler hands control to a simulated thread for one slice.
+///
+/// The mode is purely a wall-clock mechanism: the virtual-time behaviour of
+/// a run — final memory, virtual time, event order — is bit-identical across
+/// all three, which the conformance matrix asserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HandoffMode {
+    /// Run the slice as a stackful continuation on the scheduler's own OS
+    /// thread: a grant is a ~dozen-instruction stack switch, no OS thread
+    /// wakes up. The default. Unsupported targets (non-x86-64) silently
+    /// fall back to [`HandoffMode::Baton`].
+    Continuation,
+    /// The PR 3 futex-style baton: each simulated thread is backed by a
+    /// dedicated OS thread; grant/park are one atomic store plus one
+    /// `unpark` per side. Kept as the per-thread fallback for workloads a
+    /// fixed-size private stack cannot carry (deep recursion) and as a
+    /// conformance baseline.
+    Baton,
+    /// The original Mutex+Condvar baton (the pre-PR 3 substrate), kept
+    /// selectable so the `sched_handoff` microbenchmark can measure the
+    /// true historical baseline.
+    LegacyCondvar,
+}
+
+impl HandoffMode {
+    /// The mode that will actually be used on this target: continuations
+    /// downgrade to the OS-thread baton where no stack switch exists.
+    pub fn effective(self) -> HandoffMode {
+        match self {
+            HandoffMode::Continuation if !crate::continuation::SUPPORTED => HandoffMode::Baton,
+            mode => mode,
+        }
+    }
+
+    /// Parse the `DSM_SIM_HANDOFF` environment values.
+    fn parse(s: &str) -> Option<HandoffMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "continuation" | "coro" => Some(HandoffMode::Continuation),
+            "baton" | "futex" => Some(HandoffMode::Baton),
+            "legacy" | "condvar" | "legacy_condvar" => Some(HandoffMode::LegacyCondvar),
+            _ => None,
+        }
+    }
+}
+
 /// Tuning knobs of the simulation engine itself (as opposed to the DSM-layer
-/// knobs on `Pm2Config`). The default is the futex-style baton hand-off on a
-/// single worker; the legacy Condvar protocol stays selectable so conformance
-/// tests can assert both produce bit-identical runs.
+/// knobs on `Pm2Config`). The default is the continuation hand-off on a
+/// single worker; the baton and legacy-Condvar protocols stay selectable so
+/// conformance tests can assert all three produce bit-identical runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SimTuning {
-    /// Use the original Mutex+Condvar scheduler/thread hand-off instead of
-    /// the atomic-phase + `std::thread::park` baton.
-    pub legacy_condvar_handoff: bool,
-    /// Iterations of `spin_loop` each side of the futex baton burns before
-    /// parking its OS thread (ignored by the legacy path).
+    /// Scheduler/thread hand-off implementation. Defaults to the
+    /// `DSM_SIM_HANDOFF` environment variable (`continuation` | `baton` |
+    /// `legacy`) when set — mirroring `DSM_SIM_WORKERS`, so CI can re-run
+    /// the whole suite per mode — otherwise [`HandoffMode::Continuation`].
+    pub handoff: HandoffMode,
+    /// Iterations of `spin_loop` a baton side burns before parking its OS
+    /// thread. This is the *configured ceiling*: the engine derives the
+    /// effective per-worker budget from it (see [`SimTuning::handoff_spin`]
+    /// semantics in `SpinMap`), zeroing it when the scheduler participants
+    /// oversubscribe the host's cores or when a worker drives only
+    /// continuations (which never wait on another OS thread).
     pub handoff_spin: u32,
     /// Number of event-queue shards / scheduler workers. `1` (the default)
     /// is the historical single-threaded engine; larger values run
@@ -170,11 +226,23 @@ pub struct SimTuning {
 impl Default for SimTuning {
     fn default() -> Self {
         SimTuning {
-            legacy_condvar_handoff: false,
+            handoff: default_handoff(),
             handoff_spin: default_handoff_spin(),
             workers: default_workers(),
         }
     }
+}
+
+/// Default hand-off mode: the `DSM_SIM_HANDOFF` environment variable when
+/// set (the CI matrix re-runs the suite with it), otherwise continuations.
+fn default_handoff() -> HandoffMode {
+    static MODE: std::sync::OnceLock<HandoffMode> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var("DSM_SIM_HANDOFF")
+            .ok()
+            .and_then(|v| HandoffMode::parse(&v))
+            .unwrap_or(HandoffMode::Continuation)
+    })
 }
 
 /// Spinning before parking only pays off when the peer can actually make
@@ -212,10 +280,22 @@ impl SimTuning {
     /// conformance-matrix rows.
     pub fn legacy() -> Self {
         SimTuning {
-            legacy_condvar_handoff: true,
+            handoff: HandoffMode::LegacyCondvar,
             handoff_spin: 0,
             workers: 1,
         }
+    }
+
+    /// The PR 3 OS-thread futex baton (otherwise default tuning). Used by
+    /// conformance-matrix rows and the hand-off microbenchmark.
+    pub fn baton() -> Self {
+        SimTuning::default().with_handoff(HandoffMode::Baton)
+    }
+
+    /// This tuning with an explicit hand-off mode.
+    pub fn with_handoff(mut self, handoff: HandoffMode) -> Self {
+        self.handoff = handoff;
+        self
     }
 
     /// This tuning with an explicit worker count (clamped to `1..=64`).
@@ -223,6 +303,203 @@ impl SimTuning {
         self.workers = workers.clamp(1, MAX_WORKERS);
         self
     }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker spin budgets
+// ---------------------------------------------------------------------------
+
+/// Effective spin budget for one scheduler participant, derived from the
+/// configured ceiling. Spinning before parking pays off only when the peer
+/// the spinner waits for can make progress on another core *right now*:
+/// each active worker pairs with at most one running simulated OS thread,
+/// so a pool of `workers` workers needs `2 * workers` cores before spinning
+/// beats parking. On an oversubscribed host every spin iteration burns the
+/// quantum the peer needs. Pure function, unit-tested; only wall-clock
+/// speed is affected, never simulated behaviour.
+pub(crate) fn effective_spin(configured: u32, workers: usize, cores: usize) -> u32 {
+    if cores <= 1 || 2 * workers > cores {
+        0
+    } else {
+        configured
+    }
+}
+
+/// Per-worker spin budgets, re-derived whenever the set of OS-thread-backed
+/// (baton/legacy) simulated threads homed on a worker changes — at spawn, at
+/// finish, and when a migration re-shards a thread
+/// ([`crate::SimHandle::set_shard`]). A worker whose shard homes only
+/// continuations never waits on another OS thread at a grant, so its budget
+/// drops to zero; the historical implementation tuned one global budget
+/// once, which both over-spun oversubscribed multi-worker runs and kept
+/// spinning for workers that had nothing to spin for.
+pub(crate) struct SpinMap {
+    /// Effective budget per worker, read on every grant/park.
+    budgets: Vec<AtomicU32>,
+    /// Number of OS-thread-backed simulated threads currently homed on each
+    /// worker's shard set.
+    os_backed: Vec<AtomicU64>,
+    /// `effective_spin(configured, workers, cores)` — the budget a worker
+    /// gets while at least one OS-backed thread is homed on it.
+    base: u32,
+}
+
+impl SpinMap {
+    pub fn new(configured: u32, workers: usize, cores: usize) -> Self {
+        SpinMap {
+            budgets: (0..workers).map(|_| AtomicU32::new(0)).collect(),
+            os_backed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            base: effective_spin(configured, workers, cores),
+        }
+    }
+
+    fn worker_of(&self, shard_key: u64) -> usize {
+        (shard_key % self.budgets.len() as u64) as usize
+    }
+
+    /// Budget for the worker owning `shard_key` (thread side of the baton).
+    pub fn for_key(&self, shard_key: u64) -> u32 {
+        self.budgets[self.worker_of(shard_key)].load(Ordering::Relaxed)
+    }
+
+    /// Budget for worker `w` (granting side of the baton).
+    pub fn for_worker(&self, w: usize) -> u32 {
+        self.budgets[w].load(Ordering::Relaxed)
+    }
+
+    /// Budget for the coordinator's own waits (worker-pool round barriers):
+    /// worth spinning only under the same core-subscription condition.
+    pub fn scheduler_spin(&self) -> u32 {
+        self.base
+    }
+
+    fn retune(&self, w: usize) {
+        let budget = if self.os_backed[w].load(Ordering::SeqCst) > 0 {
+            self.base
+        } else {
+            0
+        };
+        self.budgets[w].store(budget, Ordering::SeqCst);
+    }
+
+    /// An OS-thread-backed simulated thread is now homed on `shard_key`.
+    pub fn home_os_thread(&self, shard_key: u64) {
+        let w = self.worker_of(shard_key);
+        self.os_backed[w].fetch_add(1, Ordering::SeqCst);
+        self.retune(w);
+    }
+
+    /// An OS-thread-backed simulated thread left `shard_key` (finished, or
+    /// migrated away).
+    pub fn unhome_os_thread(&self, shard_key: u64) {
+        let w = self.worker_of(shard_key);
+        self.os_backed[w].fetch_sub(1, Ordering::SeqCst);
+        self.retune(w);
+    }
+
+    /// Re-home an OS-thread-backed thread after a migration re-shards it.
+    pub fn rehome_os_thread(&self, from_key: u64, to_key: u64) {
+        if self.worker_of(from_key) != self.worker_of(to_key) {
+            self.unhome_os_thread(from_key);
+            self.home_os_thread(to_key);
+        }
+    }
+
+    /// Number of OS-thread-backed simulated threads homed on worker `w`
+    /// (test support for the migration re-tuning regression tests).
+    #[cfg(test)]
+    pub fn os_backed_count(&self, w: usize) -> u64 {
+        self.os_backed[w].load(Ordering::SeqCst)
+    }
+}
+
+/// Host core count used to derive spin budgets.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------------------------------------------------------------------
+// Spawn options and slice outcomes
+// ---------------------------------------------------------------------------
+
+/// Per-thread overrides for [`Engine::spawn_with`] /
+/// [`crate::SimHandle::spawn_with`]. The defaults follow the engine tuning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpawnOptions {
+    /// Force a hand-off mode for this thread regardless of the engine-wide
+    /// [`SimTuning::handoff`]. The designed use is
+    /// `Some(HandoffMode::Baton)`: an escape hatch for bodies a fixed-size
+    /// continuation stack cannot carry (deep recursion), which then run on
+    /// a dedicated OS thread with a guard page while the rest of the
+    /// simulation stays on continuations.
+    pub handoff: Option<HandoffMode>,
+    /// Private stack size for this thread: the continuation's coroutine
+    /// stack (default 1 MiB, committed lazily) or the backing OS thread's
+    /// stack when combined with an OS-thread hand-off.
+    pub stack_bytes: Option<usize>,
+}
+
+impl SpawnOptions {
+    /// Options forcing the OS-thread baton for this thread.
+    pub fn baton() -> Self {
+        SpawnOptions {
+            handoff: Some(HandoffMode::Baton),
+            ..SpawnOptions::default()
+        }
+    }
+
+    /// This set of options with an explicit continuation stack size.
+    pub fn with_stack_bytes(mut self, bytes: usize) -> Self {
+        self.stack_bytes = Some(bytes);
+        self
+    }
+}
+
+/// Why a simulated thread yielded its slice back to the scheduler. Reified
+/// at every yield site (sleep, wait sets, channels, DSM faults) so the
+/// scheduler — and the profiling surface, [`Engine::block_profile`] — can
+/// see *what* the simulation spends its blocking on, independent of the
+/// hand-off mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum BlockReason {
+    /// Generic park with no annotated cause.
+    Other = 0,
+    /// Blocked on a [`crate::WaitSet`] without a finer-grained annotation.
+    WaitSet = 1,
+    /// Blocked receiving from a simulation channel.
+    Channel = 2,
+    /// Blocked on a DSM page fault (waiting for a page or diff to arrive).
+    PageFault = 3,
+    /// Blocked waiting for protocol acknowledgements (release/flush).
+    Ack = 4,
+    /// Blocked on an RPC reply.
+    Rpc = 5,
+    /// Blocked in a barrier round.
+    Barrier = 6,
+}
+
+/// All reasons, in discriminant order (the [`Engine::block_profile`] rows).
+pub(crate) const BLOCK_REASONS: [BlockReason; 7] = [
+    BlockReason::Other,
+    BlockReason::WaitSet,
+    BlockReason::Channel,
+    BlockReason::PageFault,
+    BlockReason::Ack,
+    BlockReason::Rpc,
+    BlockReason::Barrier,
+];
+
+/// What a slice reported when it yielded: the scheduler-visible outcome of
+/// one resumption of a simulated thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The thread advanced virtual time and scheduled its own wake-up.
+    Yielded(SimTime),
+    /// The thread blocked for `reason`; some other party will wake it.
+    Blocked(BlockReason),
+    /// The thread's body completed; it will never run again.
+    Done,
 }
 
 /// Configuration for an [`Engine`].
@@ -268,8 +545,11 @@ pub struct RunReport {
 // ---------------------------------------------------------------------------
 
 enum EventKind {
-    /// Hand the baton to a parked simulated thread.
-    Wake(ThreadId),
+    /// Hand the baton to a parked simulated thread. The slot pointer is a
+    /// cache: a thread scheduling its *own* wake-up embeds its slot so the
+    /// hot path (one wake per simulated step) skips the global thread-map
+    /// lock. Cross-thread wakes pass `None` and resolve through the map.
+    Wake(ThreadId, Option<Arc<ThreadSlot>>),
     /// Execute a closure on the scheduler (used for delayed message delivery).
     Call(Box<dyn FnOnce(&EngineCtl) + Send>),
 }
@@ -385,6 +665,9 @@ pub(crate) struct Shared {
     threads: Mutex<HashMap<u64, ThreadEntry>>,
     next_tid: AtomicU64,
     panic_info: Mutex<Option<(String, String)>>,
+    /// Raised when `panic_info` holds something: lets the scheduler loop
+    /// poll a plain atomic per event instead of taking the mutex.
+    panic_flag: AtomicBool,
     context_switches: AtomicU64,
     events_processed: AtomicU64,
     threads_spawned: AtomicU64,
@@ -392,6 +675,14 @@ pub(crate) struct Shared {
     /// Set by a worker that exhausted the event budget mid-round.
     limit_hit: AtomicBool,
     worker_joins: Mutex<Vec<JoinHandle<()>>>,
+    /// Per-worker spin budgets, re-tuned as OS-backed threads come, go and
+    /// migrate (see [`SpinMap`]).
+    spin_map: Arc<SpinMap>,
+    /// Recycled private stacks of finished continuations.
+    stack_pool: Mutex<Vec<Vec<u8>>>,
+    /// Count of parks per [`BlockReason`] (indexed by discriminant) — the
+    /// data behind [`Engine::block_profile`].
+    block_counts: [AtomicU64; BLOCK_REASONS.len()],
     config: EngineConfig,
 }
 
@@ -480,12 +771,23 @@ impl Shared {
 
     pub(crate) fn schedule_wake(self: &Arc<Self>, tid: ThreadId, at: SimTime) {
         let key = self.shard_key_of(tid);
-        self.submit(at, EventKind::Wake(tid), key);
+        self.submit(at, EventKind::Wake(tid, None), key);
     }
 
     /// Wake with a known shard key (a thread scheduling its own wake-up).
     pub(crate) fn schedule_wake_keyed(self: &Arc<Self>, tid: ThreadId, at: SimTime, key: u64) {
-        self.submit(at, EventKind::Wake(tid), key);
+        self.submit(at, EventKind::Wake(tid, None), key);
+    }
+
+    /// Self-wake with the slot embedded in the event: the scheduler grants
+    /// straight off the cached `Arc` instead of taking the thread-map lock.
+    /// This is the per-step hot path (`sleep`/`yield_now`/`flush`).
+    pub(crate) fn schedule_wake_cached(self: &Arc<Self>, slot: &Arc<ThreadSlot>, at: SimTime) {
+        self.submit(
+            at,
+            EventKind::Wake(slot.id, Some(Arc::clone(slot))),
+            slot.shard_key(),
+        );
     }
 
     pub(crate) fn schedule_call(
@@ -505,6 +807,7 @@ impl Shared {
         if info.is_none() {
             *info = Some((thread, message));
         }
+        self.panic_flag.store(true, Ordering::SeqCst);
     }
 
     /// Allocate a thread id. Spawns executed during a parallel instant draw
@@ -529,6 +832,7 @@ impl Shared {
         start_at: SimTime,
         daemon: bool,
         shard_key: Option<u64>,
+        opts: SpawnOptions,
         f: F,
     ) -> ThreadId
     where
@@ -544,52 +848,104 @@ impl Shared {
                     .map(|c| c.shard)
             })
             .unwrap_or(tid.0);
+        let mode = opts
+            .handoff
+            .unwrap_or(self.config.tuning.handoff)
+            .effective();
+        let backing = match mode {
+            HandoffMode::Continuation => Backing::Continuation,
+            HandoffMode::Baton => Backing::Baton,
+            HandoffMode::LegacyCondvar => Backing::LegacyCondvar,
+        };
         let slot = Arc::new(ThreadSlot::new(
             tid,
             name.clone(),
-            &self.config.tuning,
+            backing,
+            Arc::clone(&self.spin_map),
             Arc::clone(&self.coord),
             self.token(),
             key,
         ));
         let shared = Arc::clone(self);
         let slot_for_thread = Arc::clone(&slot);
-        let join = std::thread::Builder::new()
-            .name(format!("sim-{name}"))
-            .spawn(move || {
-                // Wait for the first grant before touching user code.
-                if !slot_for_thread.park_and_wait() {
-                    slot_for_thread.mark_finished();
-                    return;
-                }
-                let mut handle =
-                    SimHandle::new(Arc::clone(&shared), tid, Arc::clone(&slot_for_thread));
-                let result = panic::catch_unwind(AssertUnwindSafe(|| {
-                    f(&mut handle);
-                    // Fold any compute charged after the last yield into the
-                    // global clock, so completion times are accurate.
-                    handle.flush();
-                }));
-                if let Err(payload) = result {
-                    if payload.downcast_ref::<ShutdownUnwind>().is_none() {
-                        shared.record_panic(slot_for_thread.name.clone(), panic_message(&*payload));
+        let join = match backing {
+            Backing::Continuation => {
+                // The thread is a coroutine: the body runs on whichever
+                // scheduler participant grants its slices, switching onto a
+                // private stack. No OS thread is created.
+                let body: Box<dyn FnOnce() + Send> = Box::new(move || {
+                    // The first resume IS the first grant: the granter has
+                    // already published the grant context.
+                    if !slot_for_thread.continuation_first_grant() {
+                        return;
                     }
+                    let mut handle =
+                        SimHandle::new(Arc::clone(&shared), tid, Arc::clone(&slot_for_thread));
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                        f(&mut handle);
+                        // Fold any compute charged after the last yield into
+                        // the global clock, so completion times are accurate.
+                        handle.flush();
+                    }));
+                    if let Err(payload) = result {
+                        if payload.downcast_ref::<ShutdownUnwind>().is_none() {
+                            shared.record_panic(
+                                slot_for_thread.name.clone(),
+                                panic_message(&*payload),
+                            );
+                        }
+                    }
+                    set_instant_ctx(None);
+                });
+                let stack_bytes = opts.stack_bytes.unwrap_or(DEFAULT_STACK_BYTES);
+                let recycled = self.stack_pool.lock().pop();
+                slot.init_continuation(Coro::new(body, stack_bytes, recycled));
+                None
+            }
+            Backing::Baton | Backing::LegacyCondvar => {
+                let mut builder = std::thread::Builder::new().name(format!("sim-{name}"));
+                if let Some(bytes) = opts.stack_bytes {
+                    builder = builder.stack_size(bytes);
                 }
-                slot_for_thread.mark_finished();
-            })
-            .expect("failed to spawn backing OS thread for simulated thread");
+                let join = builder
+                    .spawn(move || {
+                        // Wait for the first grant before touching user code.
+                        if !slot_for_thread.park_and_wait() {
+                            slot_for_thread.mark_finished();
+                            return;
+                        }
+                        let mut handle =
+                            SimHandle::new(Arc::clone(&shared), tid, Arc::clone(&slot_for_thread));
+                        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                            f(&mut handle);
+                            handle.flush();
+                        }));
+                        if let Err(payload) = result {
+                            if payload.downcast_ref::<ShutdownUnwind>().is_none() {
+                                shared.record_panic(
+                                    slot_for_thread.name.clone(),
+                                    panic_message(&*payload),
+                                );
+                            }
+                        }
+                        slot_for_thread.mark_finished();
+                    })
+                    .expect("failed to spawn backing OS thread for simulated thread");
+                Some(join)
+            }
+        };
 
-        self.threads.lock().insert(
-            tid.0,
-            ThreadEntry {
-                slot,
-                join: Some(join),
-                daemon,
-            },
-        );
+        self.threads
+            .lock()
+            .insert(tid.0, ThreadEntry { slot, join, daemon });
         self.threads_spawned.fetch_add(1, Ordering::SeqCst);
         self.schedule_wake_keyed(tid, start_at, key);
         tid
+    }
+
+    /// Bump the engine-wide profile counter for `reason`.
+    pub(crate) fn record_block(&self, reason: BlockReason) {
+        self.block_counts[reason as usize].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Join and drop the backing OS threads of simulated threads that have
@@ -599,6 +955,7 @@ impl Shared {
     /// the process's thread quota.
     fn reap_finished(&self) {
         let mut handles = Vec::new();
+        let mut stacks = Vec::new();
         {
             let mut threads = self.threads.lock();
             let finished: Vec<u64> = threads
@@ -608,7 +965,22 @@ impl Shared {
                 .collect();
             for tid in finished {
                 if let Some(entry) = threads.remove(&tid) {
+                    // Recycle the private stack of a finished continuation
+                    // (also breaks the body's Arc cycle back to this Shared).
+                    if entry.slot.backing() == Backing::Continuation {
+                        if let Some(stack) = entry.slot.reclaim_stack() {
+                            stacks.push(stack);
+                        }
+                    }
                     handles.push(entry.join);
+                }
+            }
+        }
+        if !stacks.is_empty() {
+            let mut pool = self.stack_pool.lock();
+            for stack in stacks {
+                if pool.len() < STACK_POOL_CAP {
+                    pool.push(stack);
                 }
             }
         }
@@ -674,7 +1046,8 @@ impl EngineCtl {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.now();
-        self.shared.spawn_thread(name.into(), now, false, None, f)
+        self.shared
+            .spawn_thread(name.into(), now, false, None, SpawnOptions::default(), f)
     }
 
     /// Spawn a simulated thread bound to shard `shard_key` (see
@@ -683,9 +1056,26 @@ impl EngineCtl {
     where
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
+        self.spawn_on_with(shard_key, name, SpawnOptions::default(), f)
+    }
+
+    /// Spawn a simulated thread bound to shard `shard_key` with per-thread
+    /// [`SpawnOptions`] (hand-off override, continuation stack size). Upper
+    /// layers use this to keep deep-recursion workloads on the OS-thread
+    /// baton while the rest of the simulation runs on continuations.
+    pub fn spawn_on_with<F>(
+        &self,
+        shard_key: u64,
+        name: impl Into<String>,
+        opts: SpawnOptions,
+        f: F,
+    ) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
         let now = self.now();
         self.shared
-            .spawn_thread(name.into(), now, false, Some(shard_key), f)
+            .spawn_thread(name.into(), now, false, Some(shard_key), opts, f)
     }
 
     /// Spawn a daemon thread (see [`Engine::spawn_daemon`]) from a controller.
@@ -694,7 +1084,8 @@ impl EngineCtl {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.now();
-        self.shared.spawn_thread(name.into(), now, true, None, f)
+        self.shared
+            .spawn_thread(name.into(), now, true, None, SpawnOptions::default(), f)
     }
 
     /// Spawn a daemon thread bound to shard `shard_key`.
@@ -703,8 +1094,14 @@ impl EngineCtl {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.now();
-        self.shared
-            .spawn_thread(name.into(), now, true, Some(shard_key), f)
+        self.shared.spawn_thread(
+            name.into(),
+            now,
+            true,
+            Some(shard_key),
+            SpawnOptions::default(),
+            f,
+        )
     }
 
     /// Run `f` now, or at the end of the current parallel instant in
@@ -760,12 +1157,20 @@ impl Engine {
                 threads: Mutex::new(HashMap::new()),
                 next_tid: AtomicU64::new(0),
                 panic_info: Mutex::new(None),
+                panic_flag: AtomicBool::new(false),
                 context_switches: AtomicU64::new(0),
                 events_processed: AtomicU64::new(0),
                 threads_spawned: AtomicU64::new(0),
                 parallel_rounds: AtomicU64::new(0),
                 limit_hit: AtomicBool::new(false),
                 worker_joins: Mutex::new(Vec::new()),
+                spin_map: Arc::new(SpinMap::new(
+                    config.tuning.handoff_spin,
+                    workers,
+                    host_cores(),
+                )),
+                stack_pool: Mutex::new(Vec::new()),
+                block_counts: std::array::from_fn(|_| AtomicU64::new(0)),
                 config,
             }),
             ran: false,
@@ -790,8 +1195,19 @@ impl Engine {
     where
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
+        self.spawn_with(name, SpawnOptions::default(), f)
+    }
+
+    /// Spawn a simulated thread with per-thread [`SpawnOptions`]: force a
+    /// hand-off mode (the baton escape hatch for deep recursion) or size the
+    /// continuation's private stack.
+    pub fn spawn_with<F>(&self, name: impl Into<String>, opts: SpawnOptions, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
         let now = self.shared.now();
-        self.shared.spawn_thread(name.into(), now, false, None, f)
+        self.shared
+            .spawn_thread(name.into(), now, false, None, opts, f)
     }
 
     /// Spawn a simulated thread bound to shard `shard_key`: all its wake-ups
@@ -803,8 +1219,14 @@ impl Engine {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.shared.now();
-        self.shared
-            .spawn_thread(name.into(), now, false, Some(shard_key), f)
+        self.shared.spawn_thread(
+            name.into(),
+            now,
+            false,
+            Some(shard_key),
+            SpawnOptions::default(),
+            f,
+        )
     }
 
     /// Spawn a daemon thread: it behaves like a normal simulated thread but
@@ -815,7 +1237,8 @@ impl Engine {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.shared.now();
-        self.shared.spawn_thread(name.into(), now, true, None, f)
+        self.shared
+            .spawn_thread(name.into(), now, true, None, SpawnOptions::default(), f)
     }
 
     /// Spawn a daemon thread bound to shard `shard_key`.
@@ -824,8 +1247,31 @@ impl Engine {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let now = self.shared.now();
-        self.shared
-            .spawn_thread(name.into(), now, true, Some(shard_key), f)
+        self.shared.spawn_thread(
+            name.into(),
+            now,
+            true,
+            Some(shard_key),
+            SpawnOptions::default(),
+            f,
+        )
+    }
+
+    /// Engine-wide count of parks per [`BlockReason`] so far: what the
+    /// simulation spends its blocking on (page faults, acks, RPC replies,
+    /// barriers, channels...). Purely observational — deliberately *not*
+    /// part of [`RunReport`], whose cross-mode equality the conformance
+    /// matrix asserts.
+    pub fn block_profile(&self) -> Vec<(BlockReason, u64)> {
+        BLOCK_REASONS
+            .iter()
+            .map(|&r| {
+                (
+                    r,
+                    self.shared.block_counts[r as usize].load(Ordering::SeqCst),
+                )
+            })
+            .collect()
     }
 
     /// Run the simulation to completion.
@@ -851,6 +1297,33 @@ impl Engine {
         }
     }
 
+    /// Verdict once every event queue is empty: clean completion (`Ok`) or
+    /// a deadlock report naming each parked non-daemon thread and, when the
+    /// slot recorded one, the [`BlockReason`] it is stuck on.
+    fn drained_verdict(&self) -> Result<(), SimError> {
+        let shared = &self.shared;
+        let mut parked: Vec<String> = shared
+            .threads
+            .lock()
+            .values()
+            .filter(|e| !e.daemon && e.slot.is_parked() && !e.slot.is_finished())
+            .map(|e| match e.slot.blocked_on() {
+                Some(reason) => {
+                    format!("{} ({}) blocked on {:?}", e.slot.name, e.slot.id, reason)
+                }
+                None => format!("{} ({})", e.slot.name, e.slot.id),
+            })
+            .collect();
+        if parked.is_empty() {
+            return Ok(());
+        }
+        parked.sort();
+        Err(SimError::Deadlock {
+            at: shared.now(),
+            parked_threads: parked,
+        })
+    }
+
     fn run_inner(&self) -> Result<RunReport, SimError> {
         let shared = &self.shared;
         // Publish the coordinator's OS-thread handle before the first grant
@@ -859,13 +1332,21 @@ impl Engine {
         if shared.num_workers() > 1 {
             self.spawn_workers();
         }
-        let spin = shared.config.tuning.handoff_spin;
+        let spin = shared.spin_map.scheduler_spin();
+        let single_shard = shared.shards.len() == 1;
         // Events processed since the last reap of finished OS threads.
         let mut since_reap = 0u64;
         let mut last_processed = 0u64;
+        // Reused across iterations: the per-event allocation would otherwise
+        // dominate the continuation hot path.
+        let mut active: Vec<usize> = Vec::new();
         loop {
-            if let Some((thread, message)) = shared.panic_info.lock().take() {
-                return Err(SimError::ThreadPanic { thread, message });
+            // The mutex is only taken once the flag says there is something
+            // to read — the loop head runs once per event.
+            if shared.panic_flag.load(Ordering::SeqCst) {
+                if let Some((thread, message)) = shared.panic_info.lock().take() {
+                    return Err(SimError::ThreadPanic { thread, message });
+                }
             }
             if shared.limit_hit.load(Ordering::SeqCst) {
                 return Err(SimError::EventLimitExceeded {
@@ -883,10 +1364,38 @@ impl Engine {
                 shared.reap_finished();
             }
 
+            // Single shard (workers = 1, the historical engine): pop the
+            // globally smallest event under one lock acquisition instead of
+            // the peek-scan-pop dance below.
+            if single_shard {
+                let event = match shared.shards[0].queue.lock().pop() {
+                    Some(Reverse(e)) => e,
+                    None => match self.drained_verdict() {
+                        Ok(()) => return Ok(self.report()),
+                        Err(e) => return Err(e),
+                    },
+                };
+                if event.time > shared.now.load(Ordering::SeqCst) {
+                    shared.now.store(event.time, Ordering::SeqCst);
+                }
+                let processed = shared.events_processed.fetch_add(1, Ordering::SeqCst) + 1;
+                if processed > shared.config.max_events {
+                    return Err(SimError::EventLimitExceeded {
+                        limit: shared.config.max_events,
+                    });
+                }
+                let source = GrantSource {
+                    handle: &shared.coord,
+                    spin: shared.spin_map.for_worker(0),
+                };
+                execute_event(shared, event, 0, false, &source);
+                continue;
+            }
+
             // Find the minimum event time across the shards and the set of
             // shards holding events at it.
             let mut min_time = u64::MAX;
-            let mut active: Vec<usize> = Vec::new();
+            active.clear();
             for (i, shard) in shared.shards.iter().enumerate() {
                 let queue = shard.queue.lock();
                 if let Some(Reverse(head)) = queue.peek() {
@@ -903,21 +1412,10 @@ impl Engine {
             }
 
             if active.is_empty() {
-                let mut parked: Vec<String> = shared
-                    .threads
-                    .lock()
-                    .values()
-                    .filter(|e| !e.daemon && e.slot.is_parked() && !e.slot.is_finished())
-                    .map(|e| format!("{} ({})", e.slot.name, e.slot.id))
-                    .collect();
-                if parked.is_empty() {
-                    return Ok(self.report());
+                match self.drained_verdict() {
+                    Ok(()) => return Ok(self.report()),
+                    Err(e) => return Err(e),
                 }
-                parked.sort();
-                return Err(SimError::Deadlock {
-                    at: shared.now(),
-                    parked_threads: parked,
-                });
             }
 
             // The clock never moves backwards: events scheduled "in the
@@ -944,7 +1442,9 @@ impl Engine {
                 }
                 let source = GrantSource {
                     handle: &shared.coord,
-                    spin,
+                    // Per-worker budget: zero when the event's shard homes
+                    // only continuations (nothing to spin for).
+                    spin: shared.spin_map.for_worker(worker),
                 };
                 execute_event(shared, event, worker, false, &source);
             } else {
@@ -1071,7 +1571,8 @@ impl Engine {
 
     fn teardown(&self) {
         // Release every thread still waiting for the baton so its OS thread
-        // can exit, then join them all.
+        // can exit, then join them all. Runs after the scheduler loop ended
+        // and the worker pool quit, so this thread owns every slot.
         let mut entries: Vec<(Arc<ThreadSlot>, Option<JoinHandle<()>>)> = Vec::new();
         {
             let mut threads = self.shared.threads.lock();
@@ -1081,6 +1582,13 @@ impl Engine {
         }
         for (slot, _) in &entries {
             slot.request_shutdown();
+        }
+        for (slot, _) in &entries {
+            // Unwind suspended continuations (destructors of the frames
+            // parked on their private stacks must run) and drop never-started
+            // bodies — both hold an Arc cycle back to `Shared`.
+            slot.teardown_continuation();
+            let _ = slot.reclaim_stack();
         }
         for (_, join) in entries {
             if let Some(handle) = join {
@@ -1102,12 +1610,15 @@ fn execute_event(
     source: &GrantSource<'_>,
 ) {
     match event.kind {
-        EventKind::Wake(tid) => {
-            let slot = shared
-                .threads
-                .lock()
-                .get(&tid.0)
-                .map(|e| Arc::clone(&e.slot));
+        EventKind::Wake(tid, cached) => {
+            let slot = match cached {
+                Some(slot) => Some(slot),
+                None => shared
+                    .threads
+                    .lock()
+                    .get(&tid.0)
+                    .map(|e| Arc::clone(&e.slot)),
+            };
             if let Some(slot) = slot {
                 if !slot.is_finished()
                     && slot.grant_and_wait(source, worker, event.time, event.seq, defer)
@@ -1151,7 +1662,7 @@ fn worker_main(shared: Arc<Shared>, w: usize) {
         .set(std::thread::current())
         .expect("worker registers its handle once");
     shard.sched.register_current();
-    let spin = shared.config.tuning.handoff_spin;
+    let spin = shared.spin_map.scheduler_spin();
     loop {
         // Wait for a command.
         let mut spins = 0u32;
@@ -1193,10 +1704,9 @@ fn worker_main(shared: Arc<Shared>, w: usize) {
 /// Drain every event of shard `w` at virtual times `<= t`, in sequence
 /// order, buffering all effects.
 fn drain_instant(shared: &Arc<Shared>, w: usize, t: u64) {
-    let spin = shared.config.tuning.handoff_spin;
     let source = GrantSource {
         handle: &shared.shards[w].sched,
-        spin,
+        spin: shared.spin_map.for_worker(w),
     };
     loop {
         let event = {
@@ -1544,5 +2054,72 @@ mod tests {
         assert_eq!(t1, 50_000);
         assert_eq!(run(2), t1);
         assert_eq!(run(4), t1);
+    }
+
+    #[test]
+    fn effective_spin_collapses_when_oversubscribed() {
+        // Single core: the peer can never run concurrently, spinning only
+        // steals its quantum.
+        assert_eq!(effective_spin(1000, 1, 1), 0);
+        // 2 * workers > cores: at least one worker/thread pair shares a core.
+        assert_eq!(effective_spin(1000, 4, 4), 0);
+        assert_eq!(effective_spin(1000, 3, 5), 0);
+        // Enough cores for every pair: the configured ceiling applies.
+        assert_eq!(effective_spin(1000, 2, 4), 1000);
+        assert_eq!(effective_spin(1000, 1, 2), 1000);
+        // A zero ceiling stays zero regardless of topology.
+        assert_eq!(effective_spin(0, 2, 16), 0);
+    }
+
+    #[test]
+    fn spin_budgets_retune_as_os_threads_home_and_migrate() {
+        let map = SpinMap::new(500, 2, 16);
+        // No OS-backed threads homed anywhere: continuation-only shards
+        // never wait on another OS thread, so nobody spins.
+        assert_eq!(map.for_worker(0), 0);
+        assert_eq!(map.for_worker(1), 0);
+        map.home_os_thread(0);
+        assert_eq!(map.for_worker(0), 500);
+        assert_eq!(map.for_worker(1), 0);
+        assert_eq!(map.for_key(2), 500); // key 2 -> worker 0 with 2 workers
+                                         // A migration re-shards the thread: the budget follows it, and the
+                                         // vacated worker drops back to zero.
+        map.rehome_os_thread(0, 1);
+        assert_eq!(map.for_worker(0), 0);
+        assert_eq!(map.for_worker(1), 500);
+        // Same-worker migration is a no-op.
+        map.rehome_os_thread(1, 3);
+        assert_eq!(map.for_worker(1), 500);
+        // The thread finished: its worker stops spinning.
+        map.unhome_os_thread(3);
+        assert_eq!(map.for_worker(1), 0);
+    }
+
+    #[test]
+    fn set_shard_retunes_spin_budgets_after_migration() {
+        // End-to-end flavour of the unit test above: an OS-thread-backed
+        // (baton) simulated thread migrating via SimHandle::set_shard must
+        // re-tune the per-worker budgets while the engine runs.
+        let mut engine = multi(2);
+        let observed = Arc::new(Mutex::new(Vec::new()));
+        let obs = Arc::clone(&observed);
+        let shared = Arc::clone(&engine.shared);
+        let ctl = engine.ctl();
+        ctl.spawn_on_with(0, "migrant", SpawnOptions::baton(), move |h| {
+            obs.lock().push((
+                shared.spin_map.os_backed_count(0),
+                shared.spin_map.os_backed_count(1),
+            ));
+            h.set_shard(1);
+            h.yield_now();
+            obs.lock().push((
+                shared.spin_map.os_backed_count(0),
+                shared.spin_map.os_backed_count(1),
+            ));
+        });
+        engine.run().unwrap();
+        let seen = observed.lock().clone();
+        // Spawned on shard 0 (worker 0), migrated to shard 1 (worker 1).
+        assert_eq!(seen, vec![(1, 0), (0, 1)]);
     }
 }

@@ -9,7 +9,7 @@
 use std::panic;
 use std::sync::Arc;
 
-use crate::engine::{EngineCtl, Shared, ShutdownUnwind};
+use crate::engine::{BlockReason, EngineCtl, Shared, ShutdownUnwind, SliceOutcome, SpawnOptions};
 use crate::thread::{ThreadId, ThreadSlot};
 use crate::time::{SimDuration, SimTime};
 
@@ -93,8 +93,9 @@ impl SimHandle {
     pub fn sleep(&mut self, d: SimDuration) {
         let wake_at = self.shared.now() + self.pending + d;
         self.pending = SimDuration::ZERO;
-        self.shared
-            .schedule_wake_keyed(self.tid, wake_at, self.slot.shard_key());
+        self.shared.schedule_wake_cached(&self.slot, wake_at);
+        // Reified slice outcome: we advanced time and scheduled our own wake.
+        self.slot.record_outcome(SliceOutcome::Yielded(wake_at));
         self.park_raw();
     }
 
@@ -113,10 +114,22 @@ impl SimHandle {
     /// re-evaluates its condition at the correct virtual time before really
     /// blocking.
     pub fn park(&mut self) {
+        self.park_with(BlockReason::Other);
+    }
+
+    /// [`SimHandle::park`] with a reified blocking reason: the yield site
+    /// annotates *why* the thread blocks (DSM page fault, ack wait, RPC
+    /// reply, barrier...), feeding the engine's
+    /// [`crate::Engine::block_profile`]. Blocking primitives
+    /// ([`crate::WaitSet::wait_until_why`], channel receives) thread their
+    /// reason through here.
+    pub fn park_with(&mut self, reason: BlockReason) {
         if !self.pending.is_zero() {
             self.flush();
             return;
         }
+        self.slot.record_outcome(SliceOutcome::Blocked(reason));
+        self.shared.record_block(reason);
         self.park_raw();
     }
 
@@ -141,10 +154,20 @@ impl SimHandle {
     where
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
+        self.spawn_with(name, SpawnOptions::default(), f)
+    }
+
+    /// Spawn a new simulated thread with per-thread [`SpawnOptions`] (force
+    /// the OS-thread baton for deep recursion, size the continuation stack),
+    /// runnable at this thread's current local time, on this thread's shard.
+    pub fn spawn_with<F>(&mut self, name: impl Into<String>, opts: SpawnOptions, f: F) -> ThreadId
+    where
+        F: FnOnce(&mut SimHandle) + Send + 'static,
+    {
         let start_at = self.now();
         let key = self.slot.shard_key();
         self.shared
-            .spawn_thread(name.into(), start_at, false, Some(key), f)
+            .spawn_thread(name.into(), start_at, false, Some(key), opts, f)
     }
 
     /// Spawn a new simulated thread bound to an explicit shard (see
@@ -154,8 +177,14 @@ impl SimHandle {
         F: FnOnce(&mut SimHandle) + Send + 'static,
     {
         let start_at = self.now();
-        self.shared
-            .spawn_thread(name.into(), start_at, false, Some(shard_key), f)
+        self.shared.spawn_thread(
+            name.into(),
+            start_at,
+            false,
+            Some(shard_key),
+            SpawnOptions::default(),
+            f,
+        )
     }
 
     /// Spawn a daemon thread (see [`crate::Engine::spawn_daemon`]) starting at
@@ -166,8 +195,14 @@ impl SimHandle {
     {
         let start_at = self.now();
         let key = self.slot.shard_key();
-        self.shared
-            .spawn_thread(name.into(), start_at, true, Some(key), f)
+        self.shared.spawn_thread(
+            name.into(),
+            start_at,
+            true,
+            Some(key),
+            SpawnOptions::default(),
+            f,
+        )
     }
 
     /// Schedule a closure to run on the scheduler after `delay` from this

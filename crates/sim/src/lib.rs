@@ -3,11 +3,17 @@
 //! This crate provides the execution substrate on which the DSM-PM2
 //! reproduction runs. The original system executes on real clusters with the
 //! PM2 user-level thread package; here, "cluster nodes" and "PM2 threads" are
-//! simulated: every simulated thread is backed by an OS thread, but the
-//! scheduler hands control to exactly one of them at a time, in the order
-//! dictated by a virtual-time event queue. The result is a fully
-//! deterministic execution in *virtual time*, which is what the benchmark
-//! harness measures.
+//! simulated. By default a simulated thread is a *continuation* — a stackful
+//! coroutine whose slices execute inline on the scheduler's own OS thread,
+//! mirroring how Marcel multiplexes user-level threads onto a kernel thread —
+//! and control passes to exactly one simulated thread at a time, in the order
+//! dictated by a virtual-time event queue. Workloads that cannot run as
+//! continuations (deep recursion, very large stacks) can opt individual
+//! threads back onto a dedicated OS thread with a futex-style baton hand-off
+//! ([`SpawnOptions::baton`]), and the whole engine can be switched between
+//! the three hand-off substrates with [`SimTuning`] / `DSM_SIM_HANDOFF`.
+//! Every mode produces the same fully deterministic execution in *virtual
+//! time*, which is what the benchmark harness measures.
 //!
 //! ## Programming model
 //!
@@ -37,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 mod channel;
+mod continuation;
 mod engine;
 mod error;
 mod handle;
@@ -45,7 +52,10 @@ mod time;
 mod wait;
 
 pub use channel::{channel, channel_on, SimReceiver, SimSender, TickOutbox};
-pub use engine::{Engine, EngineConfig, EngineCtl, RunReport, SimTuning};
+pub use engine::{
+    BlockReason, Engine, EngineConfig, EngineCtl, HandoffMode, RunReport, SimTuning, SliceOutcome,
+    SpawnOptions,
+};
 pub use error::SimError;
 pub use handle::SimHandle;
 pub use thread::ThreadId;

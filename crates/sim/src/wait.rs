@@ -22,7 +22,7 @@
 
 use parking_lot::Mutex;
 
-use crate::engine::{next_order_key, EngineCtl};
+use crate::engine::{next_order_key, BlockReason, EngineCtl};
 use crate::handle::SimHandle;
 use crate::thread::ThreadId;
 use crate::time::SimDuration;
@@ -105,13 +105,26 @@ impl WaitSet {
 
     /// Block the calling thread on this wait set until `condition` returns
     /// true. The condition is re-evaluated after every wake-up.
-    pub fn wait_until<F: FnMut() -> bool>(&self, handle: &mut SimHandle, mut condition: F) {
+    pub fn wait_until<F: FnMut() -> bool>(&self, handle: &mut SimHandle, condition: F) {
+        self.wait_until_why(handle, BlockReason::WaitSet, condition);
+    }
+
+    /// [`WaitSet::wait_until`] with a reified blocking reason: callers
+    /// annotate *what* the wait models (a DSM page fault, an ack round, a
+    /// barrier...) so the engine's block profile attributes the park to the
+    /// right cause instead of a generic wait-set entry.
+    pub fn wait_until_why<F: FnMut() -> bool>(
+        &self,
+        handle: &mut SimHandle,
+        reason: BlockReason,
+        mut condition: F,
+    ) {
         loop {
             if condition() {
                 return;
             }
             self.register(handle);
-            handle.park();
+            handle.park_with(reason);
             // The park may return spuriously (or after a flush); deregister so
             // we never leave a stale entry if the condition is now true.
             self.deregister(handle);

@@ -1,14 +1,19 @@
-//! Stress test of the scheduler/thread baton: many short-lived simulated
+//! Stress test of the scheduler/thread hand-off: many short-lived simulated
 //! threads with pseudo-random sleeps, yields and nested spawns, run under
-//! both hand-off implementations. The futex and legacy-Condvar batons must
+//! every hand-off substrate. Continuations on the scheduler's OS thread, the
+//! futex-style OS-thread baton and the legacy Mutex+Condvar baton must
 //! produce *identical* runs — same final virtual time, same event and
 //! context-switch counts — because the hand-off is purely a wall-clock
-//! mechanism and must never influence simulated behaviour.
+//! mechanism and must never influence simulated behaviour. A mixed-mode
+//! storm additionally pins individual threads onto the OS-thread batons via
+//! [`SpawnOptions`] while the engine default stays on continuations.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dsmpm2_sim::{Engine, EngineConfig, RunReport, SimDuration, SimTuning, WaitSet};
+use dsmpm2_sim::{
+    Engine, EngineConfig, HandoffMode, RunReport, SimDuration, SimTuning, SpawnOptions, WaitSet,
+};
 
 /// Deterministic xorshift so both runs see the same "random" schedule.
 fn xorshift(state: &mut u64) -> u64 {
@@ -27,14 +32,27 @@ fn engine(tuning: SimTuning) -> Engine {
     })
 }
 
-fn storm(tuning: SimTuning) -> (RunReport, u64) {
+/// All three engine-wide hand-off substrates, continuation first (the
+/// default and the comparison baseline).
+fn all_tunings() -> [SimTuning; 3] {
+    [
+        SimTuning::default(),
+        SimTuning::baton(),
+        SimTuning::legacy(),
+    ]
+}
+
+fn storm(tuning: SimTuning, mixed: bool) -> (RunReport, u64) {
     let mut engine = engine(tuning);
     let work_done = Arc::new(AtomicU64::new(0));
     // A root thread spawns waves of short-lived children; each child does a
     // pseudo-random mix of yields, sleeps and compute charges, and every
     // eighth child spawns a grandchild. This exercises spawn-park races
     // (Created -> Parked while the scheduler waits), rapid re-grants and the
-    // finished-thread reaper.
+    // finished-thread reaper. In mixed mode every third child is pinned to
+    // the futex baton and every seventh to the legacy condvar, so
+    // continuation slices interleave with OS-thread hand-offs in the same
+    // run.
     let wd = work_done.clone();
     engine.spawn("root", move |h| {
         let mut rng = 0x9E3779B97F4A7C15u64;
@@ -42,7 +60,17 @@ fn storm(tuning: SimTuning) -> (RunReport, u64) {
             for child in 0..25u64 {
                 let seed = xorshift(&mut rng);
                 let wd = wd.clone();
-                h.spawn(format!("w{wave}-c{child}"), move |h| {
+                let opts = if mixed && child % 3 == 0 {
+                    SpawnOptions::baton()
+                } else if mixed && child % 7 == 0 {
+                    SpawnOptions {
+                        handoff: Some(HandoffMode::LegacyCondvar),
+                        ..SpawnOptions::default()
+                    }
+                } else {
+                    SpawnOptions::default()
+                };
+                h.spawn_with(format!("w{wave}-c{child}"), opts, move |h| {
                     let mut rng = seed | 1;
                     for _ in 0..(rng % 7) + 1 {
                         match xorshift(&mut rng) % 3 {
@@ -69,24 +97,46 @@ fn storm(tuning: SimTuning) -> (RunReport, u64) {
 }
 
 #[test]
-fn thread_storm_is_identical_under_both_handoffs() {
-    let (futex, futex_work) = storm(SimTuning::default());
-    let (legacy, legacy_work) = storm(SimTuning::legacy());
-    assert!(futex.threads_spawned > 500, "storm must actually spawn");
-    assert_eq!(futex_work, legacy_work, "work count diverged");
-    assert_eq!(futex.final_time, legacy.final_time, "virtual time diverged");
-    assert_eq!(futex.events, legacy.events, "event count diverged");
+fn thread_storm_is_identical_under_all_handoffs() {
+    let (base, base_work) = storm(SimTuning::default(), false);
+    assert!(base.threads_spawned > 500, "storm must actually spawn");
+    for tuning in [SimTuning::baton(), SimTuning::legacy()] {
+        let (run, work) = storm(tuning, false);
+        assert_eq!(base_work, work, "{tuning:?}: work count diverged");
+        assert_eq!(
+            base.final_time, run.final_time,
+            "{tuning:?}: virtual time diverged"
+        );
+        assert_eq!(base.events, run.events, "{tuning:?}: event count diverged");
+        assert_eq!(
+            base.context_switches, run.context_switches,
+            "{tuning:?}: context-switch count diverged"
+        );
+        assert_eq!(base.threads_spawned, run.threads_spawned);
+    }
+}
+
+/// The same storm with per-thread hand-off overrides: continuations,
+/// futex-baton threads and legacy-condvar threads coexisting in one engine
+/// must still produce the run the all-continuation engine produces.
+#[test]
+fn mixed_mode_storm_matches_pure_continuation_run() {
+    let (base, base_work) = storm(SimTuning::default(), false);
+    let (mixed, mixed_work) = storm(SimTuning::default(), true);
+    assert_eq!(base_work, mixed_work, "mixed: work count diverged");
+    assert_eq!(base.final_time, mixed.final_time, "mixed: time diverged");
+    assert_eq!(base.events, mixed.events, "mixed: event count diverged");
     assert_eq!(
-        futex.context_switches, legacy.context_switches,
-        "context-switch count diverged"
+        base.context_switches, mixed.context_switches,
+        "mixed: context-switch count diverged"
     );
-    assert_eq!(futex.threads_spawned, legacy.threads_spawned);
+    assert_eq!(base.threads_spawned, mixed.threads_spawned);
 }
 
 /// WaitSet ping-pong across a crowd of waiters: notify_one/notify_all wake
-/// identical thread sets in identical virtual order under both batons.
+/// identical thread sets in identical virtual order under every hand-off.
 #[test]
-fn waitset_crowd_is_identical_under_both_handoffs() {
+fn waitset_crowd_is_identical_under_all_handoffs() {
     let run = |tuning: SimTuning| -> (RunReport, Vec<u64>) {
         let mut engine = engine(tuning);
         let ws = Arc::new(WaitSet::new());
@@ -126,20 +176,22 @@ fn waitset_crowd_is_identical_under_both_handoffs() {
         let times = done_at.iter().map(|t| t.load(Ordering::SeqCst)).collect();
         (report, times)
     };
-    let (futex, futex_times) = run(SimTuning::default());
-    let (legacy, legacy_times) = run(SimTuning::legacy());
-    assert!(futex_times.iter().all(|&t| t > 0), "every waiter completed");
-    assert_eq!(futex_times, legacy_times, "wake times diverged");
-    assert_eq!(futex.final_time, legacy.final_time);
-    assert_eq!(futex.events, legacy.events);
+    let (base, base_times) = run(SimTuning::default());
+    assert!(base_times.iter().all(|&t| t > 0), "every waiter completed");
+    for tuning in [SimTuning::baton(), SimTuning::legacy()] {
+        let (r, times) = run(tuning);
+        assert_eq!(base_times, times, "{tuning:?}: wake times diverged");
+        assert_eq!(base.final_time, r.final_time, "{tuning:?}");
+        assert_eq!(base.events, r.events, "{tuning:?}");
+    }
 }
 
 /// Teardown under fire: a panic in one thread while hundreds of others are
 /// parked or runnable must reclaim every baton and report the panic, under
-/// both hand-offs.
+/// every hand-off substrate.
 #[test]
-fn panic_amid_storm_tears_down_under_both_handoffs() {
-    for tuning in [SimTuning::default(), SimTuning::legacy()] {
+fn panic_amid_storm_tears_down_under_all_handoffs() {
+    for tuning in all_tunings() {
         let mut engine = engine(tuning);
         for i in 0..100u64 {
             engine.spawn(format!("spinner{i}"), move |h| loop {
@@ -157,5 +209,66 @@ fn panic_amid_storm_tears_down_under_both_handoffs() {
             }
             other => panic!("{tuning:?}: expected panic error, got {other:?}"),
         }
+    }
+}
+
+/// A panic *inside a continuation slice* unwinds across the coroutine stack,
+/// not the scheduler's: the run must record the panicking thread's name and
+/// payload, tear down parked continuation/baton threads of the same run, and
+/// leave the engine joinable (no hang, no abort). Regression for the
+/// continuation backing's catch_unwind seam.
+#[test]
+fn panic_inside_continuation_slice_is_recorded_not_propagated() {
+    let mut engine = engine(SimTuning::default());
+    // A parked continuation that teardown must unwind quietly.
+    engine.spawn("parked-cont", |h| {
+        h.park();
+        unreachable!("never woken");
+    });
+    // A parked OS-thread baton riding along in the same run.
+    engine.spawn_with("parked-baton", SpawnOptions::baton(), |h| {
+        h.park();
+        unreachable!("never woken");
+    });
+    engine.spawn("bomb", |h| {
+        h.sleep(SimDuration::from_micros(7));
+        panic!("continuation bomb");
+    });
+    match engine.run() {
+        Err(dsmpm2_sim::SimError::ThreadPanic { thread, message }) => {
+            assert_eq!(thread, "bomb");
+            assert!(message.contains("continuation bomb"), "got '{message}'");
+        }
+        other => panic!("expected ThreadPanic, got {other:?}"),
+    }
+}
+
+/// Deep call stacks overflow a fixed-size continuation stack; the
+/// [`SpawnOptions`] escape hatches — a bigger private stack, or the
+/// guard-paged OS-thread baton — must both carry a recursion the default
+/// continuation stack could not.
+#[test]
+fn deep_recursion_runs_on_baton_or_big_stack() {
+    fn burn(depth: usize) -> u64 {
+        // ~1 KiB of live frame per level, kept alive across the recursion.
+        let pad = [depth as u64; 128];
+        if depth == 0 {
+            return pad[0];
+        }
+        burn(depth - 1) + std::hint::black_box(pad[64])
+    }
+    for opts in [
+        SpawnOptions::baton().with_stack_bytes(32 * 1024 * 1024),
+        SpawnOptions::default().with_stack_bytes(32 * 1024 * 1024),
+    ] {
+        let mut engine = engine(SimTuning::default());
+        let out = Arc::new(AtomicU64::new(0));
+        let o = out.clone();
+        engine.spawn_with("deep", opts, move |h| {
+            h.sleep(SimDuration::from_micros(1));
+            o.store(burn(8_000), Ordering::SeqCst);
+        });
+        engine.run().expect("deep recursion must complete");
+        assert!(out.load(Ordering::SeqCst) > 0);
     }
 }

@@ -395,13 +395,16 @@ fn conformance_matrix_sor() {
     }
 }
 
-/// The full matrix again, but with the scheduler using the legacy
-/// Mutex+Condvar baton instead of the futex-style hand-off: every run's
-/// final shared memory must be bit-identical to the futex-handoff run of the
-/// same cell. The hand-off is a wall-clock mechanism only — virtual time and
-/// memory contents must not depend on it.
+/// The full matrix across all three scheduler hand-off substrates —
+/// continuations on the scheduler's OS thread (the default), the futex-style
+/// OS-thread baton, and the legacy Mutex+Condvar baton — at 1, 2 and 4
+/// scheduler workers. Every cell must be bit-identical to the
+/// continuation/1-worker run: final shared memory AND virtual completion
+/// time. The hand-off is a wall-clock mechanism only; how a simulated
+/// thread's slices reach a CPU must never leak into what the simulation
+/// computes.
 #[test]
-fn conformance_matrix_under_legacy_condvar_handoff() {
+fn conformance_matrix_across_handoff_modes() {
     let jacobi = |nodes: usize, sim: SimTuning| JacobiConfig {
         size: 16,
         iterations: 2,
@@ -432,41 +435,63 @@ fn conformance_matrix_under_legacy_condvar_handoff() {
         sim,
         transport: TransportTuning::default(),
     };
-    assert!(SimTuning::legacy().legacy_condvar_handoff);
+    use dsm_pm2::pm2::HandoffMode;
+    assert_eq!(SimTuning::baton().handoff, HandoffMode::Baton);
+    assert_eq!(SimTuning::legacy().handoff, HandoffMode::LegacyCondvar);
+    // Pin the baseline mode explicitly: `SimTuning::default()` honours the
+    // `DSM_SIM_HANDOFF` override, and this matrix must compare fixed modes
+    // no matter what environment CI re-runs it under.
+    let continuation = SimTuning::default().with_handoff(HandoffMode::Continuation);
+    let cells = |w: usize| {
+        [
+            continuation.with_workers(w),
+            SimTuning::baton().with_workers(w),
+            SimTuning::legacy().with_workers(w),
+        ]
+    };
     for proto in MATRIX_PROTOCOLS {
         for nodes in MATRIX_NODES {
-            let futex = run_jacobi(&jacobi(nodes, SimTuning::default()), proto);
-            let legacy = run_jacobi(&jacobi(nodes, SimTuning::legacy()), proto);
-            assert_eq!(
-                legacy.final_cells, futex.final_cells,
-                "jacobi memory diverged between handoffs under {proto} x {nodes} nodes"
-            );
-            assert_eq!(
-                legacy.elapsed, futex.elapsed,
-                "jacobi virtual time diverged between handoffs under {proto} x {nodes} nodes"
-            );
+            let base_j = run_jacobi(&jacobi(nodes, continuation), proto);
+            let base_s = run_sor(&sor(nodes, continuation), proto);
+            let base_m = run_matmul(&matmul(nodes, continuation), proto);
+            for workers in [1usize, 2, 4] {
+                for sim in cells(workers) {
+                    if workers == 1 && sim.handoff == HandoffMode::Continuation {
+                        continue; // the baseline cell itself
+                    }
+                    let mode = sim.handoff;
 
-            let futex = run_sor(&sor(nodes, SimTuning::default()), proto);
-            let legacy = run_sor(&sor(nodes, SimTuning::legacy()), proto);
-            assert_eq!(
-                legacy.final_cells, futex.final_cells,
-                "sor memory diverged between handoffs under {proto} x {nodes} nodes"
-            );
-            assert_eq!(
-                legacy.elapsed, futex.elapsed,
-                "sor virtual time diverged between handoffs under {proto} x {nodes} nodes"
-            );
+                    let r = run_jacobi(&jacobi(nodes, sim), proto);
+                    assert_eq!(
+                        r.final_cells, base_j.final_cells,
+                        "jacobi memory diverged under {mode:?} x {workers} workers x {proto} x {nodes} nodes"
+                    );
+                    assert_eq!(
+                        r.elapsed, base_j.elapsed,
+                        "jacobi virtual time diverged under {mode:?} x {workers} workers x {proto} x {nodes} nodes"
+                    );
 
-            let futex = run_matmul(&matmul(nodes, SimTuning::default()), proto);
-            let legacy = run_matmul(&matmul(nodes, SimTuning::legacy()), proto);
-            assert_eq!(
-                legacy.final_cells, futex.final_cells,
-                "matmul memory diverged between handoffs under {proto} x {nodes} nodes"
-            );
-            assert_eq!(
-                legacy.elapsed, futex.elapsed,
-                "matmul virtual time diverged between handoffs under {proto} x {nodes} nodes"
-            );
+                    let r = run_sor(&sor(nodes, sim), proto);
+                    assert_eq!(
+                        r.final_cells, base_s.final_cells,
+                        "sor memory diverged under {mode:?} x {workers} workers x {proto} x {nodes} nodes"
+                    );
+                    assert_eq!(
+                        r.elapsed, base_s.elapsed,
+                        "sor virtual time diverged under {mode:?} x {workers} workers x {proto} x {nodes} nodes"
+                    );
+
+                    let r = run_matmul(&matmul(nodes, sim), proto);
+                    assert_eq!(
+                        r.final_cells, base_m.final_cells,
+                        "matmul memory diverged under {mode:?} x {workers} workers x {proto} x {nodes} nodes"
+                    );
+                    assert_eq!(
+                        r.elapsed, base_m.elapsed,
+                        "matmul virtual time diverged under {mode:?} x {workers} workers x {proto} x {nodes} nodes"
+                    );
+                }
+            }
         }
     }
 }

@@ -190,17 +190,20 @@ fn post_mortem_monitor_reports_elementary_functions() {
 /// three other nodes blocked on the same lock and coherence traffic in
 /// flight — must surface as the run's error (carrying the panic message),
 /// release every other thread, join every scheduler worker, and never hang,
-/// under both baton implementations and with the 4-worker engine.
+/// under all three hand-off substrates (continuation, futex baton, legacy
+/// condvar) and with the 4-worker engine.
 #[test]
-fn panic_mid_critical_section_reclaims_baton_under_both_handoffs() {
+fn panic_mid_critical_section_reclaims_baton_under_all_handoffs() {
     use dsm_pm2::core::{DsmAttr, DsmRuntime, HomePolicy};
     use dsm_pm2::pm2::{EngineConfig, SimError, SimTuning};
     use dsm_pm2::prelude::*;
 
     for sim in [
         SimTuning::default(),
+        SimTuning::baton(),
         SimTuning::legacy(),
         SimTuning::default().with_workers(4),
+        SimTuning::baton().with_workers(4),
     ] {
         let engine = Engine::with_config(EngineConfig {
             tuning: sim,
