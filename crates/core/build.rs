@@ -1,0 +1,8 @@
+//! Declares the custom cfgs this crate is compiled with so
+//! `RUSTFLAGS="--cfg dsm_mutant"` (the mutation-gate lane, which compiles the
+//! re-introduced historical protocol bugs of [`mutant`](src/mutant.rs) in)
+//! passes `unexpected_cfgs`.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(dsm_mutant)");
+}

@@ -13,6 +13,7 @@
 use crate::ctx::DsmThreadCtx;
 use crate::page::{Access, DsmAddr, PAGE_SIZE};
 use crate::protocol::FaultInfo;
+use crate::runtime::DsmRuntime;
 
 /// Scalar types that can be stored in DSM memory.
 pub trait DsmScalar: Copy + Sized + Send + 'static {
@@ -153,6 +154,7 @@ impl DsmThreadCtx<'_, '_> {
         rt.stats().incr_local_access();
         self.pm2.sim.charge(rt.costs().local_access());
         rt.frames(node).read(addr.page(), addr.offset(), buf);
+        self.report_access(&rt, addr, buf.len(), false);
     }
 
     /// Write `bytes` to shared memory (must not cross a page). Recorded with
@@ -174,6 +176,7 @@ impl DsmThreadCtx<'_, '_> {
         }
         rt.page_table(node)
             .update(addr.page(), |e| e.modified_since_release = true);
+        self.report_access(&rt, addr, bytes.len(), true);
     }
 
     /// Read a scalar assuming rights are already held (no fault detection).
@@ -186,6 +189,7 @@ impl DsmThreadCtx<'_, '_> {
         self.pm2.sim.charge(rt.costs().local_access());
         let mut buf = vec![0u8; T::SIZE];
         rt.frames(node).read(addr.page(), addr.offset(), &mut buf);
+        self.report_access(&rt, addr, T::SIZE, false);
         T::load_le(&buf)
     }
 
@@ -205,6 +209,25 @@ impl DsmThreadCtx<'_, '_> {
         }
         rt.page_table(node)
             .update(addr.page(), |e| e.modified_since_release = true);
+        self.report_access(&rt, addr, T::SIZE, true);
+    }
+
+    /// Report an application-level access to the verify observer, if one is
+    /// installed. The observer must charge no virtual time (see
+    /// [`crate::VerifyHooks`]), so instrumented runs stay bit-identical.
+    fn report_access(&mut self, rt: &DsmRuntime, addr: DsmAddr, len: usize, is_write: bool) {
+        if let Some(hooks) = rt.hooks() {
+            let access = crate::verify::MemAccess {
+                time: self.pm2.sim.now(),
+                node: self.node(),
+                thread: self.pm2.sim.id(),
+                page: addr.page(),
+                addr,
+                len,
+                is_write,
+            };
+            hooks.mem_access(rt, access);
+        }
     }
 }
 

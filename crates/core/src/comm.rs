@@ -15,7 +15,7 @@
 
 use dsmpm2_madeleine::{NodeId, CONTROL_MESSAGE_BYTES};
 use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcReply, RpcRequestCtx};
-use dsmpm2_sim::{BlockReason, EngineCtl, SimDuration, SimHandle, SimTime, TickOutbox};
+use dsmpm2_sim::{BlockReason, EngineCtl, SimDuration, SimHandle, SimTime, ThreadId, TickOutbox};
 
 use crate::ctx::{DsmThreadCtx, ServerCtx};
 use crate::diff::PageDiff;
@@ -23,6 +23,7 @@ use crate::msg::{DsmMsg, Invalidation, PageRequest, PageTransfer};
 use crate::page::{Access, PageId};
 use crate::runtime::DsmRuntime;
 use crate::sync::{BarrierId, LockId};
+use crate::verify::SyncEvent;
 
 /// Name of the protocol-message service.
 pub const SVC_DSM: &str = "dsm";
@@ -270,17 +271,34 @@ fn serve_dsm_msg(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, msg: DsmMsg) {
             // (version-gated against late arrivals), mark the acquisition
             // complete, and wake any write requests queued at the manager.
             let table = rt.page_table(ctx.local_node);
+            let mut version_before = 0;
+            let mut version_after = 0;
             table.update(page, |e| {
-                if version >= e.owner_version {
+                version_before = e.owner_version;
+                // Historical bug (`hint_rewind`): applying the notice without
+                // the version gate lets a late or duplicated stale notice
+                // rewind the succession record.
+                if crate::mutant::active("hint_rewind") || version >= e.owner_version {
                     e.owner_version = version;
                     if !e.owned {
                         e.prob_owner = owner;
                     }
                 }
+                version_after = e.owner_version;
                 if e.queue_tail == Some(owner) {
                     e.queue_tail = None;
                 }
             });
+            if let Some(hooks) = rt.hooks() {
+                hooks.owner_version_update(
+                    rt,
+                    ctx.sim.now(),
+                    ctx.local_node,
+                    page,
+                    version_before,
+                    version_after,
+                );
+            }
             table
                 .waiters(page)
                 .notify_all(&ctx.sim.ctl(), SimDuration::ZERO);
@@ -565,6 +583,12 @@ impl DsmThreadCtx<'_, '_> {
             RpcClass::Control,
         );
         rt.stats().incr_lock_acquire();
+        self.report_sync(&rt, |time, node, thread| SyncEvent::LockAcquired {
+            time,
+            node,
+            thread,
+            lock,
+        });
         for id in rt.protocols_in_use() {
             rt.protocol(id).lock_acquire(self, lock);
         }
@@ -574,6 +598,12 @@ impl DsmThreadCtx<'_, '_> {
     /// the DSM lock.
     pub fn dsm_unlock(&mut self, lock: LockId) {
         let rt = self.runtime().clone();
+        self.report_sync(&rt, |time, node, thread| SyncEvent::LockReleasing {
+            time,
+            node,
+            thread,
+            lock,
+        });
         for id in rt.protocols_in_use() {
             rt.protocol(id).lock_release(self, lock);
         }
@@ -593,15 +623,39 @@ impl DsmThreadCtx<'_, '_> {
     pub fn dsm_barrier(&mut self, barrier: BarrierId) {
         let rt = self.runtime().clone();
         let sync_point = LockId::for_barrier(barrier);
+        self.report_sync(&rt, |time, node, thread| SyncEvent::BarrierEnter {
+            time,
+            node,
+            thread,
+            barrier,
+        });
         for id in rt.protocols_in_use() {
             rt.protocol(id).lock_release(self, sync_point);
         }
         let manager = rt.barrier_manager(barrier);
         self.pm2
             .rpc_call(manager, SVC_BARRIER, Box::new(barrier.0), RpcClass::Control);
+        self.report_sync(&rt, |time, node, thread| SyncEvent::BarrierExit {
+            time,
+            node,
+            thread,
+            barrier,
+        });
         for id in rt.protocols_in_use() {
             rt.protocol(id).lock_acquire(self, sync_point);
         }
         rt.stats().incr_barrier();
+    }
+
+    /// Report a synchronization event to the verify observer, if installed.
+    fn report_sync(
+        &mut self,
+        rt: &DsmRuntime,
+        build: impl FnOnce(SimTime, NodeId, ThreadId) -> SyncEvent,
+    ) {
+        if let Some(hooks) = rt.hooks() {
+            let event = build(self.pm2.sim.now(), self.node(), self.pm2.sim.id());
+            hooks.sync_event(rt, event);
+        }
     }
 }

@@ -36,6 +36,7 @@ mod ctx;
 mod diff;
 mod frames;
 mod msg;
+pub mod mutant;
 mod page;
 mod page_table;
 mod protocol;
@@ -43,6 +44,7 @@ pub mod protolib;
 mod runtime;
 mod stats;
 mod sync;
+mod verify;
 
 pub use access::DsmScalar;
 pub use comm::{SVC_BARRIER, SVC_DSM, SVC_LOCK_ACQUIRE, SVC_LOCK_RELEASE};
@@ -57,10 +59,14 @@ pub use protocol::{CustomProtocol, CustomProtocolBuilder, DsmProtocol, FaultInfo
 pub use runtime::{DsmAttr, DsmRuntime, HomePolicy, PageMeta};
 pub use stats::{DsmStats, DsmStatsSnapshot};
 pub use sync::{BarrierId, LockId};
+pub use verify::{
+    install_global_verify_hooks, ConsistencyModel, MemAccess, SyncEvent, VerifyHooks,
+    VerifyHooksGuard,
+};
 
 /// Convenience re-exports from the runtime layers below.
 pub use dsmpm2_madeleine::{NodeId, Topology};
 pub use dsmpm2_pm2::{
-    DsmTuning, Engine, LossyConfig, Pm2Cluster, Pm2Config, Pm2ThreadState, SimDuration, SimTime,
-    TransportBackend, TransportTuning, WireStatsSnapshot,
+    DsmTuning, Engine, LossyConfig, PermutedConfig, Pm2Cluster, Pm2Config, Pm2ThreadState,
+    SimDuration, SimTime, ThreadId, TransportBackend, TransportTuning, WireStatsSnapshot,
 };

@@ -18,6 +18,7 @@ use crate::diff::PageDiff;
 use crate::msg::{Invalidation, PageRequest, PageTransfer};
 use crate::page::{Access, DsmAddr, PageId};
 use crate::sync::LockId;
+use crate::verify::ConsistencyModel;
 
 /// Identifier of a registered protocol.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
@@ -89,6 +90,25 @@ pub trait DsmProtocol: Send + Sync + 'static {
     /// that portable application code using plain `write` stays correct
     /// under them.
     fn records_writes(&self) -> bool {
+        false
+    }
+
+    /// The consistency model this protocol promises to application code
+    /// (the paper's Table 2 classification). The verify layer's race
+    /// detector only reports unsynchronized conflicting accesses on pages
+    /// whose protocol declares a relaxed model; under
+    /// [`ConsistencyModel::Sequential`] the protocol serializes every access
+    /// itself. Defaults to `Sequential`, the conservative choice for custom
+    /// protocols (fewer spurious findings).
+    fn consistency(&self) -> ConsistencyModel {
+        ConsistencyModel::Sequential
+    }
+
+    /// True if the protocol lets several nodes hold write access to one page
+    /// simultaneously (twin/diff or recorded-write merging). Single-writer
+    /// protocols return `false`, which arms the verify layer's write
+    /// exclusivity and copyset invariants.
+    fn multiple_writers(&self) -> bool {
         false
     }
 

@@ -151,6 +151,12 @@ pub fn serve_read_copy(sim: &mut SimHandle, node: NodeId, rt: &DsmRuntime, req: 
     let table = rt.page_table(node);
     sim.charge(rt.costs().serve_overhead());
     let version = table.update(req.page, |e| {
+        if crate::mutant::active("copyset_wipe") {
+            // Historical bug: the read server rebuilt the copyset from
+            // scratch instead of accumulating, forgetting earlier readers
+            // and leaving their replicas unreachable by invalidation.
+            e.copyset.clear();
+        }
         e.copyset.insert(req.requester);
         if e.access == Access::Write {
             e.access = Access::Read;
@@ -492,13 +498,22 @@ pub fn flush_diffs_to_homes(
         if diff.is_empty() {
             continue;
         }
-        table.update(page, |e| e.pending_acks += 1);
-        outgoing.push((page, home, diff));
+        // Historical bug (`pre_revoke_diff_push`): the release path fired
+        // the diffs off without ack bookkeeping and returned immediately,
+        // so a subsequent acquire could read the home copy before the
+        // releaser's diffs were applied.
+        let skip_acks = crate::mutant::active("pre_revoke_diff_push");
+        if !skip_acks {
+            table.update(page, |e| e.pending_acks += 1);
+        }
+        outgoing.push((page, home, diff, skip_acks));
     }
     let mut waiting_pages = Vec::new();
-    for (page, home, diff) in outgoing {
-        rt.send_diff(sim, node, home, diff, true);
-        waiting_pages.push(page);
+    for (page, home, diff, skip_acks) in outgoing {
+        rt.send_diff(sim, node, home, diff, !skip_acks);
+        if !skip_acks {
+            waiting_pages.push(page);
+        }
     }
     for page in waiting_pages {
         let waiters = table.waiters(page);

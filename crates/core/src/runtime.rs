@@ -87,6 +87,7 @@ pub(crate) struct RuntimeInner {
     next_lock: AtomicU64,
     next_barrier: AtomicU64,
     stats: DsmStats,
+    verify_hooks: Option<Arc<dyn crate::verify::VerifyHooks>>,
 }
 
 const NO_DEFAULT: usize = usize::MAX;
@@ -146,6 +147,7 @@ impl DsmRuntime {
                 next_lock: AtomicU64::new(1),
                 next_barrier: AtomicU64::new(1),
                 stats: DsmStats::new(),
+                verify_hooks: crate::verify::global_verify_hooks(),
             }),
         };
         crate::comm::register_dsm_services(&runtime);
@@ -163,6 +165,11 @@ impl DsmRuntime {
 
     pub(crate) fn downgrade(&self) -> std::sync::Weak<RuntimeInner> {
         Arc::downgrade(&self.inner)
+    }
+
+    /// Verify-hooks observer captured at construction, if one was installed.
+    pub(crate) fn hooks(&self) -> Option<&Arc<dyn crate::verify::VerifyHooks>> {
+        self.inner.verify_hooks.as_ref()
     }
 
     pub(crate) fn from_inner(inner: Arc<RuntimeInner>) -> DsmRuntime {
@@ -416,6 +423,12 @@ impl DsmRuntime {
             for node in self.inner.cluster.topology().nodes() {
                 if node == home {
                     continue;
+                }
+                if crate::mutant::active("doomed_frame_write") {
+                    // Historical bug: the switch evicted remote frames up
+                    // front, dooming their modified contents before the
+                    // consolidation below could merge them home.
+                    self.frames(node).evict(page);
                 }
                 let entry = self.page_table(node).get(page);
                 if self.frames(node).has(page) {

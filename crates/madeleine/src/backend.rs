@@ -68,6 +68,13 @@ impl TransportTuning {
             }),
         }
     }
+
+    /// Controller-permuted delivery order (the dsm-verify exploration seam).
+    pub fn permuted() -> Self {
+        TransportTuning {
+            backend: TransportBackend::Permuted(PermutedConfig::default()),
+        }
+    }
 }
 
 /// Selection of the wire-level behaviour of a [`crate::Network`].
@@ -80,6 +87,13 @@ pub enum TransportBackend {
     Contended,
     /// Deterministic drops/duplications with retransmission timers.
     Lossy(LossyConfig),
+    /// `Ideal`, except that an installed engine
+    /// [`ScheduleController`](dsmpm2_sim::ScheduleController) picks one of a
+    /// small number of bounded delivery slots per message, permuting
+    /// *cross-link* delivery order. Per-link FIFO is still enforced by the
+    /// link clocks, so the Madeleine no-overtake invariant holds on every
+    /// explored schedule. Without a controller this is exactly `Ideal`.
+    Permuted(PermutedConfig),
 }
 
 impl TransportBackend {
@@ -89,7 +103,26 @@ impl TransportBackend {
             TransportBackend::Ideal => "ideal",
             TransportBackend::Contended => "contended",
             TransportBackend::Lossy(_) => "lossy",
+            TransportBackend::Permuted(_) => "permuted",
         }
+    }
+}
+
+/// Parameters of the [`TransportBackend::Permuted`] backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PermutedConfig {
+    /// Number of delivery slots offered to the controller per message
+    /// (clamped to ≥ 1). Slot 0 is the ideal arrival; slot `k` adds `k`
+    /// times half the message's own wire delay (plus one nanosecond, so
+    /// even zero-delay messages can be reordered), which is enough slack to
+    /// interleave with concurrent messages of other links without inflating
+    /// virtual time unboundedly.
+    pub options: u8,
+}
+
+impl Default for PermutedConfig {
+    fn default() -> Self {
+        PermutedConfig { options: 3 }
     }
 }
 
@@ -155,6 +188,7 @@ pub fn build_transport<M: Send + 'static>(
         TransportBackend::Ideal => Box::new(IdealTransport::new(n)),
         TransportBackend::Contended => Box::new(ContendedTransport::new(ctl, model, n)),
         TransportBackend::Lossy(config) => Box::new(LossyTransport::<M>::new(ctl, config, n)),
+        TransportBackend::Permuted(config) => Box::new(PermutedTransport::new(ctl, config, n)),
     }
 }
 
@@ -234,6 +268,66 @@ impl IdealTransport {
 impl<M: Send + 'static> Transport<M> for IdealTransport {
     fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>) {
         let natural = env.sent_at + base_delay;
+        let arrival = self.links.reserve(env.from, env.to, natural);
+        self.stats.add_fifo_stall(arrival.since(natural));
+        tx.send_at(arrival, env);
+    }
+
+    fn wire_stats(&self) -> WireStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Permuted
+// ---------------------------------------------------------------------------
+
+/// `Ideal` with a delivery-order choice point per message: when the engine
+/// has a [`dsmpm2_sim::ScheduleController`] installed, every cross-node
+/// message asks it for one of `options` bounded delivery slots before the
+/// usual per-link FIFO reservation. Slot 0 reproduces `Ideal` exactly (and
+/// is what an uncontrolled run always takes), so runs without a controller
+/// are bit-identical to the ideal backend.
+struct PermutedTransport {
+    ctl: EngineCtl,
+    options: u32,
+    links: LinkClocks,
+    stats: WireStats,
+}
+
+impl PermutedTransport {
+    fn new(ctl: EngineCtl, config: PermutedConfig, num_nodes: usize) -> Self {
+        PermutedTransport {
+            ctl,
+            options: u32::from(config.options).max(1),
+            links: LinkClocks::new(num_nodes),
+            stats: WireStats::default(),
+        }
+    }
+}
+
+impl<M: Send + 'static> Transport<M> for PermutedTransport {
+    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>) {
+        let choice = if self.options > 1 && env.from != env.to {
+            match self.ctl.controller() {
+                Some(controller) => controller
+                    .choose_delivery(
+                        self.ctl.now(),
+                        env.from.index() as u64,
+                        env.to.index() as u64,
+                        self.options,
+                    )
+                    .min(self.options - 1),
+                None => 0,
+            }
+        } else {
+            0
+        };
+        // Slot slack: half the message's own wire delay plus 1 ns per slot,
+        // so slot k can slip behind concurrent messages of other links
+        // without stretching virtual time past one extra delay overall.
+        let slack = SimDuration::from_nanos(base_delay.as_nanos() / 2 + 1) * u64::from(choice);
+        let natural = env.sent_at + base_delay + slack;
         let arrival = self.links.reserve(env.from, env.to, natural);
         self.stats.add_fifo_stall(arrival.since(natural));
         tx.send_at(arrival, env);

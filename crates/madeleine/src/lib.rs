@@ -30,7 +30,9 @@ mod stats;
 mod topology;
 mod transport;
 
-pub use backend::{build_transport, LossyConfig, Transport, TransportBackend, TransportTuning};
+pub use backend::{
+    build_transport, LossyConfig, PermutedConfig, Transport, TransportBackend, TransportTuning,
+};
 pub use model::{NetworkModel, CONTROL_MESSAGE_BYTES};
 pub use stats::{LinkCounters, NetStats, NetStatsSnapshot, WireStats, WireStatsSnapshot};
 pub use topology::{NodeId, Topology};

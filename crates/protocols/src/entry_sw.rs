@@ -26,8 +26,8 @@ use parking_lot::Mutex;
 
 use dsmpm2_core::protolib;
 use dsmpm2_core::{
-    pages_covering, Access, DsmAddr, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId,
-    PageId, PageRequest, PageTransfer, ServerCtx,
+    pages_covering, Access, ConsistencyModel, DsmAddr, DsmProtocol, DsmThreadCtx, FaultInfo,
+    Invalidation, LockId, PageId, PageRequest, PageTransfer, ServerCtx,
 };
 
 /// The `entry_sw` protocol (entry consistency, single writer per lock).
@@ -93,6 +93,12 @@ impl EntryConsistency {
 impl DsmProtocol for EntryConsistency {
     fn name(&self) -> &str {
         "entry_sw"
+    }
+
+    fn consistency(&self) -> ConsistencyModel {
+        // Entry consistency: only the lock bound to a region orders its
+        // accesses; anything unguarded is a race.
+        ConsistencyModel::Entry
     }
 
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {

@@ -8,8 +8,8 @@
 
 use dsmpm2_core::protolib;
 use dsmpm2_core::{
-    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, PageRequest, PageTransfer,
-    ServerCtx,
+    Access, ConsistencyModel, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId,
+    PageRequest, PageTransfer, ServerCtx,
 };
 
 /// The `erc_sw` protocol (eager release consistency, single writer).
@@ -26,6 +26,12 @@ impl ErcSw {
 impl DsmProtocol for ErcSw {
     fn name(&self) -> &str {
         "erc_sw"
+    }
+
+    fn consistency(&self) -> ConsistencyModel {
+        // Eager release consistency: writes propagate at release; an
+        // unsynchronized conflicting access pair reads stale data.
+        ConsistencyModel::Release
     }
 
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {

@@ -11,8 +11,8 @@
 
 use dsmpm2_core::protolib;
 use dsmpm2_core::{
-    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, NodeId, PageDiff,
-    PageRequest, PageTransfer, ServerCtx,
+    Access, ConsistencyModel, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, NodeId,
+    PageDiff, PageRequest, PageTransfer, ServerCtx,
 };
 
 /// The `hbrc_mw` protocol (home-based release consistency, multiple writers).
@@ -29,6 +29,15 @@ impl HbrcMw {
 impl DsmProtocol for HbrcMw {
     fn name(&self) -> &str {
         "hbrc_mw"
+    }
+
+    fn consistency(&self) -> ConsistencyModel {
+        ConsistencyModel::Release
+    }
+
+    fn multiple_writers(&self) -> bool {
+        // Twin/diff merging lets several nodes write one page concurrently.
+        true
     }
 
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {

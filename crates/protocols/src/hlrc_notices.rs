@@ -29,8 +29,8 @@ use parking_lot::Mutex;
 
 use dsmpm2_core::protolib;
 use dsmpm2_core::{
-    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, NodeId, PageDiff, PageId,
-    PageRequest, PageTransfer, ServerCtx,
+    Access, ConsistencyModel, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, NodeId,
+    PageDiff, PageId, PageRequest, PageTransfer, ServerCtx,
 };
 
 /// One write notice: an interval stamp, the releasing node and the pages it
@@ -107,6 +107,14 @@ impl HlrcNotices {
 impl DsmProtocol for HlrcNotices {
     fn name(&self) -> &str {
         "hlrc_notices"
+    }
+
+    fn consistency(&self) -> ConsistencyModel {
+        ConsistencyModel::Release
+    }
+
+    fn multiple_writers(&self) -> bool {
+        true
     }
 
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {

@@ -23,8 +23,8 @@
 
 use dsmpm2_core::protolib;
 use dsmpm2_core::{
-    Access, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId, PageRequest, PageTransfer,
-    ServerCtx,
+    Access, ConsistencyModel, DsmProtocol, DsmThreadCtx, FaultInfo, Invalidation, LockId,
+    PageRequest, PageTransfer, ServerCtx,
 };
 
 /// Which access-detection flavour a Java-consistency protocol instance uses.
@@ -84,6 +84,15 @@ impl DsmProtocol for JavaConsistency {
         // Modifications reach main memory through the recorded ranges (the
         // `put` path); a plain write that skipped recording would be lost at
         // the next monitor entry when the cache is flushed.
+        true
+    }
+
+    fn consistency(&self) -> ConsistencyModel {
+        ConsistencyModel::Java
+    }
+
+    fn multiple_writers(&self) -> bool {
+        // Recorded-write merging at the home: concurrent writers per page.
         true
     }
 

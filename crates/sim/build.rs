@@ -1,0 +1,7 @@
+//! Declares the custom cfgs this crate is compiled with so
+//! `RUSTFLAGS="--cfg dsm_force_no_coro"` (the CI lane exercising the
+//! non-x86-64 baton fallback on x86-64 hosts) passes `unexpected_cfgs`.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(dsm_force_no_coro)");
+}

@@ -44,7 +44,9 @@ use std::panic::{self, AssertUnwindSafe};
 /// Whether this target has a stack-switching implementation. When false the
 /// engine silently downgrades `HandoffMode::Continuation` to the OS-thread
 /// baton, so the programming model and determinism are preserved everywhere.
-pub(crate) const SUPPORTED: bool = cfg!(target_arch = "x86_64");
+/// `--cfg dsm_force_no_coro` forces the fallback even where the asm path
+/// exists, so CI can exercise the non-x86-64 downgrade on x86-64 hosts.
+pub(crate) const SUPPORTED: bool = cfg!(all(target_arch = "x86_64", not(dsm_force_no_coro)));
 
 /// Default private stack size of one continuation. Committed lazily by the
 /// OS (the buffer is allocated but never written ahead of use), so the cost
@@ -114,6 +116,9 @@ mod arch {
         debug_assert_eq!(top % 16, 0);
         let sp = top - 7 * 8;
         let slots = sp as *mut u64;
+        // SAFETY: the caller passes `top` inside a live stack buffer at
+        // least 7 words deep, so `slots..slots+7` is in-bounds, writable
+        // memory owned by the Coro; nothing else references it yet.
         unsafe {
             slots.add(0).write(0); // r15
             slots.add(1).write(0); // r14
@@ -194,6 +199,9 @@ impl Coro {
         let top = (base + stack.capacity()) & !15;
         // Plant the overflow canary at the lowest word (aligned up).
         let canary_at = ((base + 7) & !7) as *mut u64;
+        // SAFETY: `canary_at` is the 8-aligned low end of the freshly
+        // allocated stack buffer (capacity >= 64 KiB), in-bounds and
+        // exclusively owned here.
         unsafe { canary_at.write(CANARY) };
         // The bootstrap frame needs the Coro's *final* address (it captures
         // a self-pointer), so it is seeded on first resume, after the owner
@@ -229,12 +237,22 @@ impl Coro {
         // it in place for its whole life).
         if !self.started {
             self.started = true;
+            // SAFETY: `self.top` is the aligned top of this Coro's own
+            // stack buffer, and `self` sits at its permanent address (the
+            // slot never moves it between resumes).
             self.coro_sp = unsafe { arch::bootstrap(self.top, self as *mut Coro) };
         }
+        // SAFETY: `self.coro_sp` was produced by `bootstrap` (first resume)
+        // or by the coroutine's own `raw_switch` save (later resumes); the
+        // caller's exclusivity contract guarantees the continuation is
+        // suspended and owned by us.
         unsafe { arch::raw_switch(&mut self.sched_sp, self.coro_sp) };
         // Back on the scheduler stack. The coroutine either parked (saved
         // its sp via yield_to_scheduler) or completed (set `done`).
         assert!(
+            // SAFETY: `canary_at` points at the low word of the live stack
+            // buffer, written once in `new`; reading it races with nothing
+            // (the coroutine just suspended on this very OS thread).
             unsafe { self.canary_at().read() } == CANARY,
             "simulated-thread stack overflow: the continuation overran its private \
              stack (raise SpawnOptions::stack_bytes or use the baton fallback)"
@@ -248,6 +266,10 @@ impl Coro {
     /// # Safety
     /// Must be called *from inside* this coroutine (on its private stack).
     pub unsafe fn yield_to_scheduler(&mut self) {
+        // SAFETY: we are running *on* this coroutine's stack (the caller's
+        // contract), so `sched_sp` is the suspended resumer saved by the
+        // `raw_switch` that entered us; switching back to it is the exact
+        // inverse of that switch.
         unsafe { arch::raw_switch(&mut self.coro_sp, self.sched_sp) };
     }
 
@@ -296,12 +318,14 @@ pub(crate) extern "sysv64" fn coro_entry(coro: *mut Coro) -> ! {
         let _ = panic::catch_unwind(AssertUnwindSafe(body));
     }
     coro.done = true;
+    // SAFETY: still on this coroutine's private stack — the precondition of
+    // yield_to_scheduler; the final switch back to the resumer.
     unsafe { coro.yield_to_scheduler() };
     // A completed coroutine must never be resumed.
     std::process::abort();
 }
 
-#[cfg(all(test, target_arch = "x86_64"))]
+#[cfg(all(test, target_arch = "x86_64", not(dsm_force_no_coro)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -322,12 +346,16 @@ mod tests {
             for _ in 0..5 {
                 h2.fetch_add(1, Ordering::SeqCst);
                 let p = s2.load(Ordering::SeqCst);
+                // SAFETY: `p` points at the pinned Boxed Coro this body runs
+                // on; we are on its stack, exactly the yield precondition.
                 unsafe { (*p).yield_to_scheduler() };
             }
         });
         let mut coro = Box::new(Coro::new(body, 256 * 1024, None));
         shared.store(&mut *coro, Ordering::SeqCst);
         let mut resumes = 0;
+        // SAFETY: single-threaded test — this loop is the only resumer, and
+        // the loop condition stops at completion.
         while !unsafe { coro.resume() } {
             resumes += 1;
             assert!(resumes <= 6, "coroutine failed to complete");
@@ -345,6 +373,7 @@ mod tests {
             assert!(caught.is_err());
         });
         let mut coro = Box::new(Coro::new(body, 256 * 1024, None));
+        // SAFETY: sole resumer of a fresh suspended coroutine.
         assert!(unsafe { coro.resume() });
     }
 

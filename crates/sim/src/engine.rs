@@ -358,11 +358,16 @@ impl SpinMap {
     }
 
     /// Budget for the worker owning `shard_key` (thread side of the baton).
+    /// Relaxed: the budget is a wall-clock performance hint only — a stale
+    /// read spins a few extra (or fewer) iterations before parking; no other
+    /// state is published through it, and `retune`'s SeqCst store still
+    /// becomes visible promptly.
     pub fn for_key(&self, shard_key: u64) -> u32 {
         self.budgets[self.worker_of(shard_key)].load(Ordering::Relaxed)
     }
 
-    /// Budget for worker `w` (granting side of the baton).
+    /// Budget for worker `w` (granting side of the baton). Relaxed: same
+    /// hint-only reasoning as [`SpinMap::for_key`].
     pub fn for_worker(&self, w: usize) -> u32 {
         self.budgets[w].load(Ordering::Relaxed)
     }
@@ -541,6 +546,54 @@ pub struct RunReport {
 }
 
 // ---------------------------------------------------------------------------
+// Schedule control (the dsm-verify exploration seam)
+// ---------------------------------------------------------------------------
+
+/// One runnable alternative at a same-instant schedule choice point: the
+/// lowest-sequence pending event of one shard key at the current virtual
+/// instant. Executing any candidate preserves per-key (per-node) program
+/// order; the *cross*-key order is exactly what a schedule explorer varies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EventChoice {
+    /// Shard key of the candidate (upper layers use the cluster node id).
+    pub shard_key: u64,
+    /// Global sequence number of the candidate event. The candidate with the
+    /// smallest sequence number is what the uncontrolled engine would run;
+    /// candidates are presented in ascending sequence order, so index 0 is
+    /// always the canonical choice.
+    pub seq: u64,
+    /// Thread the event would wake (`None` for scheduler calls such as
+    /// message deliveries).
+    pub wakes: Option<ThreadId>,
+}
+
+/// A hook consulted by the engine — and by permutation-aware transport
+/// backends — at points where several orders are admissible and the engine
+/// would otherwise resolve the tie canonically. Installing a controller
+/// ([`Engine::set_controller`]) turns the deterministic engine into a
+/// *controllable* one: a driver (the `dsm-verify` explorer) can replay a
+/// recorded sequence of decisions and then deviate, enumerating the schedule
+/// space of a program without touching the program itself.
+///
+/// Returning the canonical choice everywhere reproduces the uncontrolled run
+/// bit for bit; that is what the replay proptest asserts.
+pub trait ScheduleController: Send + Sync {
+    /// Choose which same-instant event executes next. `choices` holds one
+    /// candidate per shard key with pending events at the current instant, in
+    /// ascending sequence order (index 0 = canonical). Only called when
+    /// `choices.len() > 1`. The return value is an index into `choices`;
+    /// out-of-range values are clamped to the last candidate.
+    fn choose_event(&self, now: SimTime, choices: &[EventChoice]) -> usize;
+
+    /// Choose a delivery slot for one message on a permutation-aware
+    /// transport (`TransportBackend::Permuted`): a value in `0..options`,
+    /// where 0 is the canonical (ideal) delivery and higher values add
+    /// bounded extra arrival slack, permuting cross-link delivery order
+    /// while per-link FIFO is preserved by the transport itself.
+    fn choose_delivery(&self, now: SimTime, from: u64, to: u64, options: u32) -> u32;
+}
+
+// ---------------------------------------------------------------------------
 // Events and buffered effects
 // ---------------------------------------------------------------------------
 
@@ -683,6 +736,11 @@ pub(crate) struct Shared {
     /// Count of parks per [`BlockReason`] (indexed by discriminant) — the
     /// data behind [`Engine::block_profile`].
     block_counts: [AtomicU64; BLOCK_REASONS.len()],
+    /// The installed [`ScheduleController`], if any (dsm-verify exploration).
+    controller: Mutex<Option<Arc<dyn ScheduleController>>>,
+    /// Raised when `controller` holds something, so the per-event scheduler
+    /// loop and the transport hot paths poll one atomic instead of a mutex.
+    controlled: AtomicBool,
     config: EngineConfig,
 }
 
@@ -945,7 +1003,71 @@ impl Shared {
 
     /// Bump the engine-wide profile counter for `reason`.
     pub(crate) fn record_block(&self, reason: BlockReason) {
+        // Relaxed: pure statistics counter, read only after `run()` returned
+        // (the thread join inside `run` is the happens-before edge to the
+        // reader); no other memory is published under it.
         self.block_counts[reason as usize].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The installed schedule controller, if any. One atomic flag guards the
+    /// mutex so uncontrolled runs (the default) pay a single relaxed-ish
+    /// load per query.
+    pub(crate) fn controller(&self) -> Option<Arc<dyn ScheduleController>> {
+        if !self.controlled.load(Ordering::SeqCst) {
+            return None;
+        }
+        self.controller.lock().clone()
+    }
+
+    /// Pop the next event under schedule control: drain every pending event
+    /// of the current minimum instant, present the per-shard-key heads to the
+    /// controller (ascending sequence order, so index 0 is the canonical
+    /// pick), execute the chosen head and reinsert the rest. Per-key
+    /// sequence order — per-node program order and per-link FIFO — is
+    /// preserved by construction; only the cross-key interleaving varies.
+    /// Single-worker engines only.
+    fn pop_controlled(&self, controller: &Arc<dyn ScheduleController>) -> Option<Event> {
+        let mut queue = self.shards[0].queue.lock();
+        let head_time = queue.peek()?.0.time;
+        // Heap pops yield ascending (time, seq): `batch` ends up sorted by
+        // sequence number.
+        let mut batch: Vec<Event> = Vec::new();
+        while queue.peek().is_some_and(|r| r.0.time == head_time) {
+            batch.push(queue.pop().expect("peeked event").0);
+        }
+        drop(queue);
+        // Index (into `batch`) of the lowest-sequence event of each distinct
+        // shard key, in ascending sequence order. Choice points are tiny
+        // (2–4 nodes), so the quadratic scan beats a hash map.
+        let mut heads: Vec<usize> = Vec::new();
+        for (i, e) in batch.iter().enumerate() {
+            if !heads.iter().any(|&h| batch[h].shard == e.shard) {
+                heads.push(i);
+            }
+        }
+        let pick = if heads.len() > 1 {
+            let choices: Vec<EventChoice> = heads
+                .iter()
+                .map(|&h| EventChoice {
+                    shard_key: batch[h].shard,
+                    seq: batch[h].seq,
+                    wakes: match &batch[h].kind {
+                        EventKind::Wake(tid, _) => Some(*tid),
+                        EventKind::Call(_) => None,
+                    },
+                })
+                .collect();
+            let idx = controller.choose_event(SimTime::from_nanos(head_time), &choices);
+            heads[idx.min(heads.len() - 1)]
+        } else {
+            heads[0]
+        };
+        let chosen = batch.swap_remove(pick);
+        let mut queue = self.shards[0].queue.lock();
+        for e in batch {
+            queue.push(Reverse(e));
+        }
+        Some(chosen)
     }
 
     /// Join and drop the backing OS threads of simulated threads that have
@@ -1104,6 +1226,13 @@ impl EngineCtl {
         )
     }
 
+    /// The engine's installed [`ScheduleController`], if any. Transport
+    /// backends with controllable delivery order (`Permuted`) query this on
+    /// every submit; the common uncontrolled case is one atomic load.
+    pub fn controller(&self) -> Option<Arc<dyn ScheduleController>> {
+        self.shared.controller()
+    }
+
     /// Run `f` now, or at the end of the current parallel instant in
     /// canonical order (see [`Shared::defer_or_run`]).
     pub(crate) fn defer_or_run<F>(&self, f: F)
@@ -1171,6 +1300,8 @@ impl Engine {
                 )),
                 stack_pool: Mutex::new(Vec::new()),
                 block_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+                controller: Mutex::new(None),
+                controlled: AtomicBool::new(false),
                 config,
             }),
             ran: false,
@@ -1255,6 +1386,23 @@ impl Engine {
             SpawnOptions::default(),
             f,
         )
+    }
+
+    /// Install a [`ScheduleController`]: every same-instant event-order tie
+    /// (and every delivery on a `Permuted` transport) is resolved by the
+    /// controller instead of canonically. Exploration requires the
+    /// single-worker scheduler — the parallel-instant path has no meaningful
+    /// sequential choice points — so this panics when the engine was
+    /// configured with more than one worker.
+    pub fn set_controller(&self, controller: Arc<dyn ScheduleController>) {
+        assert_eq!(
+            self.shared.num_workers(),
+            1,
+            "schedule controllers require a single-worker engine \
+             (SimTuning::with_workers(1))"
+        );
+        *self.shared.controller.lock() = Some(controller);
+        self.shared.controlled.store(true, Ordering::SeqCst);
     }
 
     /// Engine-wide count of parks per [`BlockReason`] so far: what the
@@ -1366,10 +1514,16 @@ impl Engine {
 
             // Single shard (workers = 1, the historical engine): pop the
             // globally smallest event under one lock acquisition instead of
-            // the peek-scan-pop dance below.
+            // the peek-scan-pop dance below. Under an installed controller
+            // (dsm-verify exploration) the pop consults the controller at
+            // every same-instant choice point instead.
             if single_shard {
-                let event = match shared.shards[0].queue.lock().pop() {
-                    Some(Reverse(e)) => e,
+                let popped = match shared.controller() {
+                    Some(controller) => shared.pop_controlled(&controller),
+                    None => shared.shards[0].queue.lock().pop().map(|Reverse(e)| e),
+                };
+                let event = match popped {
+                    Some(e) => e,
                     None => match self.drained_verdict() {
                         Ok(()) => return Ok(self.report()),
                         Err(e) => return Err(e),

@@ -53,8 +53,8 @@ mod wait;
 
 pub use channel::{channel, channel_on, SimReceiver, SimSender, TickOutbox};
 pub use engine::{
-    BlockReason, Engine, EngineConfig, EngineCtl, HandoffMode, RunReport, SimTuning, SliceOutcome,
-    SpawnOptions,
+    BlockReason, Engine, EngineConfig, EngineCtl, EventChoice, HandoffMode, RunReport,
+    ScheduleController, SimTuning, SliceOutcome, SpawnOptions,
 };
 pub use error::SimError;
 pub use handle::SimHandle;

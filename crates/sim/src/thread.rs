@@ -48,6 +48,15 @@ impl ThreadId {
     pub fn as_u64(self) -> u64 {
         self.0
     }
+
+    /// Rebuild a thread id from the raw value of [`ThreadId::as_u64`].
+    ///
+    /// The verify layer uses this to key recorded schedules and access logs
+    /// by thread across replays; an id that never came from `as_u64` simply
+    /// won't match any live thread.
+    pub fn from_u64(raw: u64) -> ThreadId {
+        ThreadId(raw)
+    }
 }
 
 impl fmt::Debug for ThreadId {
@@ -156,6 +165,8 @@ impl SchedHandle {
                 .is_err()
             {
                 // Somebody (us, earlier) already registered.
+                // SAFETY: the CAS failed, so `boxed` was never published;
+                // we still hold its only pointer, fresh from Box::into_raw.
                 drop(unsafe { Box::from_raw(boxed) });
             }
         }
@@ -164,6 +175,9 @@ impl SchedHandle {
     pub(crate) fn unpark(&self) {
         let p = self.ptr.load(Ordering::SeqCst);
         if !p.is_null() {
+            // SAFETY: a non-null pointer was published by `register_current`
+            // from Box::into_raw and is only freed in Drop, which cannot run
+            // concurrently with this call (the engine's Shared owns us).
             unsafe { &*p }.unpark();
         }
     }
@@ -173,6 +187,9 @@ impl Drop for SchedHandle {
     fn drop(&mut self) {
         let p = self.ptr.swap(ptr::null_mut(), Ordering::SeqCst);
         if !p.is_null() {
+            // SAFETY: we own the handle exclusively in Drop; the pointer
+            // came from Box::into_raw in `register_current` and the swap
+            // above makes this the only reclamation.
             drop(unsafe { Box::from_raw(p) });
         }
     }
@@ -253,6 +270,8 @@ pub(crate) struct ThreadSlot {
 // blocked in `Coro::resume`, and (d) engine teardown/reaping after the
 // scheduler loop stopped — all mutually exclusive by the phase machine.
 unsafe impl Send for ThreadSlot {}
+// SAFETY: see the Send justification above — the phase machine serializes
+// every access to the one non-Sync field (`coro`).
 unsafe impl Sync for ThreadSlot {}
 
 impl ThreadSlot {
@@ -349,6 +368,9 @@ impl ThreadSlot {
         if p.is_null() {
             self.default_sched.unpark();
         } else {
+            // SAFETY: non-null granter pointers reference the per-worker
+            // `SchedHandle`s inside the engine's `Shared`, which the spawn
+            // closure keeps alive (Arc) for this slot's whole lifetime.
             unsafe { &*p }.unpark();
         }
     }
@@ -381,6 +403,8 @@ impl ThreadSlot {
     /// immediately grantable (continuations have no Created window).
     pub fn init_continuation(&self, coro: Coro) {
         debug_assert_eq!(self.backing, Backing::Continuation);
+        // SAFETY: called before the slot is shared (spawn path), so this
+        // plain store through the UnsafeCell is exclusive.
         unsafe { *self.coro.get() = Some(coro) };
         self.phase.store(Phase::Parked as u32, Ordering::SeqCst);
     }
@@ -390,7 +414,11 @@ impl ThreadSlot {
     /// # Safety
     /// Must be called from *inside* this slot's coroutine.
     unsafe fn coro_yield(&self) {
+        // SAFETY: we are the running coroutine (caller contract), i.e. the
+        // phase machine's single admitted accessor of the cell right now.
         let coro = unsafe { (*self.coro.get()).as_mut().expect("continuation present") };
+        // SAFETY: on this coroutine's private stack — the precondition of
+        // yield_to_scheduler — per this function's own contract.
         unsafe { coro.yield_to_scheduler() };
     }
 
@@ -407,10 +435,11 @@ impl ThreadSlot {
     }
 
     fn park_and_wait_continuation(&self) -> bool {
-        // All phase bookkeeping is on the granting side: it stores `Parked`
-        // only after our stack is quiescent (i.e. after this switch-out
-        // completes inside `Coro::resume`), so a racing granter can never
-        // resume a half-saved continuation.
+        // SAFETY: running inside this slot's coroutine (this is its park
+        // path). All phase bookkeeping is on the granting side: it stores
+        // `Parked` only after our stack is quiescent (i.e. after this
+        // switch-out completes inside `Coro::resume`), so a racing granter
+        // can never resume a half-saved continuation.
         unsafe { self.coro_yield() };
         // Somebody granted us a new slice — or teardown is unwinding us.
         !self.shutdown.load(Ordering::SeqCst)
@@ -426,6 +455,8 @@ impl ThreadSlot {
         if self.backing != Backing::Continuation {
             return;
         }
+        // SAFETY: teardown runs after the scheduler loop and worker pool
+        // stopped, so no granter or coroutine can touch the cell anymore.
         let cell = unsafe { &mut *self.coro.get() };
         if let Some(coro) = cell.as_mut() {
             if coro.is_started() && !coro.is_done() {
@@ -433,6 +464,8 @@ impl ThreadSlot {
                 // returns false, and the body unwinds via ShutdownUnwind,
                 // running the destructors of every frame parked on the
                 // private stack.
+                // SAFETY: exclusive access (see above); the coroutine is
+                // suspended, started, and not done — exactly resumable.
                 let _ = unsafe { coro.resume() };
             }
         }
@@ -449,6 +482,8 @@ impl ThreadSlot {
         if self.backing != Backing::Continuation {
             return None;
         }
+        // SAFETY: per this function's contract, callers hold exclusive
+        // access (reaping between events on the scheduler, or teardown).
         let cell = unsafe { &mut *self.coro.get() };
         let reclaimable = cell
             .as_ref()
@@ -732,6 +767,8 @@ impl ThreadSlot {
             // SAFETY: we won the Granting CAS; nobody else touches the coro
             // until the phase store below.
             let coro = unsafe { (*self.coro.get()).as_mut().expect("continuation present") };
+            // SAFETY: same exclusivity (Granting CAS won); the coroutine is
+            // suspended and not done, so it is resumable.
             unsafe { coro.resume() }
         };
         if done {
@@ -748,6 +785,8 @@ impl ThreadSlot {
         // ran: it is parked (bounded) waiting for exactly this store.
         let g = self.granter.load(Ordering::SeqCst);
         if g != me && !g.is_null() {
+            // SAFETY: granter pointers reference per-worker SchedHandles in
+            // the engine's Shared, alive for this slot's whole lifetime.
             unsafe { &*g }.unpark();
         }
         true

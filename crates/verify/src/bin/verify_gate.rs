@@ -1,0 +1,305 @@
+//! CI gate for the verify layer.
+//!
+//! Modes (first CLI argument, default `all`):
+//!
+//! * `explorer` — exhaustively explore the smoke scenarios' schedule spaces
+//!   and assert every schedule is finding-free; prints pruning statistics.
+//! * `races` — run the workload sweep (shared counter, Jacobi, map
+//!   colouring across the registered protocols) with the race detector and
+//!   invariant oracle attached and assert it comes back clean.
+//! * `mutants` — run the kill battery. With `DSM_MUTANT=<name>` set (and
+//!   the binary built with `RUSTFLAGS=--cfg dsm_mutant`) the battery must
+//!   catch the mutant (exit 0 on catch, 1 on escape); with no mutant
+//!   selected it must come back clean.
+//!
+//! Exit status 0 = gate passed.
+
+use std::process::ExitCode;
+
+use dsmpm2_verify::scenario;
+use dsmpm2_verify::{
+    explore, run_scenario, with_recording, ExploreConfig, Finding, LogRecord, RunConfig, RunOutcome,
+};
+
+use dsmpm2_core::{PermutedConfig, TransportBackend, TransportTuning};
+use dsmpm2_pm2::profiles;
+use dsmpm2_workloads::jacobi::{run_jacobi, JacobiConfig};
+use dsmpm2_workloads::map_coloring::{run_map_coloring, ColoringConfig};
+use dsmpm2_workloads::micro::run_shared_counter;
+
+/// Protocols the micro/colouring workloads can select (the builtin set).
+const BUILTIN: [&str; 6] = [
+    "li_hudak",
+    "migrate_thread",
+    "erc_sw",
+    "hbrc_mw",
+    "java_ic",
+    "java_pf",
+];
+
+/// Protocols the Jacobi kernel can select (everything except `entry_sw`,
+/// which needs explicit lock/region binding).
+const JACOBI: [&str; 8] = [
+    "li_hudak",
+    "li_hudak_fixed",
+    "migrate_thread",
+    "erc_sw",
+    "hbrc_mw",
+    "hlrc_notices",
+    "java_ic",
+    "java_pf",
+];
+
+fn main() -> ExitCode {
+    let mode = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let ok = match mode.as_str() {
+        "explorer" => explorer_gate(),
+        "races" => race_gate(),
+        "mutants" => mutant_gate(),
+        "all" => {
+            // Run every stage even if an earlier one fails, so CI logs show
+            // the full picture.
+            let explorer = explorer_gate();
+            let races = race_gate();
+            let mutants = mutant_gate();
+            explorer && races && mutants
+        }
+        other => {
+            eprintln!("unknown mode {other}; expected explorer|races|mutants|all");
+            false
+        }
+    };
+    if ok {
+        println!("verify_gate({mode}): PASS");
+        ExitCode::SUCCESS
+    } else {
+        println!("verify_gate({mode}): FAIL");
+        ExitCode::FAILURE
+    }
+}
+
+fn permuted(options: u8) -> TransportTuning {
+    TransportTuning {
+        backend: TransportBackend::Permuted(PermutedConfig { options }),
+    }
+}
+
+/// The schedule-exploration smoke set: every schedule of each configuration
+/// must be free of findings.
+fn explorer_gate() -> bool {
+    let mut ok = true;
+    let configs: Vec<(scenario::Scenario, &str, TransportTuning, usize)> = vec![
+        (
+            scenario::locked_counter(),
+            "li_hudak",
+            TransportTuning::ideal(),
+            2,
+        ),
+        (scenario::locked_counter(), "erc_sw", permuted(3), 1),
+        (scenario::stale_release(), "hbrc_mw", permuted(4), 1),
+        (
+            scenario::migratory_increment(),
+            "migrate_thread",
+            TransportTuning::ideal(),
+            2,
+        ),
+        (scenario::reader_flock(), "li_hudak", permuted(3), 1),
+    ];
+    for (scn, protocol, transport, budget) in configs {
+        let base = RunConfig {
+            transport,
+            ..RunConfig::checked(protocol)
+        };
+        let explore_cfg = ExploreConfig {
+            max_schedules: 400,
+            preemption_budget: budget,
+        };
+        let (stats, findings) = explore(&scn, &base, &explore_cfg, &mut |_path, outcome| {
+            outcome.all_findings(&scn)
+        });
+        println!(
+            "explorer {}/{protocol} ({}): {} schedules, {} choice points, \
+             {} budget-pruned, {} dedup hits{}",
+            scn.name,
+            base.transport.backend.name(),
+            stats.schedules_run,
+            stats.choice_points,
+            stats.pruned_by_budget,
+            stats.dedup_hits,
+            if stats.capped { " (CAPPED)" } else { "" },
+        );
+        for finding in &findings {
+            println!("  FINDING {finding}");
+        }
+        ok &= findings.is_empty();
+    }
+    ok
+}
+
+/// The workload sweep: every (workload, protocol) pair must be free of
+/// invariant findings and data races — they are all lock- or
+/// barrier-synchronized programs.
+fn race_gate() -> bool {
+    let mut ok = true;
+    for protocol in BUILTIN {
+        let (total, log, step) = with_recording(true, || {
+            run_shared_counter(2, 2, profiles::bip_myrinet(), protocol)
+        });
+        ok &= report_workload("shared_counter", protocol, &log, &step, total == 4);
+    }
+    for protocol in JACOBI {
+        let (result, log, step) =
+            with_recording(true, || run_jacobi(&JacobiConfig::small(2), protocol));
+        ok &= report_workload("jacobi", protocol, &log, &step, result.checksum.is_finite());
+    }
+    // The colouring heap requires a Java-consistency protocol. Its seeding
+    // phase writes the graph objects with no synchronization edge to the
+    // worker threads — a genuine latent race the detector is expected to
+    // flag (a true positive kept as a canary): the gate asserts the races
+    // are found, are all DataRace findings, and are deterministic in count.
+    for protocol in ["java_ic", "java_pf"] {
+        let (result, log, step) = with_recording(true, || {
+            run_map_coloring(&ColoringConfig::small(2, 6), protocol)
+        });
+        let races = dsmpm2_verify::hb::analyze(&log);
+        let expected = step.is_empty()
+            && result.best_cost > 0
+            && !races.is_empty()
+            && races
+                .iter()
+                .all(|f| f.kind == dsmpm2_verify::FindingKind::DataRace);
+        println!(
+            "races map_coloring/{protocol}: {} log records, {} step findings, {} race \
+             findings (unsynchronized seeding phase — expected true positive)",
+            log.len(),
+            step.len(),
+            races.len(),
+        );
+        if !expected {
+            for finding in step.iter().chain(races.iter()) {
+                println!("  FINDING {finding}");
+            }
+        }
+        ok &= expected;
+    }
+    ok
+}
+
+fn report_workload(
+    workload: &str,
+    protocol: &str,
+    log: &[LogRecord],
+    step_findings: &[Finding],
+    result_ok: bool,
+) -> bool {
+    let races = dsmpm2_verify::hb::analyze(log);
+    let clean = step_findings.is_empty() && races.is_empty() && result_ok;
+    println!(
+        "races {workload}/{protocol}: {} log records, {} step findings, {} race findings{}",
+        log.len(),
+        step_findings.len(),
+        races.len(),
+        if result_ok { "" } else { " (WRONG RESULT)" },
+    );
+    for finding in step_findings.iter().chain(races.iter()) {
+        println!("  FINDING {finding}");
+    }
+    clean
+}
+
+/// The mutant kill battery: a fixed set of checker configurations that is
+/// clean on HEAD and must produce at least one finding under each of the
+/// four re-introduced bugs of `dsmpm2_core::mutant`.
+fn battery() -> Vec<Finding> {
+    let mut findings = Vec::new();
+
+    // copyset_wipe: readers forgotten from the copyset surface as a
+    // copyset-coverage (or stale final value) violation in reader_flock.
+    let scn = scenario::reader_flock();
+    let outcome = run_scenario(&scn, &RunConfig::checked("li_hudak"));
+    findings.extend(tag("reader_flock/li_hudak", outcome.all_findings(&scn)));
+
+    // pre_revoke_diff_push: a release that returns before its diffs landed
+    // loses an increment on some delivery schedule of stale_release.
+    let scn = scenario::stale_release();
+    let base = RunConfig {
+        transport: permuted(4),
+        ..RunConfig::checked("hbrc_mw")
+    };
+    let cfg = ExploreConfig {
+        max_schedules: 400,
+        preemption_budget: 1,
+    };
+    let (_, explored) = explore(&scn, &base, &cfg, &mut |_path, outcome: &RunOutcome| {
+        outcome.all_findings(&scn)
+    });
+    findings.extend(tag("stale_release/hbrc_mw", explored));
+
+    // hint_rewind: the forged stale AcquireDone must be ignored by the
+    // version gate; without it the monotonicity oracle fires.
+    let scn = scenario::stale_done_injection();
+    let outcome = run_scenario(&scn, &RunConfig::checked("li_hudak"));
+    findings.extend(tag(
+        "stale_done_injection/li_hudak",
+        outcome.all_findings(&scn),
+    ));
+
+    // doomed_frame_write: the protocol switch must consolidate remote
+    // frames before evicting them.
+    let scn = scenario::switch_survivor("migrate_thread");
+    let outcome = run_scenario(&scn, &RunConfig::checked("li_hudak"));
+    findings.extend(tag("switch_survivor/li_hudak", outcome.all_findings(&scn)));
+
+    findings
+}
+
+fn tag(label: &str, findings: Vec<Finding>) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .map(|f| Finding {
+            detail: format!("{label}: {}", f.detail),
+            ..f
+        })
+        .collect()
+}
+
+fn mutant_gate() -> bool {
+    let selected = std::env::var("DSM_MUTANT").ok();
+    let findings = battery();
+    match selected.as_deref() {
+        None | Some("") => {
+            for finding in &findings {
+                println!("  FINDING {finding}");
+            }
+            println!(
+                "mutants: HEAD battery: {} findings (expected 0)",
+                findings.len()
+            );
+            findings.is_empty()
+        }
+        Some(name) => {
+            if !dsmpm2_core::mutant::MUTANTS.contains(&name) {
+                println!("mutants: unknown mutant {name}");
+                return false;
+            }
+            if !dsmpm2_core::mutant::active(name) {
+                println!(
+                    "mutants: {name} selected but not compiled in — rebuild with \
+                     RUSTFLAGS=\"--cfg dsm_mutant\""
+                );
+                return false;
+            }
+            if findings.is_empty() {
+                println!("mutants: {name}: 0 findings — ESCAPED");
+                false
+            } else {
+                println!(
+                    "mutants: {name}: {} findings — CAUGHT (first: {})",
+                    findings.len(),
+                    findings[0]
+                );
+                true
+            }
+        }
+    }
+}

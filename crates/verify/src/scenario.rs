@@ -1,0 +1,317 @@
+//! A tiny straight-line DSL for verification scenarios.
+//!
+//! A [`Scenario`] is a fixed small configuration — 2–3 nodes, 1–2 pages,
+//! a handful of operations per thread — whose entire schedule space the
+//! explorer can enumerate. Each page holds one `u64` word at offset 0;
+//! threads run straight-line op lists (no data-dependent branching), so a
+//! scenario's behaviour is a pure function of the schedule.
+
+/// One straight-line operation of a scenario thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Read page `page`'s word.
+    Read {
+        /// Page index within the scenario.
+        page: usize,
+    },
+    /// Write `value` to page `page`'s word.
+    Write {
+        /// Page index within the scenario.
+        page: usize,
+        /// Value stored.
+        value: u64,
+    },
+    /// Read-modify-write: add `delta` to page `page`'s word.
+    Add {
+        /// Page index within the scenario.
+        page: usize,
+        /// Increment applied.
+        delta: u64,
+    },
+    /// Acquire the scenario's lock.
+    Acquire,
+    /// Release the scenario's lock.
+    Release,
+    /// Wait at the scenario's barrier (all threads with barriers take part).
+    Barrier,
+    /// Switch page `page`'s region to another registered protocol. Must be
+    /// executed at a quiescent point (between barriers).
+    Switch {
+        /// Page index within the scenario.
+        page: usize,
+        /// Name of the protocol switched to.
+        protocol: &'static str,
+    },
+    /// Migrate the executing thread to node `to`.
+    Migrate {
+        /// Destination node index.
+        to: usize,
+    },
+    /// Send a forged stale `AcquireDone(page, owner, version)` control
+    /// message to the page's home — fault injection modeling a duplicated
+    /// coherence message that slipped past wire-level dedup. The home's
+    /// version gate must ignore it.
+    InjectStaleDone {
+        /// Page index within the scenario.
+        page: usize,
+        /// Claimed (stale) owner node index.
+        owner: usize,
+        /// Claimed (stale) succession version.
+        version: u64,
+    },
+}
+
+/// One scenario thread: a home node and a straight-line op list.
+#[derive(Clone, Debug)]
+pub struct ThreadSpec {
+    /// Node the thread starts on.
+    pub node: usize,
+    /// The thread's operations, executed in order.
+    pub ops: Vec<Op>,
+}
+
+/// A small, fully explorable verification configuration.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (stable; used in reports).
+    pub name: &'static str,
+    /// Number of cluster nodes.
+    pub nodes: usize,
+    /// Number of shared pages (each holding one word at offset 0).
+    pub pages: usize,
+    /// Node index that is the fixed home of every page.
+    pub home: usize,
+    /// Node index managing the scenario's lock.
+    pub lock_manager: usize,
+    /// The scenario threads.
+    pub threads: Vec<ThreadSpec>,
+    /// Expected final word per page, when the scenario is
+    /// schedule-independent (`None` entries are unchecked).
+    pub expected: Vec<Option<u64>>,
+}
+
+impl Scenario {
+    /// Number of threads that execute at least one [`Op::Barrier`]; they all
+    /// share one barrier, so this is the barrier's party count.
+    pub fn barrier_parties(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| t.ops.iter().any(|op| matches!(op, Op::Barrier)))
+            .count()
+    }
+}
+
+/// Lock-protected increments from two nodes: race-free under every model;
+/// every schedule must end with the word at 2 and zero findings.
+pub fn locked_counter() -> Scenario {
+    let incr = vec![Op::Acquire, Op::Add { page: 0, delta: 1 }, Op::Release];
+    Scenario {
+        name: "locked_counter",
+        nodes: 2,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: incr.clone(),
+            },
+            ThreadSpec { node: 1, ops: incr },
+        ],
+        expected: vec![Some(2)],
+    }
+}
+
+/// An unsynchronized write/read pair across nodes: a data race under a
+/// relaxed model, benign under sequential consistency. The final value is
+/// schedule-dependent, so nothing is asserted about it.
+pub fn unsynced_pair() -> Scenario {
+    Scenario {
+        name: "unsynced_pair",
+        nodes: 2,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![Op::Write { page: 0, value: 7 }],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![Op::Read { page: 0 }],
+            },
+        ],
+        expected: vec![None],
+    }
+}
+
+/// Lock-protected increments where the second incrementer runs on the home
+/// node and therefore reads the home frame directly: if a release returns
+/// before its diffs reached the home (the `pre_revoke_diff_push` bug), a
+/// delayed diff lets the home thread read stale data and the final count
+/// drops to 1.
+pub fn stale_release() -> Scenario {
+    let incr = vec![Op::Acquire, Op::Add { page: 0, delta: 1 }, Op::Release];
+    Scenario {
+        name: "stale_release",
+        nodes: 3,
+        pages: 1,
+        home: 2,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 1,
+                ops: incr.clone(),
+            },
+            ThreadSpec { node: 2, ops: incr },
+        ],
+        expected: vec![Some(2)],
+    }
+}
+
+/// Three readers then an owner write: exercises copyset maintenance. With
+/// `copyset_wipe` the second reader evicts the first from the copyset, the
+/// write-time invalidation misses it, and the copyset-coverage invariant
+/// fires at the write instant.
+pub fn reader_flock() -> Scenario {
+    Scenario {
+        name: "reader_flock",
+        nodes: 3,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![
+                    Op::Write { page: 0, value: 7 },
+                    Op::Barrier,
+                    Op::Barrier,
+                    Op::Write { page: 0, value: 9 },
+                    Op::Barrier,
+                ],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![Op::Barrier, Op::Read { page: 0 }, Op::Barrier, Op::Barrier],
+            },
+            ThreadSpec {
+                node: 2,
+                ops: vec![Op::Barrier, Op::Read { page: 0 }, Op::Barrier, Op::Barrier],
+            },
+        ],
+        expected: vec![Some(9)],
+    }
+}
+
+/// Write, barrier, protocol switch, read: the value written before the
+/// switch must survive it. With `doomed_frame_write` the remote writer's
+/// frame is evicted before consolidation and the word silently resets.
+pub fn switch_survivor(to_protocol: &'static str) -> Scenario {
+    Scenario {
+        name: "switch_survivor",
+        nodes: 2,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![
+                    Op::Barrier,
+                    Op::Switch {
+                        page: 0,
+                        protocol: to_protocol,
+                    },
+                    Op::Barrier,
+                    Op::Read { page: 0 },
+                    Op::Barrier,
+                ],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![
+                    Op::Write { page: 0, value: 7 },
+                    Op::Barrier,
+                    Op::Barrier,
+                    Op::Read { page: 0 },
+                    Op::Barrier,
+                ],
+            },
+        ],
+        expected: vec![Some(7)],
+    }
+}
+
+/// Ownership succession with a forged stale `AcquireDone` injected after
+/// two legitimate successions: the home's version gate must ignore the
+/// stale notice (`hint_rewind` removes the gate and the owner-version
+/// monotonicity oracle fires).
+pub fn stale_done_injection() -> Scenario {
+    Scenario {
+        name: "stale_done_injection",
+        nodes: 3,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 1,
+                ops: vec![
+                    Op::Write { page: 0, value: 1 },
+                    Op::Barrier,
+                    Op::Barrier,
+                    Op::Barrier,
+                ],
+            },
+            ThreadSpec {
+                node: 2,
+                ops: vec![
+                    Op::Barrier,
+                    Op::Write { page: 0, value: 2 },
+                    Op::Barrier,
+                    // Both successions are complete; replay node 1's old
+                    // Done with its long-superseded version.
+                    Op::InjectStaleDone {
+                        page: 0,
+                        owner: 1,
+                        version: 1,
+                    },
+                    Op::Barrier,
+                ],
+            },
+        ],
+        expected: vec![Some(2)],
+    }
+}
+
+/// Thread migration chasing the data: exercises `migrate_thread`-style
+/// protocols under exploration (the thread hops to the home, increments
+/// in place, and hops back).
+pub fn migratory_increment() -> Scenario {
+    Scenario {
+        name: "migratory_increment",
+        nodes: 2,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![Op::Acquire, Op::Add { page: 0, delta: 1 }, Op::Release],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![
+                    Op::Migrate { to: 0 },
+                    Op::Acquire,
+                    Op::Add { page: 0, delta: 1 },
+                    Op::Release,
+                    Op::Migrate { to: 1 },
+                ],
+            },
+        ],
+        expected: vec![Some(2)],
+    }
+}

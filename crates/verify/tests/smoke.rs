@@ -1,0 +1,63 @@
+//! Smoke tests for the verify harness: the checkers find what they should
+//! and stay silent where they must.
+
+use dsmpm2_verify::scenario;
+use dsmpm2_verify::{explore, run_scenario, ExploreConfig, FindingKind, RunConfig};
+
+#[test]
+fn locked_counter_is_clean_under_every_builtin() {
+    for protocol in ["li_hudak", "erc_sw", "hbrc_mw", "java_pf", "migrate_thread"] {
+        let scenario = scenario::locked_counter();
+        let outcome = run_scenario(&scenario, &RunConfig::checked(protocol));
+        assert_eq!(outcome.error, None, "{protocol}");
+        let findings = outcome.all_findings(&scenario);
+        assert!(findings.is_empty(), "{protocol}: {findings:?}");
+        assert_eq!(outcome.final_words, vec![2], "{protocol}");
+    }
+}
+
+#[test]
+fn unsynchronized_sharing_is_a_race_under_relaxed_models_only() {
+    let scenario = scenario::unsynced_pair();
+    let relaxed = run_scenario(&scenario, &RunConfig::checked("erc_sw"));
+    let races: Vec<_> = relaxed
+        .race_findings()
+        .into_iter()
+        .filter(|f| f.kind == FindingKind::DataRace)
+        .collect();
+    assert!(!races.is_empty(), "erc_sw must report the race");
+
+    let sc = run_scenario(&scenario, &RunConfig::checked("li_hudak"));
+    let races: Vec<_> = sc
+        .race_findings()
+        .into_iter()
+        .filter(|f| f.kind == FindingKind::DataRace)
+        .collect();
+    assert!(races.is_empty(), "li_hudak serializes accesses: {races:?}");
+}
+
+#[test]
+fn explorer_finds_every_schedule_of_the_locked_counter_clean() {
+    let scenario = scenario::locked_counter();
+    let base = RunConfig::checked("li_hudak");
+    let (stats, findings) = explore(
+        &scenario,
+        &base,
+        &ExploreConfig {
+            max_schedules: 64,
+            preemption_budget: 1,
+        },
+        &mut |_path, outcome| outcome.all_findings(&scenario),
+    );
+    assert!(stats.schedules_run >= 2, "{stats:?}");
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn stale_done_injection_is_gated_on_head() {
+    let scenario = scenario::stale_done_injection();
+    let outcome = run_scenario(&scenario, &RunConfig::checked("li_hudak"));
+    assert_eq!(outcome.error, None);
+    let findings = outcome.all_findings(&scenario);
+    assert!(findings.is_empty(), "{findings:?}");
+}
