@@ -26,10 +26,20 @@
 
 use dsmpm2_bench::{markdown_table, measure_handoff, probe_fan_in, probe_single_transfer};
 use dsmpm2_madeleine::{profiles, LossyConfig, TransportBackend, TransportTuning};
+use dsmpm2_workloads::false_sharing::{run_false_sharing, FalseSharingConfig};
 use dsmpm2_workloads::{measure_read_fault, FaultPolicy};
 use serde::Value;
 
 const THRESHOLD: f64 = 0.10;
+/// Line granularity on the false-sharing kernel must move at least this
+/// many times fewer wire bytes than whole pages (PR 10 acceptance: ≥2×).
+/// Virtual-time measurement, so the margin is machine-independent; the
+/// measured ratio is ~40× for the single-writer protocols.
+const GRANULARITY_MIN_BYTES_RATIO: f64 = 2.0;
+/// The one-sided fast path must serve at least this fraction of the
+/// uncontended remote read fetches (PR 10 acceptance: ≥90%, zero handler
+/// wakes on the served ones).
+const ONE_SIDED_MIN_SERVE_FRACTION: f64 = 0.9;
 /// The futex baton must beat the Condvar baton by at least this factor
 /// (PR 3 acceptance: ≥2× fewer wall-clock ns per step). The margin is wide
 /// even on a single-CPU host, where the futex baton parks immediately
@@ -291,6 +301,119 @@ fn main() {
             "  note: no readable BENCH_pr6.json; regenerate it with the sched_handoff binary"
         ),
     }
+    // ----- coherence granularity + one-sided read envelope (virtual time) ---
+    //
+    // Deterministic virtual-time measurements, so unlike the wall-clock
+    // hand-off gate there is no noise margin to manage: the ratios are
+    // bit-stable on every machine. `BENCH_pr10.json` records the same
+    // numbers from the `line_coherence` binary for context.
+    let fs_nodes = 4;
+    let fs_proto = "li_hudak_fixed";
+    let page_run = run_false_sharing(&FalseSharingConfig::small(fs_nodes), fs_proto);
+    let line_run = {
+        let mut config = FalseSharingConfig::small(fs_nodes);
+        config.tuning = config.tuning.with_granularity(64);
+        run_false_sharing(&config, fs_proto)
+    };
+    let bytes_ratio =
+        page_run.wire.envelope_bytes as f64 / line_run.wire.envelope_bytes.max(1) as f64;
+    println!(
+        "Granularity gate ({fs_proto}, false sharing, {fs_nodes} nodes): page {} wire bytes \
+         in {} — 64 B lines {} wire bytes in {} ({bytes_ratio:.1}x fewer bytes, required \
+         ≥{GRANULARITY_MIN_BYTES_RATIO:.1}x; strictly less virtual time and identical memory \
+         required)",
+        page_run.wire.envelope_bytes,
+        page_run.elapsed,
+        line_run.wire.envelope_bytes,
+        line_run.elapsed
+    );
+    if line_run.final_slots != page_run.final_slots {
+        failures.push(format!(
+            "granularity: 64 B lines changed the false-sharing kernel's final counters \
+             ({fs_proto}, {fs_nodes} nodes)"
+        ));
+    }
+    if bytes_ratio < GRANULARITY_MIN_BYTES_RATIO {
+        failures.push(format!(
+            "granularity: 64 B lines moved only {bytes_ratio:.2}x fewer wire bytes than whole \
+             pages ({} vs {}, required ≥{GRANULARITY_MIN_BYTES_RATIO:.1}x)",
+            line_run.wire.envelope_bytes, page_run.wire.envelope_bytes
+        ));
+    }
+    if line_run.elapsed.as_nanos() >= page_run.elapsed.as_nanos() {
+        failures.push(format!(
+            "granularity: 64 B lines took {} vs {} at page granularity (strictly less virtual \
+             time required)",
+            line_run.elapsed, page_run.elapsed
+        ));
+    }
+    let one_sided_run = {
+        let mut config = FalseSharingConfig::read_mostly(fs_nodes);
+        config.tuning = config.tuning.with_one_sided_reads();
+        run_false_sharing(&config, fs_proto)
+    };
+    let fetches = one_sided_run.stats.one_sided_serves + one_sided_run.stats.one_sided_busy;
+    let serve_fraction = if fetches == 0 {
+        0.0
+    } else {
+        one_sided_run.stats.one_sided_serves as f64 / fetches as f64
+    };
+    println!(
+        "One-sided gate ({fs_proto}, read-mostly, {fs_nodes} nodes): {} of {fetches} read \
+         fetches served at delivery instant ({:.0}%, required \
+         ≥{:.0}%), {} handler wakes",
+        one_sided_run.stats.one_sided_serves,
+        serve_fraction * 100.0,
+        ONE_SIDED_MIN_SERVE_FRACTION * 100.0,
+        one_sided_run.stats.fetch_handler_wakes
+    );
+    if fetches == 0 || serve_fraction < ONE_SIDED_MIN_SERVE_FRACTION {
+        failures.push(format!(
+            "one-sided reads: only {} of {fetches} uncontended read fetches served one-sided \
+             (required ≥{:.0}%)",
+            one_sided_run.stats.one_sided_serves,
+            ONE_SIDED_MIN_SERVE_FRACTION * 100.0
+        ));
+    }
+    if one_sided_run.stats.fetch_handler_wakes != one_sided_run.stats.one_sided_busy {
+        failures.push(format!(
+            "one-sided reads: {} handler wakes for {} refused fetches (served fetches must \
+             never wake the handler)",
+            one_sided_run.stats.fetch_handler_wakes, one_sided_run.stats.one_sided_busy
+        ));
+    }
+    match std::fs::read_to_string("BENCH_pr10.json")
+        .ok()
+        .and_then(|text| serde_json::from_str_value(&text).ok())
+    {
+        Some(baseline) => {
+            let line_row = baseline
+                .get("false_sharing_granularity")
+                .and_then(|rows| match rows {
+                    Value::Array(rows) => rows
+                        .iter()
+                        .find(|r| {
+                            r.get("granularity").and_then(number) == Some(64.0)
+                                && matches!(r.get("protocol"),
+                                            Some(Value::String(p)) if p == fs_proto)
+                        })
+                        .and_then(|r| r.get("bytes_ratio_vs_page"))
+                        .and_then(number),
+                    _ => None,
+                });
+            if let Some(recorded) = line_row {
+                println!(
+                    "  recorded in BENCH_pr10.json: {recorded:.1}x fewer bytes at 64 B lines \
+                     (virtual-time numbers; machine-independent)"
+                );
+            }
+        }
+        None => println!(
+            "  note: no readable BENCH_pr10.json; regenerate it with the line_coherence binary"
+        ),
+    }
+    println!();
+
     if m.speedup < HANDOFF_MIN_SPEEDUP {
         failures.push(format!(
             "sched_handoff: futex baton only {:.2}x faster than Condvar \

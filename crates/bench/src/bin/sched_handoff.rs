@@ -51,6 +51,11 @@ fn main() {
                     format!("{:.0}", m.condvar_ns_per_step),
                     format!("{:.0}", 1e9 / m.condvar_ns_per_step),
                 ],
+                vec![
+                    format!("{}-thread wake burst (solo grants)", m.burst_threads),
+                    format!("{:.0}", m.burst_ns_per_grant),
+                    format!("{:.0}", 1e9 / m.burst_ns_per_grant),
+                ],
             ],
         )
     );

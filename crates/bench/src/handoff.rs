@@ -31,6 +31,14 @@ pub struct HandoffMeasurement {
     /// `futex_ns_per_step / continuation_ns_per_step` (the PR 6 envelope:
     /// how much cheaper a continuation grant is than an OS-thread baton).
     pub continuation_speedup: f64,
+    /// Threads yielding in lockstep in the burst measurement.
+    pub burst_threads: u64,
+    /// Best-of-trials wall-clock nanoseconds per grant when wakes arrive in
+    /// same-instant, same-shard bursts (`burst_threads` continuation
+    /// threads yielding in lockstep on one shard) — the regime of the solo
+    /// grant fast path, which batches the hand-off's phase-word atomics
+    /// across each burst.
+    pub burst_ns_per_grant: f64,
 }
 
 /// The fixed tunings the harness measures, by mode name.
@@ -67,6 +75,36 @@ pub fn measure_handoff_mode(tuning: SimTuning, steps: u64, trials: u32) -> f64 {
     best
 }
 
+/// Wall-clock ns/grant of a same-instant, same-shard wake burst: `threads`
+/// continuation threads all yield in lockstep, so every instant the
+/// scheduler drains one burst of `threads` wakes back to back through one
+/// grant source — the path whose per-grant atomics the solo fast path
+/// batches away. Best of `trials`.
+pub fn measure_handoff_burst(threads: u64, steps_per_thread: u64, trials: u32) -> f64 {
+    let tuning = tuning_for(HandoffMode::Continuation);
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let mut engine = Engine::with_config(EngineConfig {
+            tuning,
+            ..EngineConfig::default()
+        });
+        for t in 0..threads {
+            engine.spawn(format!("burst-{t}"), move |h| {
+                for _ in 0..steps_per_thread {
+                    h.yield_now();
+                }
+            });
+        }
+        let start = Instant::now();
+        engine.run().expect("handoff burst benchmark must complete");
+        let ns = start.elapsed().as_nanos() as f64 / (threads * steps_per_thread) as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    best
+}
+
 /// Measure all three hand-offs back to back (a warm-up trial of each runs
 /// first so none pays first-touch costs).
 pub fn measure_handoff(steps: u64, trials: u32) -> HandoffMeasurement {
@@ -80,6 +118,8 @@ pub fn measure_handoff(steps: u64, trials: u32) -> HandoffMeasurement {
     let continuation = measure_handoff_mode(tuning_for(HandoffMode::Continuation), steps, trials);
     let futex = measure_handoff_mode(tuning_for(HandoffMode::Baton), steps, trials);
     let condvar = measure_handoff_mode(tuning_for(HandoffMode::LegacyCondvar), steps, trials);
+    let burst_threads = 64u64;
+    let burst = measure_handoff_burst(burst_threads, (steps / burst_threads).max(1), trials);
     HandoffMeasurement {
         steps,
         continuation_ns_per_step: continuation,
@@ -87,5 +127,7 @@ pub fn measure_handoff(steps: u64, trials: u32) -> HandoffMeasurement {
         condvar_ns_per_step: condvar,
         speedup: condvar / futex,
         continuation_speedup: futex / continuation,
+        burst_threads,
+        burst_ns_per_grant: burst,
     }
 }

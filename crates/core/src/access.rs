@@ -57,16 +57,33 @@ impl DsmThreadCtx<'_, '_> {
     /// fault handlers) as long as it does not. This is the access-detection
     /// loop: "on exiting the fault handler the thread repeats the access".
     pub fn ensure_access(&mut self, addr: DsmAddr, needed: Access) {
+        self.ensure_access_sized(addr, 1, needed);
+    }
+
+    /// [`DsmThreadCtx::ensure_access`] for an access of `size` bytes: also
+    /// checks that the access does not straddle a coherence-line boundary on
+    /// sub-page-granularity regions (rights are per line, so a straddling
+    /// access would only be covered on its first line).
+    pub fn ensure_access_sized(&mut self, addr: DsmAddr, size: usize, needed: Access) {
         let page = addr.page();
         loop {
             let node = self.node();
             let entry = self
                 .runtime()
                 .page_table(node)
-                .try_get(page)
+                .try_get_for_offset(page, addr.offset())
                 .unwrap_or_else(|| {
                     panic!("access at {addr} is outside every DSM allocation (node {node})")
                 });
+            if entry.line_size < PAGE_SIZE {
+                let (line_start, line_len) = entry.line_span();
+                assert!(
+                    addr.offset() + size <= line_start + line_len,
+                    "DSM access at {addr} of {size} bytes crosses a coherence-line boundary \
+                     (granularity {}); lay shared objects out so that scalars do not straddle lines",
+                    entry.line_size
+                );
+            }
             if entry.access.permits(needed) {
                 return;
             }
@@ -84,6 +101,7 @@ impl DsmThreadCtx<'_, '_> {
             let fault = FaultInfo {
                 addr,
                 page,
+                line: entry.line,
                 access: needed,
             };
             if needed == Access::Write {
@@ -111,7 +129,7 @@ impl DsmThreadCtx<'_, '_> {
     /// Read a scalar from shared memory (faulting as needed).
     pub fn read<T: DsmScalar>(&mut self, addr: DsmAddr) -> T {
         check_within_page(addr, T::SIZE);
-        self.ensure_access(addr, Access::Read);
+        self.ensure_access_sized(addr, T::SIZE, Access::Read);
         self.read_local(addr)
     }
 
@@ -122,7 +140,7 @@ impl DsmThreadCtx<'_, '_> {
     /// across every registered protocol.
     pub fn write<T: DsmScalar>(&mut self, addr: DsmAddr, value: T) {
         check_within_page(addr, T::SIZE);
-        self.ensure_access(addr, Access::Write);
+        self.ensure_access_sized(addr, T::SIZE, Access::Write);
         let record = self.page_records_writes(addr);
         self.write_local(addr, value, record);
     }
@@ -141,14 +159,14 @@ impl DsmThreadCtx<'_, '_> {
     /// (the on-the-fly diff recording used by the Java protocols' `put`).
     pub fn write_recorded<T: DsmScalar>(&mut self, addr: DsmAddr, value: T) {
         check_within_page(addr, T::SIZE);
-        self.ensure_access(addr, Access::Write);
+        self.ensure_access_sized(addr, T::SIZE, Access::Write);
         self.write_local(addr, value, true);
     }
 
     /// Read `buf.len()` bytes from shared memory (must not cross a page).
     pub fn read_bytes(&mut self, addr: DsmAddr, buf: &mut [u8]) {
         check_within_page(addr, buf.len());
-        self.ensure_access(addr, Access::Read);
+        self.ensure_access_sized(addr, buf.len(), Access::Read);
         let rt = self.runtime().clone();
         let node = self.node();
         rt.stats().incr_local_access();
@@ -162,7 +180,7 @@ impl DsmThreadCtx<'_, '_> {
     /// (see [`DsmThreadCtx::write`]).
     pub fn write_bytes(&mut self, addr: DsmAddr, bytes: &[u8]) {
         check_within_page(addr, bytes.len());
-        self.ensure_access(addr, Access::Write);
+        self.ensure_access_sized(addr, bytes.len(), Access::Write);
         let record = self.page_records_writes(addr);
         let rt = self.runtime().clone();
         let node = self.node();
@@ -175,7 +193,7 @@ impl DsmThreadCtx<'_, '_> {
             rt.frames(node).write(addr.page(), addr.offset(), bytes);
         }
         rt.page_table(node)
-            .update(addr.page(), |e| e.modified_since_release = true);
+            .mark_modified_at_offset(addr.page(), addr.offset());
         self.report_access(&rt, addr, bytes.len(), true);
     }
 
@@ -208,7 +226,7 @@ impl DsmThreadCtx<'_, '_> {
             rt.frames(node).write(addr.page(), addr.offset(), &buf);
         }
         rt.page_table(node)
-            .update(addr.page(), |e| e.modified_since_release = true);
+            .mark_modified_at_offset(addr.page(), addr.offset());
         self.report_access(&rt, addr, T::SIZE, true);
     }
 

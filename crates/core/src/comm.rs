@@ -14,13 +14,13 @@
 //! the multithreaded behaviour the paper emphasizes.
 
 use dsmpm2_madeleine::{NodeId, CONTROL_MESSAGE_BYTES};
-use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcReply, RpcRequestCtx};
+use dsmpm2_pm2::{downcast, service_fn, RpcClass, RpcMessage, RpcReply, RpcRequestCtx};
 use dsmpm2_sim::{BlockReason, EngineCtl, SimDuration, SimHandle, SimTime, ThreadId, TickOutbox};
 
 use crate::ctx::{DsmThreadCtx, ServerCtx};
 use crate::diff::PageDiff;
-use crate::msg::{DsmMsg, Invalidation, PageRequest, PageTransfer};
-use crate::page::{Access, PageId};
+use crate::msg::{DsmMsg, FetchRead, FetchReply, Invalidation, PageRequest, PageTransfer};
+use crate::page::{Access, LineIx, PageId, PAGE_SIZE};
 use crate::runtime::DsmRuntime;
 use crate::sync::{BarrierId, LockId};
 use crate::verify::SyncEvent;
@@ -33,6 +33,11 @@ pub const SVC_LOCK_ACQUIRE: &str = "dsm_lock_acquire";
 pub const SVC_LOCK_RELEASE: &str = "dsm_lock_release";
 /// Name of the barrier service.
 pub const SVC_BARRIER: &str = "dsm_barrier";
+/// Name of the one-sided read-fetch service. Requests on this service are
+/// normally consumed by the delivery interceptor at arrival instant (served
+/// straight from the home's installed frame, with no handler thread); the
+/// registered handler below is the fallback for contended home-side state.
+pub const SVC_DSM_FETCH: &str = "dsm_fetch";
 
 /// Per-tick batcher for coherence messages (invalidations, diffs,
 /// acknowledgements, ownership notices). One per runtime, present only when
@@ -92,6 +97,76 @@ pub(crate) fn register_dsm_services(rt: &DsmRuntime) {
         handle_dsm_msg(&rt_msg, rpc, msg);
         None
     }));
+
+    // One-sided read fetch, fallback path: when the delivery interceptor
+    // declined to serve the request at arrival instant (or one-sided reads
+    // are disabled), the request reaches the dispatcher and this handler
+    // thread re-checks the home-side state. It may succeed where the
+    // interceptor refused — the contended state can have drained by the time
+    // the thread runs — otherwise the requester is told to retry through the
+    // classic two-sided request path.
+    let rt_fetch = rt.clone();
+    cluster.register_service(service_fn(SVC_DSM_FETCH, true, move |rpc, payload| {
+        let req = downcast::<FetchRead>(payload, "fetch-read request");
+        rt_fetch.stats().incr_fetch_handler_wake();
+        rpc.sim.charge(rt_fetch.costs().serve_overhead());
+        match try_serve_fetch(&rt_fetch, rpc.local_node, &req) {
+            Some(reply) => {
+                let bytes = reply.payload_bytes();
+                Some(RpcReply::data(reply, bytes))
+            }
+            None => {
+                rt_fetch.stats().incr_one_sided_busy();
+                Some(RpcReply::control(FetchReply::Busy))
+            }
+        }
+    }));
+
+    // The one-sided fast path proper: a delivery interceptor that runs at
+    // the instant a `dsm_fetch` request arrives at its destination (on the
+    // destination's scheduler shard, so it is serialized with the node's
+    // threads and handlers). If the home-side state is clean the reply is
+    // sent directly from the interceptor — no dispatcher pass, no handler
+    // thread, no scheduler round-trip on the serving node. Like the pre-send
+    // hook above, it holds the runtime weakly to avoid a reference cycle
+    // through cluster → network → hook → runtime.
+    if rt.tuning().one_sided_reads {
+        let weak = rt.downgrade();
+        cluster
+            .network()
+            .set_delivery_hook(std::sync::Arc::new(move |ctl, env| {
+                let Some(inner) = weak.upgrade() else {
+                    return Some(env);
+                };
+                let rt = DsmRuntime::from_inner(inner);
+                let req = match &env.msg {
+                    RpcMessage::Request {
+                        service, payload, ..
+                    } if service == SVC_DSM_FETCH => match payload.downcast_ref::<FetchRead>() {
+                        Some(req) => *req,
+                        None => return Some(env),
+                    },
+                    _ => return Some(env),
+                };
+                let Some(reply) = try_serve_fetch(&rt, env.to, &req) else {
+                    return Some(env);
+                };
+                rt.stats().incr_one_sided_serve();
+                let bytes = reply.payload_bytes();
+                let id = match env.msg {
+                    RpcMessage::Request { id, .. } => id,
+                    _ => unreachable!("matched Request above"),
+                };
+                rt.cluster().send_reply_from_ctl(
+                    ctl,
+                    env.to,
+                    env.from,
+                    id,
+                    RpcReply::data(reply, bytes),
+                );
+                None
+            }));
+    }
 
     // With batching enabled, parked coherence messages must never be
     // overtaken by a later message on the same link (an overtaking barrier
@@ -242,28 +317,29 @@ fn serve_dsm_msg(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, msg: DsmMsg) {
             let protocol = rt.protocol_for_page(inv.page);
             protocol.invalidate_server(ctx, inv);
         }
-        DsmMsg::InvalidateAck { page } => {
+        DsmMsg::InvalidateAck { page, line } => {
             rt.stats().incr_invalidation_ack();
-            acknowledge(rt, ctx, page);
+            acknowledge(rt, ctx, page, line);
         }
         DsmMsg::Diff {
             diff,
             from,
             needs_ack,
         } => {
-            let page = diff.page;
+            let (page, line) = (diff.page, diff.line);
             let protocol = rt.protocol_for_page(page);
             protocol.diff_server(ctx, diff, from);
             if needs_ack {
                 let local = ctx.local_node;
-                rt.send_diff_ack(ctx.sim, local, from, page);
+                rt.send_diff_ack(ctx.sim, local, from, page, line);
             }
         }
-        DsmMsg::DiffAck { page } => {
-            acknowledge(rt, ctx, page);
+        DsmMsg::DiffAck { page, line } => {
+            acknowledge(rt, ctx, page, line);
         }
         DsmMsg::AcquireDone {
             page,
+            line,
             owner,
             version,
         } => {
@@ -273,7 +349,7 @@ fn serve_dsm_msg(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, msg: DsmMsg) {
             let table = rt.page_table(ctx.local_node);
             let mut version_before = 0;
             let mut version_after = 0;
-            table.update(page, |e| {
+            table.update_at(page, line, |e| {
                 version_before = e.owner_version;
                 // Historical bug (`hint_rewind`): applying the notice without
                 // the version gate lets a late or duplicated stale notice
@@ -300,20 +376,101 @@ fn serve_dsm_msg(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, msg: DsmMsg) {
                 );
             }
             table
-                .waiters(page)
+                .waiters_at(page, line)
                 .notify_all(&ctx.sim.ctl(), SimDuration::ZERO);
         }
     }
 }
 
-/// Generic-core handling of an acknowledgement: decrement the page's pending
+/// Generic-core handling of an acknowledgement: decrement the line's pending
 /// acknowledgement count and wake the threads waiting for it.
-fn acknowledge(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, page: PageId) {
+fn acknowledge(rt: &DsmRuntime, ctx: &mut ServerCtx<'_>, page: PageId, line: LineIx) {
     let table = rt.page_table(ctx.local_node);
-    table.update(page, |e| e.pending_acks = e.pending_acks.saturating_sub(1));
+    table.update_at(page, line, |e| {
+        e.pending_acks = e.pending_acks.saturating_sub(1)
+    });
     table
-        .waiters(page)
+        .waiters_at(page, line)
         .notify_all(&ctx.sim.ctl(), SimDuration::ZERO);
+}
+
+/// Try to serve a one-sided read fetch for `req` from `node`'s installed
+/// frame, without any protocol action running. Returns `None` whenever the
+/// home-side state is contended or the request cannot safely be served
+/// without the full protocol machinery:
+///
+/// * the line's protocol has not opted into one-sided reads;
+/// * the serving node's copy is not readable, is mid-fetch itself, has
+///   acknowledgements in flight (a revocation or diff round is open), or has
+///   a queued write acquisition (`queue_tail`) — a reader must not overtake
+///   the queued writer's invalidation;
+/// * the node is not entitled to serve (single-writer protocols: not the
+///   owner; multiple-writer protocols: not the home);
+/// * the frame is absent or doomed (evicted while the table entry lingers).
+///
+/// On success the requester is added to the copyset — under the same shard
+/// lock that publishes the data — and, for single-writer protocols, a
+/// writing owner self-downgrades to `Read`, exactly as the two-sided
+/// read-serve path does.
+fn try_serve_fetch(rt: &DsmRuntime, node: NodeId, req: &FetchRead) -> Option<FetchReply> {
+    let table = rt.page_table(node);
+    let entry = table.try_get_at(req.page, req.line)?;
+    let protocol = rt.protocol(entry.protocol);
+    if !protocol.one_sided_reads() {
+        return None;
+    }
+    if !entry.access.permits(Access::Read)
+        || entry.pending_fetch
+        || entry.pending_acks != 0
+        || entry.queue_tail.is_some()
+    {
+        return None;
+    }
+    let mw = protocol.multiple_writers();
+    if mw {
+        if entry.home != node {
+            return None;
+        }
+    } else if !entry.owned {
+        return None;
+    }
+    if !rt.frames(node).has(req.page) {
+        return None;
+    }
+    let (version, off, len) = table.update_at(req.page, req.line, |e| {
+        e.copyset.insert(req.requester);
+        if !mw && e.access == Access::Write {
+            e.access = Access::Read;
+        }
+        let (off, len) = e.line_span();
+        (e.version, off, len)
+    });
+    let data = if len == PAGE_SIZE {
+        rt.frames(node).snapshot(req.page)
+    } else {
+        rt.frames(node).snapshot_range(req.page, off, len)
+    };
+    Some(FetchReply::Data {
+        data,
+        version,
+        owner: node,
+    })
+}
+
+/// Blocking one-sided fetch RPC from a faulting thread to the line's home.
+/// The reply normally comes straight from the home's delivery interceptor;
+/// under contention it comes from the fallback handler thread, possibly as
+/// [`FetchReply::Busy`].
+pub(crate) fn fetch_read_rpc(
+    ctx: &mut DsmThreadCtx<'_, '_>,
+    home: NodeId,
+    req: FetchRead,
+) -> FetchReply {
+    downcast::<FetchReply>(
+        ctx.pm2
+            .rpc_call(home, SVC_DSM_FETCH, Box::new(req), RpcClass::Control),
+        "fetch reply",
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -339,14 +496,23 @@ impl std::fmt::Debug for TraceMsg<'_> {
                 "Invalidate({} from=N{} new_owner={:?} v={})",
                 i.page, i.from.0, i.new_owner, i.version
             ),
-            DsmMsg::InvalidateAck { page } => write!(f, "InvalidateAck({page})"),
-            DsmMsg::Diff { diff, from, .. } => write!(f, "Diff({} from=N{})", diff.page, from.0),
-            DsmMsg::DiffAck { page } => write!(f, "DiffAck({page})"),
+            DsmMsg::InvalidateAck { page, line } => {
+                write!(f, "InvalidateAck({page} l={})", line.0)
+            }
+            DsmMsg::Diff { diff, from, .. } => {
+                write!(f, "Diff({} l={} from=N{})", diff.page, diff.line.0, from.0)
+            }
+            DsmMsg::DiffAck { page, line } => write!(f, "DiffAck({page} l={})", line.0),
             DsmMsg::AcquireDone {
                 page,
+                line,
                 owner,
                 version,
-            } => write!(f, "AcquireDone({page} owner=N{} v={version})", owner.0),
+            } => write!(
+                f,
+                "AcquireDone({page} l={} owner=N{} v={version})",
+                line.0, owner.0
+            ),
             DsmMsg::Batch(v) => {
                 write!(f, "Batch[")?;
                 for m in v {
@@ -425,12 +591,12 @@ impl DsmRuntime {
             // possibly ahead of the global clock).
             let tick = items.iter().map(|(t, _)| *t).max().unwrap_or(SimTime::ZERO);
             let mut msgs: Vec<DsmMsg> = items.into_iter().map(|(_, m)| m).collect();
-            let (payload, class) = match msgs.len() {
+            let (payload, class, messages) = match msgs.len() {
                 0 => continue,
                 1 => {
                     let msg = msgs.pop().expect("len checked");
                     let class = rpc_class_for(&msg);
-                    (msg, class)
+                    (msg, class, 1)
                 }
                 n => {
                     self.stats().incr_coherence_batch();
@@ -441,7 +607,7 @@ impl DsmRuntime {
                     // payload plus one small per-message header at network
                     // bandwidth.
                     let bytes = batch.payload_bytes() + (n - 1) * CONTROL_MESSAGE_BYTES;
-                    (batch, RpcClass::Data(bytes))
+                    (batch, RpcClass::Data(bytes), n as u32)
                 }
             };
             // `tick` is the logical send time of the parked messages (the
@@ -455,6 +621,7 @@ impl DsmRuntime {
                 SVC_DSM,
                 Box::new(payload),
                 class,
+                messages,
                 tick,
             );
         }
@@ -507,8 +674,15 @@ impl DsmRuntime {
     }
 
     /// Acknowledge an invalidation back to `to` (batchable).
-    pub fn send_invalidate_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
-        self.send_coherence(sim, from, to, DsmMsg::InvalidateAck { page });
+    pub fn send_invalidate_ack(
+        &self,
+        sim: &mut SimHandle,
+        from: NodeId,
+        to: NodeId,
+        page: PageId,
+        line: LineIx,
+    ) {
+        self.send_coherence(sim, from, to, DsmMsg::InvalidateAck { page, line });
     }
 
     /// Send a diff to `to` (normally the page's home node; batchable — the
@@ -537,14 +711,16 @@ impl DsmRuntime {
         );
     }
 
-    /// Notify a page's home node that `owner` finished installing write
+    /// Notify a line's home node that `owner` finished installing write
     /// ownership at `version` (batchable).
+    #[allow(clippy::too_many_arguments)]
     pub fn send_acquire_done(
         &self,
         sim: &mut SimHandle,
         from: NodeId,
         to: NodeId,
         page: PageId,
+        line: LineIx,
         owner: NodeId,
         version: u64,
     ) {
@@ -554,6 +730,7 @@ impl DsmRuntime {
             to,
             DsmMsg::AcquireDone {
                 page,
+                line,
                 owner,
                 version,
             },
@@ -561,8 +738,15 @@ impl DsmRuntime {
     }
 
     /// Acknowledge a diff back to `to` (batchable).
-    pub fn send_diff_ack(&self, sim: &mut SimHandle, from: NodeId, to: NodeId, page: PageId) {
-        self.send_coherence(sim, from, to, DsmMsg::DiffAck { page });
+    pub fn send_diff_ack(
+        &self,
+        sim: &mut SimHandle,
+        from: NodeId,
+        to: NodeId,
+        page: PageId,
+        line: LineIx,
+    ) {
+        self.send_coherence(sim, from, to, DsmMsg::DiffAck { page, line });
     }
 }
 

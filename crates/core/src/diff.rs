@@ -8,7 +8,7 @@
 //! recorded on the fly with word/field granularity when accesses go through
 //! explicit `put` primitives (the Hyperion path).
 
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{LineIx, PageId, LINE0, PAGE_SIZE};
 
 /// One modified run of bytes within a page.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -25,6 +25,9 @@ pub struct DiffRun {
 pub struct PageDiff {
     /// Page the diff applies to.
     pub page: PageId,
+    /// Coherence line the diff applies to (line 0 at page granularity; run
+    /// offsets stay page-absolute either way, so `apply` is line-agnostic).
+    pub line: LineIx,
     /// Modified runs, sorted by offset and non-overlapping.
     pub runs: Vec<DiffRun>,
 }
@@ -34,6 +37,7 @@ impl PageDiff {
     pub fn empty(page: PageId) -> Self {
         PageDiff {
             page,
+            line: LINE0,
             runs: Vec::new(),
         }
     }
@@ -70,7 +74,52 @@ impl PageDiff {
                 i += 1;
             }
         }
-        PageDiff { page, runs }
+        PageDiff {
+            page,
+            line: LINE0,
+            runs,
+        }
+    }
+
+    /// Compute a line-scoped diff between the pristine `twin_line` and the
+    /// `current_line` contents of one coherence line starting at byte
+    /// `line_offset` of the page. Run offsets are page-absolute, so the
+    /// resulting diff applies to a full-page reference copy exactly like a
+    /// page-granularity diff.
+    pub fn compute_range(
+        page: PageId,
+        line: LineIx,
+        line_offset: usize,
+        twin_line: &[u8],
+        current_line: &[u8],
+    ) -> Self {
+        assert_eq!(
+            twin_line.len(),
+            current_line.len(),
+            "line twin and line copy must have the same length"
+        );
+        assert!(
+            line_offset + twin_line.len() <= PAGE_SIZE,
+            "line escapes the page"
+        );
+        let len = twin_line.len();
+        let mut runs = Vec::new();
+        let mut i = 0;
+        while i < len {
+            if twin_line[i] != current_line[i] {
+                let start = i;
+                while i < len && twin_line[i] != current_line[i] {
+                    i += 1;
+                }
+                runs.push(DiffRun {
+                    offset: line_offset + start,
+                    bytes: current_line[start..i].to_vec(),
+                });
+            } else {
+                i += 1;
+            }
+        }
+        PageDiff { page, line, runs }
     }
 
     /// Build a diff from explicitly recorded modified ranges (the
@@ -101,7 +150,11 @@ impl PageDiff {
                 bytes: current[offset..offset + len].to_vec(),
             })
             .collect();
-        PageDiff { page, runs }
+        PageDiff {
+            page,
+            line: LINE0,
+            runs,
+        }
     }
 
     /// Apply the diff to `target` (the home node's reference copy).
@@ -182,6 +235,24 @@ mod tests {
     fn recorded_range_outside_page_panics() {
         let cur = page_of(0);
         let _ = PageDiff::from_recorded_ranges(PageId(0), &[(PAGE_SIZE - 2, 4)], &cur);
+    }
+
+    #[test]
+    fn line_scoped_diff_uses_page_absolute_offsets() {
+        use crate::page::LineIx;
+        let line_size = 256;
+        let twin_line = vec![0u8; line_size];
+        let mut cur_line = twin_line.clone();
+        cur_line[4..8].fill(9);
+        let diff =
+            PageDiff::compute_range(PageId(5), LineIx(3), 3 * line_size, &twin_line, &cur_line);
+        assert_eq!(diff.line, LineIx(3));
+        assert_eq!(diff.runs.len(), 1);
+        assert_eq!(diff.runs[0].offset, 3 * line_size + 4);
+        let mut home = page_of(0);
+        diff.apply(&mut home);
+        assert_eq!(home[3 * line_size + 4..3 * line_size + 8], [9, 9, 9, 9]);
+        assert_eq!(home[0], 0);
     }
 
     #[test]

@@ -12,15 +12,25 @@ use parking_lot::Mutex;
 use dsmpm2_madeleine::NodeId;
 
 use crate::diff::PageDiff;
-use crate::page::{PageId, PAGE_SIZE};
+use crate::page::{LineIx, PageId, PAGE_SIZE};
 
 /// A locally mapped page.
+///
+/// One frame always holds the full `PAGE_SIZE` bytes even when the page is
+/// managed at sub-page granularity: line-level *rights* in the page table
+/// decide which parts of the frame are valid, while the frame itself is the
+/// backing store shared by all of the page's lines. Multiple-writer twinning
+/// happens per coherence unit: the whole-page `twin` at the default
+/// granularity, per-line pristine copies in `line_twins` otherwise.
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// Current local contents.
     pub data: Vec<u8>,
     /// Pristine copy taken at the first write after an acquire (twinning).
     pub twin: Option<Vec<u8>>,
+    /// Pristine per-line copies for sub-page-granularity pages, keyed by line
+    /// index (each holds exactly the line's bytes).
+    pub line_twins: HashMap<LineIx, Vec<u8>>,
     /// Explicitly recorded modified ranges `(offset, len)` (on-the-fly diff
     /// recording used by the Java protocols).
     pub recorded: Vec<(usize, usize)>,
@@ -31,6 +41,7 @@ impl Frame {
         Frame {
             data: vec![0u8; PAGE_SIZE],
             twin: None,
+            line_twins: HashMap::new(),
             recorded: Vec::new(),
         }
     }
@@ -78,7 +89,23 @@ impl FrameStore {
         let frame = frames.entry(page).or_insert_with(Frame::zeroed);
         frame.data = data;
         frame.twin = None;
+        frame.line_twins.clear();
         frame.recorded.clear();
+    }
+
+    /// Install the contents of one coherence line of `page` (creating a
+    /// zeroed frame first if the node held no copy at all). Only the line's
+    /// byte range is replaced; other lines of the frame are untouched, and
+    /// only that line's twin is dropped.
+    pub fn install_line(&self, page: PageId, line: LineIx, offset: usize, data: &[u8]) {
+        assert!(
+            offset + data.len() <= PAGE_SIZE,
+            "installed line escapes the page"
+        );
+        let mut frames = self.frames.lock();
+        let frame = frames.entry(page).or_insert_with(Frame::zeroed);
+        frame.data[offset..offset + data.len()].copy_from_slice(data);
+        frame.line_twins.remove(&line);
     }
 
     /// Drop the local copy of `page`, returning its last contents.
@@ -89,6 +116,12 @@ impl FrameStore {
     /// Copy the contents of `page` (for sending it to another node).
     pub fn snapshot(&self, page: PageId) -> Vec<u8> {
         self.with(page, |f| f.data.clone())
+    }
+
+    /// Copy `len` bytes at `offset` of `page` (for sending one coherence
+    /// line to another node).
+    pub fn snapshot_range(&self, page: PageId, offset: usize, len: usize) -> Vec<u8> {
+        self.with(page, |f| f.data[offset..offset + len].to_vec())
     }
 
     /// Read `buf.len()` bytes at `offset` within `page`.
@@ -138,6 +171,52 @@ impl FrameStore {
         self.with(page, |f| match f.twin.take() {
             Some(twin) => PageDiff::compute(page, &twin, &f.data),
             None => PageDiff::empty(page),
+        })
+    }
+
+    /// Create a pristine twin of one coherence line of `page` if none exists
+    /// yet (sub-page-granularity twinning). Returns true if a twin was
+    /// actually created.
+    pub fn make_line_twin(&self, page: PageId, line: LineIx, offset: usize, len: usize) -> bool {
+        self.with(page, |f| {
+            if f.line_twins.contains_key(&line) {
+                false
+            } else {
+                f.line_twins
+                    .insert(line, f.data[offset..offset + len].to_vec());
+                true
+            }
+        })
+    }
+
+    /// True if line `line` of `page` currently has a twin.
+    pub fn has_line_twin(&self, page: PageId, line: LineIx) -> bool {
+        self.with(page, |f| f.line_twins.contains_key(&line))
+    }
+
+    /// Drop the twin of line `line` of `page` without computing a diff (the
+    /// line was invalidated, so its modifications are dead).
+    pub fn drop_line_twin(&self, page: PageId, line: LineIx) {
+        self.with(page, |f| {
+            f.line_twins.remove(&line);
+        });
+    }
+
+    /// Compute the line-scoped diff of line `line` of `page` against its
+    /// twin, dropping the twin. Returns an empty diff if no twin existed.
+    /// `offset` is the line's base offset within the page (run offsets in the
+    /// result are page-absolute).
+    pub fn take_line_twin_diff(&self, page: PageId, line: LineIx, offset: usize) -> PageDiff {
+        self.with(page, |f| match f.line_twins.remove(&line) {
+            Some(twin) => {
+                let current = &f.data[offset..offset + twin.len()];
+                PageDiff::compute_range(page, line, offset, &twin, current)
+            }
+            None => {
+                let mut d = PageDiff::empty(page);
+                d.line = line;
+                d
+            }
         })
     }
 
@@ -240,6 +319,51 @@ mod tests {
         assert!(!s.has_twin(PageId(1)));
         // Without a twin the diff is empty.
         assert!(s.take_twin_diff(PageId(1)).is_empty());
+    }
+
+    #[test]
+    fn line_twins_are_independent_per_line() {
+        let s = store();
+        let line_size = 1024;
+        // Twin line 1, modify lines 1 and 2; only line 1's diff sees it.
+        assert!(s.make_line_twin(PageId(1), LineIx(1), line_size, line_size));
+        assert!(
+            !s.make_line_twin(PageId(1), LineIx(1), line_size, line_size),
+            "second line-twin request is a no-op"
+        );
+        assert!(s.has_line_twin(PageId(1), LineIx(1)));
+        assert!(!s.has_line_twin(PageId(1), LineIx(2)));
+        s.write(PageId(1), line_size + 4, &[9; 4]);
+        s.write(PageId(1), 2 * line_size, &[8; 4]);
+        let diff = s.take_line_twin_diff(PageId(1), LineIx(1), line_size);
+        assert_eq!(diff.line, LineIx(1));
+        assert_eq!(diff.runs.len(), 1);
+        assert_eq!(diff.runs[0].offset, line_size + 4, "offsets page-absolute");
+        assert!(!s.has_line_twin(PageId(1), LineIx(1)));
+        // Without a twin the line diff is empty.
+        assert!(s
+            .take_line_twin_diff(PageId(1), LineIx(1), line_size)
+            .is_empty());
+    }
+
+    #[test]
+    fn install_line_replaces_only_its_range() {
+        let s = store();
+        s.write(PageId(1), 0, &[7; 64]);
+        s.make_line_twin(PageId(1), LineIx(0), 0, 1024);
+        s.install_line(PageId(1), LineIx(2), 2048, &vec![5u8; 1024]);
+        assert_eq!(s.snapshot_range(PageId(1), 0, 4), vec![7, 7, 7, 7]);
+        assert_eq!(s.snapshot_range(PageId(1), 2048, 2), vec![5, 5]);
+        assert!(
+            s.has_line_twin(PageId(1), LineIx(0)),
+            "installing one line keeps other lines' twins"
+        );
+        s.install_line(PageId(1), LineIx(0), 0, &vec![1u8; 1024]);
+        assert!(!s.has_line_twin(PageId(1), LineIx(0)));
+        // Installing a line on a node with no frame creates a zeroed frame.
+        s.install_line(PageId(9), LineIx(1), 1024, &vec![3u8; 1024]);
+        assert_eq!(s.snapshot_range(PageId(9), 0, 1), vec![0]);
+        assert_eq!(s.snapshot_range(PageId(9), 1024, 1), vec![3]);
     }
 
     #[test]

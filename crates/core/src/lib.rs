@@ -47,13 +47,16 @@ mod sync;
 mod verify;
 
 pub use access::DsmScalar;
-pub use comm::{SVC_BARRIER, SVC_DSM, SVC_LOCK_ACQUIRE, SVC_LOCK_RELEASE};
+pub use comm::{SVC_BARRIER, SVC_DSM, SVC_DSM_FETCH, SVC_LOCK_ACQUIRE, SVC_LOCK_RELEASE};
 pub use costs::DsmCosts;
 pub use ctx::{DsmThreadCtx, ServerCtx};
 pub use diff::{DiffRun, PageDiff};
 pub use frames::{Frame, FrameStore};
-pub use msg::{DsmMsg, Invalidation, PageRequest, PageTransfer};
-pub use page::{pages_covering, Access, DsmAddr, PageId, PAGE_SIZE};
+pub use msg::{DsmMsg, FetchRead, FetchReply, Invalidation, PageRequest, PageTransfer};
+pub use page::{
+    line_of_offset, line_range, lines_per_page, pages_covering, Access, DsmAddr, LineIx, PageId,
+    LINE0, MIN_LINE_SIZE, PAGE_SIZE,
+};
 pub use page_table::{PageEntry, PageTable, DEFAULT_PAGE_TABLE_SHARDS};
 pub use protocol::{CustomProtocol, CustomProtocolBuilder, DsmProtocol, FaultInfo, ProtocolId};
 pub use runtime::{DsmAttr, DsmRuntime, HomePolicy, PageMeta};

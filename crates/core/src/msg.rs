@@ -8,13 +8,18 @@
 use dsmpm2_madeleine::NodeId;
 
 use crate::diff::PageDiff;
-use crate::page::{Access, PageId};
+use crate::page::{Access, LineIx, PageId};
 
-/// A request for a copy of (or for ownership of) a page.
+/// A request for a copy of (or for ownership of) a page or coherence line.
+///
+/// At the default whole-page granularity `line` is always line 0 and the
+/// message is exactly the historical page request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PageRequest {
     /// Requested page.
     pub page: PageId,
+    /// Requested coherence line within the page (line 0 at page granularity).
+    pub line: LineIx,
     /// `Read` for a read copy, `Write` for write access / ownership.
     pub access: Access,
     /// Node that needs the page (requests may be forwarded, so this is not
@@ -22,12 +27,14 @@ pub struct PageRequest {
     pub requester: NodeId,
 }
 
-/// A page sent to a requester.
+/// A page (or coherence line) sent to a requester.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct PageTransfer {
     /// The page being transferred.
     pub page: PageId,
-    /// Full page contents.
+    /// The coherence line being transferred (line 0 at page granularity).
+    pub line: LineIx,
+    /// Contents: the full page at page granularity, one line otherwise.
     pub data: Vec<u8>,
     /// Rights granted to the receiving node.
     pub grant: Access,
@@ -44,6 +51,8 @@ pub struct PageTransfer {
 pub struct Invalidation {
     /// Page whose local copy must be invalidated.
     pub page: PageId,
+    /// Coherence line to invalidate (line 0 at page granularity).
+    pub line: LineIx,
     /// Node that triggered the invalidation (new owner or home node).
     pub from: NodeId,
     /// If set, the receiving node should update its probable-owner hint.
@@ -73,6 +82,8 @@ pub enum DsmMsg {
     InvalidateAck {
         /// Acknowledged page.
         page: PageId,
+        /// Acknowledged coherence line (line 0 at page granularity).
+        line: LineIx,
     },
     /// Routed to the protocol's `diff_server` hook (home-based protocols).
     Diff {
@@ -87,6 +98,8 @@ pub enum DsmMsg {
     DiffAck {
         /// Acknowledged page.
         page: PageId,
+        /// Acknowledged coherence line (line 0 at page granularity).
+        line: LineIx,
     },
     /// Sent to a page's home node when a node finishes installing write
     /// ownership. The home is the serialization point for ownership
@@ -97,6 +110,8 @@ pub enum DsmMsg {
     AcquireDone {
         /// The acquired page.
         page: PageId,
+        /// The acquired coherence line (line 0 at page granularity).
+        line: LineIx,
         /// The new owner.
         owner: NodeId,
         /// Ownership-succession version of the acquisition.
@@ -110,6 +125,50 @@ pub enum DsmMsg {
     /// one in its own handler thread, exactly as if they had arrived
     /// separately. Batches are never nested.
     Batch(Vec<DsmMsg>),
+}
+
+/// A one-sided read request, carried by the dedicated `dsm_fetch` RPC service
+/// rather than by [`DsmMsg`]: the transport-seam interceptor recognizes it at
+/// message-delivery instant on the home node and — when the home-side state
+/// is uncontended — answers directly from the installed frame, without waking
+/// a handler thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchRead {
+    /// Requested page.
+    pub page: PageId,
+    /// Requested coherence line (line 0 at page granularity).
+    pub line: LineIx,
+    /// Node performing the read fault.
+    pub requester: NodeId,
+}
+
+/// Reply to a [`FetchRead`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FetchReply {
+    /// The home served a read-only copy of the line (or whole page at page
+    /// granularity) directly from its frame.
+    Data {
+        /// Line (or page) contents.
+        data: Vec<u8>,
+        /// Version of the home's reference copy.
+        version: u64,
+        /// Probable owner to record at the requester.
+        owner: NodeId,
+    },
+    /// The home-side state was contended (pending acquisition, doomed frame,
+    /// in-flight coherence activity): retry through the classic two-sided
+    /// request path.
+    Busy,
+}
+
+impl FetchReply {
+    /// Payload bytes accounted to the network model for this reply.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            FetchReply::Data { data, .. } => data.len(),
+            FetchReply::Busy => 0,
+        }
+    }
 }
 
 impl DsmMsg {
@@ -131,12 +190,13 @@ impl DsmMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::page::PAGE_SIZE;
+    use crate::page::{LINE0, PAGE_SIZE};
 
     #[test]
     fn payload_accounting() {
         let req = DsmMsg::Request(PageRequest {
             page: PageId(1),
+            line: LINE0,
             access: Access::Read,
             requester: NodeId(0),
         });
@@ -144,6 +204,7 @@ mod tests {
 
         let transfer = DsmMsg::Transfer(PageTransfer {
             page: PageId(1),
+            line: LINE0,
             data: vec![0; PAGE_SIZE],
             grant: Access::Read,
             owner: NodeId(0),
@@ -162,17 +223,46 @@ mod tests {
             needs_ack: true,
         };
         assert_eq!(msg.payload_bytes(), bytes);
-        assert_eq!(DsmMsg::InvalidateAck { page: PageId(3) }.payload_bytes(), 0);
-        assert_eq!(DsmMsg::DiffAck { page: PageId(3) }.payload_bytes(), 0);
+        assert_eq!(
+            DsmMsg::InvalidateAck {
+                page: PageId(3),
+                line: LINE0
+            }
+            .payload_bytes(),
+            0
+        );
+        assert_eq!(
+            DsmMsg::DiffAck {
+                page: PageId(3),
+                line: LINE0
+            }
+            .payload_bytes(),
+            0
+        );
         let batch = DsmMsg::Batch(vec![
             msg,
-            DsmMsg::InvalidateAck { page: PageId(3) },
+            DsmMsg::InvalidateAck {
+                page: PageId(3),
+                line: LINE0,
+            },
             DsmMsg::AcquireDone {
                 page: PageId(4),
+                line: LINE0,
                 owner: NodeId(1),
                 version: 2,
             },
         ]);
         assert_eq!(batch.payload_bytes(), bytes, "batch sums its sub-messages");
+    }
+
+    #[test]
+    fn fetch_reply_payload_accounting() {
+        let data = FetchReply::Data {
+            data: vec![0; 256],
+            version: 3,
+            owner: NodeId(1),
+        };
+        assert_eq!(data.payload_bytes(), 256);
+        assert_eq!(FetchReply::Busy.payload_bytes(), 0);
     }
 }

@@ -11,6 +11,75 @@ use std::fmt;
 /// Size of a DSM page in bytes. The paper's measurements use common 4 kB pages.
 pub const PAGE_SIZE: usize = 4096;
 
+/// Smallest supported coherence-line size, in bytes. Lines below this would
+/// explode the per-page entry count (and the paper's own argument for
+/// sub-page units is false sharing between *objects*, not between bytes).
+pub const MIN_LINE_SIZE: usize = 64;
+
+/// Index of a coherence line within its page.
+///
+/// The coherence unit of a page is either the whole page (the default — the
+/// page then consists of exactly one line, line 0, spanning all of
+/// [`PAGE_SIZE`]) or one of `PAGE_SIZE / granularity` equal-sized lines when
+/// the region was allocated with a sub-page granularity. Every piece of
+/// per-unit protocol state (rights, ownership, copysets, twins, versions) is
+/// keyed by `(PageId, LineIx)`, so at the default granularity the historical
+/// page-level behaviour is reproduced bit-for-bit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LineIx(pub u16);
+
+/// Line 0: the whole page at page granularity, the first line otherwise.
+pub const LINE0: LineIx = LineIx(0);
+
+impl LineIx {
+    /// Raw line index as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LineIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+impl fmt::Display for LineIx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Check that `line_size` is a valid coherence-line size: it must divide
+/// [`PAGE_SIZE`] evenly and be at least [`MIN_LINE_SIZE`]. Returns it back.
+pub fn validate_line_size(line_size: usize) -> usize {
+    assert!(
+        (MIN_LINE_SIZE..=PAGE_SIZE).contains(&line_size),
+        "coherence granularity {line_size} out of range [{MIN_LINE_SIZE}, {PAGE_SIZE}]"
+    );
+    assert!(
+        PAGE_SIZE.is_multiple_of(line_size),
+        "coherence granularity {line_size} does not divide the page size {PAGE_SIZE}"
+    );
+    line_size
+}
+
+/// Number of lines per page at `line_size` granularity.
+pub fn lines_per_page(line_size: usize) -> u16 {
+    (PAGE_SIZE / line_size) as u16
+}
+
+/// The line containing byte `offset` of a page split into `line_size` lines.
+pub fn line_of_offset(offset: usize, line_size: usize) -> LineIx {
+    debug_assert!(offset < PAGE_SIZE);
+    LineIx((offset / line_size) as u16)
+}
+
+/// Byte range `(offset, len)` of `line` within its page.
+pub fn line_range(line: LineIx, line_size: usize) -> (usize, usize) {
+    (line.index() * line_size, line_size)
+}
+
 /// A cluster-wide shared-memory address.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct DsmAddr(pub u64);

@@ -1,13 +1,26 @@
 //! The DSM page manager: per-node page tables.
 //!
-//! Each node keeps a table with one entry per shared page. A set of fields is
-//! common to virtually all protocols (local access rights, probable owner,
-//! home node, copyset); protocols reuse or ignore fields according to their
-//! own page-management strategy, exactly as in the original design where "a
-//! field may have different semantics in different protocols and may even be
-//! left unused by some protocols". Generic auxiliary fields (`aux_node`,
-//! `flags`, `pending_acks`, ...) give user-defined protocols room to stash
-//! their own per-page state without modifying the core.
+//! Each node keeps a table with one entry per *coherence unit*. A set of
+//! fields is common to virtually all protocols (local access rights, probable
+//! owner, home node, copyset); protocols reuse or ignore fields according to
+//! their own page-management strategy, exactly as in the original design
+//! where "a field may have different semantics in different protocols and may
+//! even be left unused by some protocols". Generic auxiliary fields
+//! (`aux_node`, `flags`, `pending_acks`, ...) give user-defined protocols
+//! room to stash their own per-page state without modifying the core.
+//!
+//! # Coherence units
+//!
+//! By default the unit is the whole page: each page has exactly one entry,
+//! keyed `(page, line 0)`, and every page-level method below addresses it —
+//! this reproduces the historical page-granularity table bit-for-bit. Regions
+//! allocated with a sub-page granularity split each page into
+//! `PAGE_SIZE / granularity` lines, each with its own independently-owned
+//! entry keyed `(page, line)`. All lines of one page land in the same shard
+//! (shards are chosen by page id), so resolving an offset to its line entry
+//! takes a single shard lock: the `(page, line 0)` entry always exists and
+//! records the page's line size (the *geometry*), and the target entry lives
+//! behind the same lock.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -17,14 +30,20 @@ use parking_lot::Mutex;
 use dsmpm2_madeleine::NodeId;
 use dsmpm2_sim::WaitSet;
 
-use crate::page::{Access, PageId};
+use crate::page::{line_of_offset, lines_per_page, Access, LineIx, PageId, LINE0, PAGE_SIZE};
 use crate::protocol::ProtocolId;
 
-/// One page-table entry, as seen by one node.
+/// One page-table entry: the coherence state of one line of one page (the
+/// whole page at the default granularity), as seen by one node.
 #[derive(Clone, Debug)]
 pub struct PageEntry {
     /// The page this entry describes.
     pub page: PageId,
+    /// The coherence line this entry describes (line 0 at page granularity).
+    pub line: LineIx,
+    /// Size in bytes of this page's coherence lines (`PAGE_SIZE` at the
+    /// default granularity). Identical across all entries of one page.
+    pub line_size: usize,
     /// Local access rights of this node.
     pub access: Access,
     /// True if this node considers itself the owner of the page (MRSW
@@ -73,10 +92,24 @@ pub struct PageEntry {
 }
 
 impl PageEntry {
-    /// A fresh entry for `page`, homed at `home`, with no local rights.
+    /// A fresh whole-page entry for `page`, homed at `home`, with no local
+    /// rights.
     pub fn new(page: PageId, home: NodeId, protocol: ProtocolId) -> Self {
+        Self::new_line(page, LINE0, PAGE_SIZE, home, protocol)
+    }
+
+    /// A fresh entry for one coherence line of `page`.
+    pub fn new_line(
+        page: PageId,
+        line: LineIx,
+        line_size: usize,
+        home: NodeId,
+        protocol: ProtocolId,
+    ) -> Self {
         PageEntry {
             page,
+            line,
+            line_size,
             access: Access::None,
             owned: false,
             prob_owner: home,
@@ -94,16 +127,21 @@ impl PageEntry {
             flags: 0,
         }
     }
+
+    /// Byte range `(offset, len)` this entry's line covers within its page.
+    pub fn line_span(&self) -> (usize, usize) {
+        crate::page::line_range(self.line, self.line_size)
+    }
 }
 
 /// One shard of a page table: a slice of the entry map with its own lock.
 /// Pages are distributed over shards by page id, so operations on different
 /// shards never contend on the same lock — the page table was the single
 /// contended structure of every node once several dispatcher, handler and
-/// application threads ran concurrently.
+/// application threads ran concurrently. All lines of one page share a shard.
 struct Shard {
-    entries: Mutex<HashMap<PageId, PageEntry>>,
-    waiters: Mutex<HashMap<PageId, Arc<WaitSet>>>,
+    entries: Mutex<HashMap<(PageId, LineIx), PageEntry>>,
+    waiters: Mutex<HashMap<(PageId, LineIx), Arc<WaitSet>>>,
 }
 
 impl Shard {
@@ -161,106 +199,244 @@ impl PageTable {
         &self.shards[(page.0 % self.shards.len() as u64) as usize]
     }
 
-    /// Install an entry for `page` if none exists yet.
+    /// Install a whole-page entry for `page` if none exists yet.
     pub fn ensure(&self, page: PageId, home: NodeId, protocol: ProtocolId) {
-        self.shard(page)
-            .entries
-            .lock()
-            .entry(page)
-            .or_insert_with(|| PageEntry::new(page, home, protocol));
+        self.ensure_lines(page, home, protocol, PAGE_SIZE);
+    }
+
+    /// Install the line entries of `page` at granularity `line_size` if none
+    /// exist yet (`line_size == PAGE_SIZE` gives the single whole-page
+    /// entry). All lines are created under one shard lock.
+    pub fn ensure_lines(&self, page: PageId, home: NodeId, protocol: ProtocolId, line_size: usize) {
+        let mut entries = self.shard(page).entries.lock();
+        for ix in 0..lines_per_page(line_size) {
+            entries.entry((page, LineIx(ix))).or_insert_with(|| {
+                PageEntry::new_line(page, LineIx(ix), line_size, home, protocol)
+            });
+        }
+    }
+
+    /// Drop every line entry (and waiter set) of `page`. Only used when a
+    /// region is re-registered with a different protocol or granularity; the
+    /// caller must have quiesced all activity on the page first.
+    pub fn remove_page(&self, page: PageId) {
+        let shard = self.shard(page);
+        let lines = {
+            let mut entries = shard.entries.lock();
+            let keys: Vec<(PageId, LineIx)> = entries
+                .keys()
+                .filter(|(p, _)| *p == page)
+                .copied()
+                .collect();
+            for k in &keys {
+                entries.remove(k);
+            }
+            keys
+        };
+        let mut waiters = shard.waiters.lock();
+        for k in &lines {
+            waiters.remove(k);
+        }
     }
 
     /// True if the table knows about `page`.
     pub fn contains(&self, page: PageId) -> bool {
-        self.shard(page).entries.lock().contains_key(&page)
+        self.shard(page).entries.lock().contains_key(&(page, LINE0))
     }
 
-    /// A copy of the entry for `page`.
+    /// Line size of `page` (`PAGE_SIZE` at the default granularity).
+    ///
+    /// # Panics
+    /// Panics if the page is not registered on this node.
+    pub fn line_size(&self, page: PageId) -> usize {
+        self.read(page, |e| e.line_size)
+    }
+
+    /// Number of coherence lines `page` is split into.
+    pub fn lines_of(&self, page: PageId) -> u16 {
+        lines_per_page(self.line_size(page))
+    }
+
+    /// The line of `page` containing byte `offset`.
+    pub fn line_of(&self, page: PageId, offset: usize) -> LineIx {
+        line_of_offset(offset, self.line_size(page))
+    }
+
+    /// A copy of the whole-page (line 0) entry for `page`.
     ///
     /// # Panics
     /// Panics if the page is not registered on this node — this corresponds
     /// to a wild access outside any DSM allocation.
     pub fn get(&self, page: PageId) -> PageEntry {
+        self.get_at(page, LINE0)
+    }
+
+    /// A copy of the entry for line `line` of `page`.
+    ///
+    /// # Panics
+    /// Panics if the unit is not registered on this node.
+    pub fn get_at(&self, page: PageId, line: LineIx) -> PageEntry {
         self.shard(page)
             .entries
             .lock()
-            .get(&page)
+            .get(&(page, line))
             .cloned()
             .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node))
     }
 
-    /// A copy of the entry, or `None` if the page is unknown.
+    /// A copy of the line-0 entry, or `None` if the page is unknown.
     pub fn try_get(&self, page: PageId) -> Option<PageEntry> {
-        self.shard(page).entries.lock().get(&page).cloned()
+        self.try_get_at(page, LINE0)
     }
 
-    /// Run `f` with shared access to the entry for `page`, without cloning it
-    /// (cloning copies the whole copyset). The shard lock is held for the
-    /// duration of `f`: keep it short and never call back into the same
-    /// table from inside.
+    /// A copy of the entry for line `line`, or `None` if unknown.
+    pub fn try_get_at(&self, page: PageId, line: LineIx) -> Option<PageEntry> {
+        self.shard(page).entries.lock().get(&(page, line)).cloned()
+    }
+
+    /// A copy of the entry governing byte `offset` of `page`, or `None` if
+    /// the page is unknown. Resolves the page's geometry and fetches the line
+    /// entry under a single shard lock — this is the per-access hot path.
+    pub fn try_get_for_offset(&self, page: PageId, offset: usize) -> Option<PageEntry> {
+        let entries = self.shard(page).entries.lock();
+        let first = entries.get(&(page, LINE0))?;
+        if first.line_size == PAGE_SIZE {
+            return Some(first.clone());
+        }
+        let line = line_of_offset(offset, first.line_size);
+        entries.get(&(page, line)).cloned()
+    }
+
+    /// Mark the line of `page` containing byte `offset` as modified since the
+    /// last release. Geometry resolution and the update share one shard lock.
+    pub fn mark_modified_at_offset(&self, page: PageId, offset: usize) {
+        let mut entries = self.shard(page).entries.lock();
+        let line_size = entries
+            .get(&(page, LINE0))
+            .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node))
+            .line_size;
+        let line = if line_size == PAGE_SIZE {
+            LINE0
+        } else {
+            line_of_offset(offset, line_size)
+        };
+        if let Some(e) = entries.get_mut(&(page, line)) {
+            e.modified_since_release = true;
+        }
+    }
+
+    /// Run `f` with shared access to the line-0 entry for `page`, without
+    /// cloning it (cloning copies the whole copyset). The shard lock is held
+    /// for the duration of `f`: keep it short and never call back into the
+    /// same table from inside.
     ///
     /// # Panics
     /// Panics if the page is not registered on this node.
     pub fn read<R>(&self, page: PageId, f: impl FnOnce(&PageEntry) -> R) -> R {
+        self.read_at(page, LINE0, f)
+    }
+
+    /// Run `f` with shared access to the entry for line `line` of `page`.
+    ///
+    /// # Panics
+    /// Panics if the unit is not registered on this node.
+    pub fn read_at<R>(&self, page: PageId, line: LineIx, f: impl FnOnce(&PageEntry) -> R) -> R {
         let entries = self.shard(page).entries.lock();
         let entry = entries
-            .get(&page)
+            .get(&(page, line))
             .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node));
         f(entry)
     }
 
-    /// Run `f` with mutable access to the entry for `page`.
+    /// Run `f` with mutable access to the line-0 entry for `page`.
     ///
     /// # Panics
     /// Panics if the page is not registered on this node.
     pub fn update<R>(&self, page: PageId, f: impl FnOnce(&mut PageEntry) -> R) -> R {
+        self.update_at(page, LINE0, f)
+    }
+
+    /// Run `f` with mutable access to the entry for line `line` of `page`.
+    ///
+    /// # Panics
+    /// Panics if the unit is not registered on this node.
+    pub fn update_at<R>(
+        &self,
+        page: PageId,
+        line: LineIx,
+        f: impl FnOnce(&mut PageEntry) -> R,
+    ) -> R {
         let mut entries = self.shard(page).entries.lock();
         let entry = entries
-            .get_mut(&page)
+            .get_mut(&(page, line))
             .unwrap_or_else(|| panic!("node {} has no page-table entry for {page}", self.node));
         f(entry)
     }
 
-    /// Current local access rights on `page` (`None` if unknown).
+    /// Current local access rights on line 0 of `page` (`None` if unknown).
     pub fn access(&self, page: PageId) -> Access {
+        self.access_at(page, LINE0)
+    }
+
+    /// Current local access rights on line `line` of `page`.
+    pub fn access_at(&self, page: PageId, line: LineIx) -> Access {
         self.shard(page)
             .entries
             .lock()
-            .get(&page)
+            .get(&(page, line))
             .map(|e| e.access)
             .unwrap_or(Access::None)
     }
 
-    /// Set the local access rights on `page`.
+    /// Set the local access rights on line 0 of `page`.
     pub fn set_access(&self, page: PageId, access: Access) {
         self.update(page, |e| e.access = access);
     }
 
-    /// The wait set threads block on while `page` is being fetched or while
-    /// acknowledgements are outstanding.
+    /// Set the local access rights on line `line` of `page`.
+    pub fn set_access_at(&self, page: PageId, line: LineIx, access: Access) {
+        self.update_at(page, line, |e| e.access = access);
+    }
+
+    /// The wait set threads block on while line 0 of `page` is being fetched
+    /// or while acknowledgements are outstanding.
     pub fn waiters(&self, page: PageId) -> Arc<WaitSet> {
+        self.waiters_at(page, LINE0)
+    }
+
+    /// The wait set for line `line` of `page`.
+    pub fn waiters_at(&self, page: PageId, line: LineIx) -> Arc<WaitSet> {
         Arc::clone(
             self.shard(page)
                 .waiters
                 .lock()
-                .entry(page)
+                .entry((page, line))
                 .or_insert_with(|| Arc::new(WaitSet::new())),
         )
     }
 
-    /// Every page registered in this table.
+    /// Every page registered in this table (each page once, regardless of how
+    /// many lines it is split into).
     pub fn pages(&self) -> Vec<PageId> {
         let mut pages: Vec<PageId> = self
             .shards
             .iter()
-            .flat_map(|s| s.entries.lock().keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| {
+                s.entries
+                    .lock()
+                    .keys()
+                    .filter(|(_, l)| *l == LINE0)
+                    .map(|(p, _)| *p)
+                    .collect::<Vec<_>>()
+            })
             .collect();
         pages.sort();
         pages
     }
 
     /// Pages this node wrote since the last release (release-consistency
-    /// bookkeeping). Scans shard by shard, never holding more than one shard
+    /// bookkeeping). A page appears once even if several of its lines are
+    /// modified. Scans shard by shard, never holding more than one shard
     /// lock at a time.
     pub fn modified_pages(&self) -> Vec<PageId> {
         let mut pages: Vec<PageId> = self
@@ -271,15 +447,36 @@ impl PageTable {
                     .lock()
                     .iter()
                     .filter(|(_, e)| e.modified_since_release)
-                    .map(|(p, _)| *p)
+                    .map(|((p, _), _)| *p)
                     .collect::<Vec<_>>()
             })
             .collect();
         pages.sort();
+        pages.dedup();
         pages
     }
 
-    /// Number of entries.
+    /// Coherence units this node wrote since the last release — the
+    /// line-granularity analogue of [`PageTable::modified_pages`]. At the
+    /// default granularity every unit is `(page, line 0)`.
+    pub fn modified_units(&self) -> Vec<(PageId, LineIx)> {
+        let mut units: Vec<(PageId, LineIx)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.entries
+                    .lock()
+                    .iter()
+                    .filter(|(_, e)| e.modified_since_release)
+                    .map(|(k, _)| *k)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        units.sort();
+        units
+    }
+
+    /// Number of entries (line entries count individually).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.entries.lock().len()).sum()
     }
@@ -294,7 +491,7 @@ impl std::fmt::Debug for PageTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "PageTable(node={}, {} pages, {} shards)",
+            "PageTable(node={}, {} entries, {} shards)",
             self.node,
             self.len(),
             self.shards.len()
@@ -333,6 +530,9 @@ mod tests {
         assert!(e.copyset.is_empty());
         assert_eq!(e.version, 0);
         assert!(!e.pending_fetch);
+        assert_eq!(e.line, LINE0);
+        assert_eq!(e.line_size, PAGE_SIZE);
+        assert_eq!(e.line_span(), (0, PAGE_SIZE));
     }
 
     #[test]
@@ -350,6 +550,7 @@ mod tests {
         assert!(e.copyset.contains(&NodeId(2)));
         assert_eq!(e.version, 1);
         assert_eq!(t.modified_pages(), vec![PageId(7)]);
+        assert_eq!(t.modified_units(), vec![(PageId(7), LINE0)]);
     }
 
     #[test]
@@ -402,6 +603,53 @@ mod tests {
     }
 
     #[test]
+    fn line_entries_are_independent() {
+        let t = PageTable::new(NodeId(0));
+        let line_size = 1024; // 4 lines per page
+        t.ensure_lines(PageId(9), NodeId(0), ProtocolId(0), line_size);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.lines_of(PageId(9)), 4);
+        assert_eq!(t.line_size(PageId(9)), line_size);
+        assert_eq!(t.pages(), vec![PageId(9)], "a page lists once");
+
+        t.set_access_at(PageId(9), LineIx(2), Access::Write);
+        t.update_at(PageId(9), LineIx(2), |e| {
+            e.owned = true;
+            e.modified_since_release = true;
+        });
+        assert_eq!(t.access_at(PageId(9), LineIx(2)), Access::Write);
+        assert_eq!(t.access_at(PageId(9), LineIx(1)), Access::None);
+        assert!(!t.get_at(PageId(9), LineIx(0)).owned);
+        assert!(t.get_at(PageId(9), LineIx(2)).owned);
+        assert_eq!(t.modified_units(), vec![(PageId(9), LineIx(2))]);
+        assert_eq!(t.modified_pages(), vec![PageId(9)]);
+
+        // Offset resolution picks the right line entry under one lock.
+        let e = t.try_get_for_offset(PageId(9), 2 * line_size + 5).unwrap();
+        assert_eq!(e.line, LineIx(2));
+        assert_eq!(e.access, Access::Write);
+        assert_eq!(e.line_span(), (2 * line_size, line_size));
+        let e = t.try_get_for_offset(PageId(9), 0).unwrap();
+        assert_eq!(e.line, LINE0);
+
+        // Line-targeted modification marking.
+        t.mark_modified_at_offset(PageId(9), 3 * line_size);
+        assert_eq!(
+            t.modified_units(),
+            vec![(PageId(9), LineIx(2)), (PageId(9), LineIx(3))]
+        );
+
+        // Waiters are per line.
+        let w2 = t.waiters_at(PageId(9), LineIx(2));
+        let w3 = t.waiters_at(PageId(9), LineIx(3));
+        assert!(!Arc::ptr_eq(&w2, &w3));
+
+        t.remove_page(PageId(9));
+        assert!(t.is_empty());
+        assert!(!t.contains(PageId(9)));
+    }
+
+    #[test]
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_is_rejected() {
         let _ = PageTable::with_shards(NodeId(0), 0);
@@ -417,5 +665,7 @@ mod tests {
     fn try_get_does_not_panic() {
         assert!(table().try_get(PageId(1000)).is_none());
         assert!(table().try_get(PageId(7)).is_some());
+        assert!(table().try_get_for_offset(PageId(1000), 0).is_none());
+        assert!(table().try_get_for_offset(PageId(7), 100).is_some());
     }
 }

@@ -16,7 +16,7 @@ use dsmpm2_madeleine::NodeId;
 use crate::ctx::{DsmThreadCtx, ServerCtx};
 use crate::diff::PageDiff;
 use crate::msg::{Invalidation, PageRequest, PageTransfer};
-use crate::page::{Access, DsmAddr, PageId};
+use crate::page::{Access, DsmAddr, LineIx, PageId};
 use crate::sync::LockId;
 use crate::verify::ConsistencyModel;
 
@@ -43,6 +43,9 @@ pub struct FaultInfo {
     pub addr: DsmAddr,
     /// Page containing the faulting address.
     pub page: PageId,
+    /// Coherence line containing the faulting address (line 0 at the default
+    /// whole-page granularity).
+    pub line: LineIx,
     /// Kind of access that faulted.
     pub access: Access,
 }
@@ -112,17 +115,37 @@ pub trait DsmProtocol: Send + Sync + 'static {
         false
     }
 
+    /// True if the protocol can manage regions at sub-page (line)
+    /// granularity: its fault handlers and servers route every operation at
+    /// the granularity of the faulting line. Protocols returning `false` are
+    /// transparently clamped to whole-page granularity at allocation time.
+    fn supports_subpage(&self) -> bool {
+        false
+    }
+
+    /// True if the protocol can let uncontended remote read faults be served
+    /// by the one-sided `FetchRead` fast path (its read-fault handler tries
+    /// the fast path before the classic request when the runtime enables
+    /// one-sided reads). For such protocols the home's reference copy must be
+    /// safe to hand out read-only whenever its entry is readable and
+    /// uncontended.
+    fn one_sided_reads(&self) -> bool {
+        false
+    }
+
     /// Called on the home node when a diff arrives. The default applies the
-    /// diff to the home copy and bumps the page version.
+    /// diff to the home copy and bumps the version of the diffed line.
     fn diff_server(&self, ctx: &mut ServerCtx<'_>, diff: PageDiff, from: NodeId) {
         let runtime = ctx.runtime.clone();
         let node = ctx.local_node;
         let bytes = diff.modified_bytes();
         runtime.frames(node).apply_diff(diff.page, &diff);
-        runtime.page_table(node).update(diff.page, |e| {
-            e.version += 1;
-            e.copyset.insert(from);
-        });
+        runtime
+            .page_table(node)
+            .update_at(diff.page, diff.line, |e| {
+                e.version += 1;
+                e.copyset.insert(from);
+            });
         ctx.sim.charge(runtime.costs().diff_apply(bytes));
     }
 }
@@ -346,6 +369,7 @@ mod tests {
         let f = FaultInfo {
             addr: DsmAddr(4096 + 8),
             page: PageId(1),
+            line: crate::page::LINE0,
             access: Access::Write,
         };
         let g = f;

@@ -13,7 +13,9 @@ use dsmpm2_pm2::{DsmTuning, Engine, Pm2Cluster, Pm2Config, Pm2ThreadState, Spawn
 use crate::costs::DsmCosts;
 use crate::ctx::DsmThreadCtx;
 use crate::frames::FrameStore;
-use crate::page::{pages_covering, Access, DsmAddr, PageId, PAGE_SIZE};
+use crate::page::{
+    lines_per_page, pages_covering, validate_line_size, Access, DsmAddr, LineIx, PageId, PAGE_SIZE,
+};
 use crate::page_table::PageTable;
 use crate::protocol::{DsmProtocol, ProtocolId};
 use crate::stats::DsmStats;
@@ -27,6 +29,9 @@ pub struct PageMeta {
     pub home: NodeId,
     /// Protocol managing the page.
     pub protocol: ProtocolId,
+    /// Coherence-line size of the page (`PAGE_SIZE` at the default
+    /// whole-page granularity).
+    pub line_size: usize,
 }
 
 /// Placement policy for the pages of a DSM allocation.
@@ -50,6 +55,11 @@ pub struct DsmAttr {
     pub protocol: Option<ProtocolId>,
     /// Home placement of the allocated pages.
     pub home: HomePolicy,
+    /// Per-region coherence granularity override in bytes; `None` uses
+    /// [`dsmpm2_pm2::DsmTuning::granularity`]. Must divide `PAGE_SIZE`.
+    /// Silently clamped to whole pages when the region's protocol does not
+    /// support sub-page coherence ([`DsmProtocol::supports_subpage`]).
+    pub granularity: Option<usize>,
 }
 
 impl DsmAttr {
@@ -58,12 +68,19 @@ impl DsmAttr {
         DsmAttr {
             protocol: Some(protocol),
             home: HomePolicy::default(),
+            granularity: None,
         }
     }
 
     /// Set the home placement policy.
     pub fn home(mut self, policy: HomePolicy) -> Self {
         self.home = policy;
+        self
+    }
+
+    /// Set a per-region coherence granularity (bytes per line).
+    pub fn granularity(mut self, bytes: usize) -> Self {
+        self.granularity = Some(bytes);
         self
     }
 }
@@ -80,6 +97,9 @@ pub(crate) struct RuntimeInner {
     pub(crate) outbox: Option<crate::comm::DsmOutbox>,
     nodes: Vec<NodeState>,
     directory: Mutex<HashMap<PageId, PageMeta>>,
+    /// Effective coherence granularity of every allocation, keyed by region
+    /// base address (after protocol-capability clamping).
+    region_granularity: Mutex<HashMap<DsmAddr, usize>>,
     protocols: RwLock<Vec<Arc<dyn DsmProtocol>>>,
     default_protocol: AtomicUsize,
     pub(crate) locks: Mutex<HashMap<u64, Arc<LockState>>>,
@@ -140,6 +160,7 @@ impl DsmRuntime {
                 tuning,
                 nodes,
                 directory: Mutex::new(HashMap::new()),
+                region_granularity: Mutex::new(HashMap::new()),
                 protocols: RwLock::new(Vec::new()),
                 default_protocol: AtomicUsize::new(NO_DEFAULT),
                 locks: Mutex::new(HashMap::new()),
@@ -321,12 +342,30 @@ impl DsmRuntime {
             protocol.0 < self.inner.protocols.read().len(),
             "allocation references unregistered {protocol}"
         );
+        // Effective coherence granularity: the per-region override wins over
+        // the cluster-wide tuning default (0 = whole pages); protocols that
+        // do not manage sub-page units clamp the region back to whole pages.
+        let requested = attr.granularity.unwrap_or({
+            let g = self.inner.tuning.granularity;
+            if g == 0 {
+                PAGE_SIZE
+            } else {
+                g
+            }
+        });
+        let requested = validate_line_size(requested);
+        let line_size = if self.protocol(protocol).supports_subpage() {
+            requested
+        } else {
+            PAGE_SIZE
+        };
         let range = self
             .inner
             .cluster
             .isomalloc()
             .alloc_shared(bytes, PAGE_SIZE as u64);
         let base = DsmAddr(range.start);
+        self.inner.region_granularity.lock().insert(base, line_size);
         let pages = pages_covering(base, range.len);
         let num_nodes = self.num_nodes();
         let mut directory = self.inner.directory.lock();
@@ -342,19 +381,36 @@ impl DsmRuntime {
                 }
                 HomePolicy::Block => NodeId((i * num_nodes) / pages.len()),
             };
-            directory.insert(page, PageMeta { home, protocol });
+            directory.insert(
+                page,
+                PageMeta {
+                    home,
+                    protocol,
+                    line_size,
+                },
+            );
             for node in self.inner.cluster.topology().nodes() {
-                self.page_table(node).ensure(page, home, protocol);
+                self.page_table(node)
+                    .ensure_lines(page, home, protocol, line_size);
             }
-            self.page_table(home).update(page, |e| {
-                e.access = Access::Write;
-                e.owned = true;
-                e.prob_owner = home;
-                e.copyset.insert(home);
-            });
+            for line in 0..lines_per_page(line_size) {
+                self.page_table(home).update_at(page, LineIx(line), |e| {
+                    e.access = Access::Write;
+                    e.owned = true;
+                    e.prob_owner = home;
+                    e.copyset.insert(home);
+                });
+            }
             self.frames(home).ensure_zeroed(page);
         }
         base
+    }
+
+    /// Effective coherence granularity of the allocation based at `base`
+    /// (after protocol-capability clamping), or `None` if `base` is not the
+    /// base address of an allocation.
+    pub fn region_granularity(&self, base: DsmAddr) -> Option<usize> {
+        self.inner.region_granularity.lock().get(&base).copied()
     }
 
     /// Allocate the "static" shared data area (the `BEGIN_DSM_DATA` /
@@ -366,6 +422,7 @@ impl DsmRuntime {
             DsmAttr {
                 protocol: None,
                 home: HomePolicy::Fixed(NodeId(0)),
+                granularity: None,
             },
         )
     }
@@ -402,20 +459,33 @@ impl DsmRuntime {
             "cannot switch to unregistered {new_protocol}"
         );
         let pages = pages_covering(addr, bytes);
+        let new_supports_subpage = self.protocol(new_protocol).supports_subpage();
         let mut directory = self.inner.directory.lock();
         for &page in &pages {
             let meta = directory
                 .get_mut(&page)
                 .unwrap_or_else(|| panic!("{page} is not part of any DSM allocation"));
             let home = meta.home;
+            let old_line_size = meta.line_size;
+            // A sub-page region keeps its granularity if the new protocol
+            // handles it, otherwise it is clamped back to whole pages.
+            let new_line_size = if new_supports_subpage {
+                old_line_size
+            } else {
+                PAGE_SIZE
+            };
             meta.protocol = new_protocol;
+            meta.line_size = new_line_size;
+            let lines = lines_per_page(old_line_size);
             for node in self.inner.cluster.topology().nodes() {
-                let entry = self.page_table(node).get(page);
-                assert!(
-                    !entry.pending_fetch && entry.pending_acks == 0,
-                    "protocol switch of {page} raced with in-flight protocol activity on node \
-                     {node}; synchronize (e.g. with barriers) before switching"
-                );
+                for line in 0..lines {
+                    let entry = self.page_table(node).get_at(page, LineIx(line));
+                    assert!(
+                        !entry.pending_fetch && entry.pending_acks == 0,
+                        "protocol switch of {page} raced with in-flight protocol activity on node \
+                         {node}; synchronize (e.g. with barriers) before switching"
+                    );
+                }
             }
             // Consolidate every remote copy into the home frame before
             // resetting rights, so no write is lost across the switch.
@@ -430,49 +500,104 @@ impl DsmRuntime {
                     // consolidation below could merge them home.
                     self.frames(node).evict(page);
                 }
-                let entry = self.page_table(node).get(page);
                 if self.frames(node).has(page) {
-                    if self.frames(node).has_twin(page) {
+                    let had_twin = self.frames(node).has_twin(page);
+                    let had_recorded = self.frames(node).has_recorded(page);
+                    if had_twin {
                         // Multiple-writer replica: its modifications relative
                         // to the twin merge into the home copy.
                         let diff = self.frames(node).take_twin_diff(page);
                         if !diff.is_empty() {
                             self.frames(home).apply_diff(page, &diff);
                         }
-                    } else if self.frames(node).has_recorded(page) {
+                    } else if had_recorded {
                         let diff = self.frames(node).take_recorded_diff(page);
                         if !diff.is_empty() {
                             self.frames(home).apply_diff(page, &diff);
                         }
-                    } else if entry.access == Access::Write || entry.owned {
-                        // Owner under a single-writer protocol: there is no
-                        // twin, the whole frame is authoritative — also when
-                        // serving read copies downgraded the owner's own
-                        // access to read-only.
-                        let data = self.frames(node).snapshot(page);
-                        self.frames(home).install(page, data);
+                    }
+                    for line in 0..lines {
+                        let line = LineIx(line);
+                        let entry = self.page_table(node).get_at(page, line);
+                        if self.frames(node).has_line_twin(page, line) {
+                            // Sub-page multiple-writer replica: merge this
+                            // line's modifications relative to its line twin.
+                            let (off, _) = entry.line_span();
+                            let diff = self.frames(node).take_line_twin_diff(page, line, off);
+                            if !diff.is_empty() {
+                                self.frames(home).apply_diff(page, &diff);
+                            }
+                        } else if !had_twin
+                            && !had_recorded
+                            && (entry.access == Access::Write || entry.owned)
+                        {
+                            // Owner under a single-writer protocol: there is
+                            // no twin, the held range is authoritative — also
+                            // when serving read copies downgraded the owner's
+                            // own access to read-only.
+                            let (off, len) = entry.line_span();
+                            if len == PAGE_SIZE {
+                                let data = self.frames(node).snapshot(page);
+                                self.frames(home).install(page, data);
+                            } else {
+                                let data = self.frames(node).snapshot_range(page, off, len);
+                                self.frames(home).install_line(page, line, off, &data);
+                            }
+                        }
                     }
                     self.frames(node).evict(page);
                 }
-                self.page_table(node).update(page, |e| {
-                    e.protocol = new_protocol;
-                    e.access = Access::None;
-                    e.owned = false;
-                    e.prob_owner = home;
-                    e.copyset.clear();
-                    e.modified_since_release = false;
-                });
             }
-            self.page_table(home).update(page, |e| {
-                e.protocol = new_protocol;
-                e.access = Access::Write;
-                e.owned = true;
-                e.prob_owner = home;
-                e.copyset.clear();
-                e.copyset.insert(home);
-                e.modified_since_release = false;
-                e.version += 1;
-            });
+            if new_line_size == old_line_size {
+                // Same geometry: reset entries in place (preserving version
+                // and ownership-succession history, as the page-granularity
+                // switch always has).
+                for node in self.inner.cluster.topology().nodes() {
+                    if node == home {
+                        continue;
+                    }
+                    for line in 0..lines {
+                        self.page_table(node).update_at(page, LineIx(line), |e| {
+                            e.protocol = new_protocol;
+                            e.access = Access::None;
+                            e.owned = false;
+                            e.prob_owner = home;
+                            e.copyset.clear();
+                            e.modified_since_release = false;
+                        });
+                    }
+                }
+                for line in 0..lines {
+                    self.page_table(home).update_at(page, LineIx(line), |e| {
+                        e.protocol = new_protocol;
+                        e.access = Access::Write;
+                        e.owned = true;
+                        e.prob_owner = home;
+                        e.copyset.clear();
+                        e.copyset.insert(home);
+                        e.modified_since_release = false;
+                        e.version += 1;
+                    });
+                }
+            } else {
+                // Geometry change (sub-page region clamped back to whole
+                // pages): rebuild the entries at the new line size.
+                let version = self.page_table(home).get(page).version + 1;
+                for node in self.inner.cluster.topology().nodes() {
+                    self.page_table(node).remove_page(page);
+                    self.page_table(node)
+                        .ensure_lines(page, home, new_protocol, new_line_size);
+                }
+                for line in 0..lines_per_page(new_line_size) {
+                    self.page_table(home).update_at(page, LineIx(line), |e| {
+                        e.access = Access::Write;
+                        e.owned = true;
+                        e.prob_owner = home;
+                        e.copyset.insert(home);
+                        e.version = version;
+                    });
+                }
+            }
         }
         pages.len()
     }

@@ -29,6 +29,9 @@ pub struct DsmStats {
     request_forwards: AtomicU64,
     coherence_batches: AtomicU64,
     coherence_batched_messages: AtomicU64,
+    one_sided_serves: AtomicU64,
+    one_sided_busy: AtomicU64,
+    fetch_handler_wakes: AtomicU64,
 }
 
 /// A plain-value snapshot of [`DsmStats`].
@@ -71,6 +74,16 @@ pub struct DsmStatsSnapshot {
     /// Coherence messages that travelled inside a batched envelope (each
     /// batch carries at least two).
     pub coherence_batched_messages: u64,
+    /// Read fetches served one-sided by the home's delivery interceptor at
+    /// message-arrival instant (no handler thread, no dispatcher pass).
+    pub one_sided_serves: u64,
+    /// One-sided fetch attempts refused because home-side state was
+    /// contended (pending acquisition, in-flight diff, doomed frame);
+    /// the requester fell back to the classic request path.
+    pub one_sided_busy: u64,
+    /// Fetch requests that woke a handler thread on the serving node (the
+    /// fallback path; zero when every fetch was served one-sided).
+    pub fetch_handler_wakes: u64,
 }
 
 macro_rules! counter_methods {
@@ -102,6 +115,9 @@ counter_methods!(
     inline_checks => incr_inline_check,
     request_forwards => incr_request_forward,
     coherence_batches => incr_coherence_batch,
+    one_sided_serves => incr_one_sided_serve,
+    one_sided_busy => incr_one_sided_busy,
+    fetch_handler_wakes => incr_fetch_handler_wake,
 );
 
 impl DsmStats {
@@ -147,6 +163,9 @@ impl DsmStats {
             request_forwards: self.request_forwards.load(Ordering::Relaxed),
             coherence_batches: self.coherence_batches.load(Ordering::Relaxed),
             coherence_batched_messages: self.coherence_batched_messages.load(Ordering::Relaxed),
+            one_sided_serves: self.one_sided_serves.load(Ordering::Relaxed),
+            one_sided_busy: self.one_sided_busy.load(Ordering::Relaxed),
+            fetch_handler_wakes: self.fetch_handler_wakes.load(Ordering::Relaxed),
         }
     }
 }

@@ -29,12 +29,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use dsmpm2_sim::{EngineCtl, SimDuration, SimSender, SimTime};
+use dsmpm2_sim::{EngineCtl, SimDuration, SimTime};
 
 use crate::model::NetworkModel;
 use crate::stats::{WireStats, WireStatsSnapshot};
 use crate::topology::{NodeId, Topology};
-use crate::transport::Envelope;
+use crate::transport::{DeliverySink, Envelope};
 
 /// Transport-layer tuning knobs of a cluster, threaded through `Pm2Config`
 /// the same way the scheduler's `SimTuning` is.
@@ -167,10 +167,11 @@ const MAX_ATTEMPTS: u32 = 64;
 /// caller computed (`base_delay`, the idle-wire transfer time) and must
 /// eventually deliver the envelope — exactly once, never overtaking an
 /// earlier message on the same directed link — into `tx`, the destination
-/// node's incoming queue.
+/// node's delivery sink (the incoming queue, behind the network's delivery
+/// interceptor).
 pub trait Transport<M: Send + 'static>: Send + Sync {
     /// Hand one envelope to the wire.
-    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>);
+    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &DeliverySink<M>);
     /// Wire-level counters (stalls, drops, retransmits, duplicates).
     fn wire_stats(&self) -> WireStatsSnapshot;
 }
@@ -266,7 +267,7 @@ impl IdealTransport {
 }
 
 impl<M: Send + 'static> Transport<M> for IdealTransport {
-    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>) {
+    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &DeliverySink<M>) {
         let natural = env.sent_at + base_delay;
         let arrival = self.links.reserve(env.from, env.to, natural);
         self.stats.add_fifo_stall(arrival.since(natural));
@@ -307,7 +308,7 @@ impl PermutedTransport {
 }
 
 impl<M: Send + 'static> Transport<M> for PermutedTransport {
-    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>) {
+    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &DeliverySink<M>) {
         let choice = if self.options > 1 && env.from != env.to {
             match self.ctl.controller() {
                 Some(controller) => controller
@@ -398,7 +399,7 @@ impl ContendedTransport {
 }
 
 impl<M: Send + 'static> Transport<M> for ContendedTransport {
-    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>) {
+    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &DeliverySink<M>) {
         let (from, to) = (env.from, env.to);
         if from == to {
             // Loopback skips the NICs (same as it skips the wire).
@@ -531,7 +532,7 @@ impl<M: Send + 'static> LossyTransport<M> {
         depart_at: SimTime,
         env: Envelope<M>,
         base_delay: SimDuration,
-        tx: SimSender<Envelope<M>>,
+        tx: DeliverySink<M>,
     ) {
         let (from, to) = (env.from, env.to);
         let shim = LossyTransport {
@@ -592,7 +593,7 @@ impl<M: Send + 'static> LossyTransport<M> {
 }
 
 impl<M: Send + 'static> Transport<M> for LossyTransport<M> {
-    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &SimSender<Envelope<M>>) {
+    fn submit(&self, env: Envelope<M>, base_delay: SimDuration, tx: &DeliverySink<M>) {
         let (from, to) = (env.from, env.to);
         if from == to {
             // Loopback skips the wire, hence the loss layer.

@@ -105,6 +105,12 @@ pub struct WireStats {
     drops: AtomicU64,
     retransmits: AtomicU64,
     duplicates: AtomicU64,
+    envelopes: AtomicU64,
+    envelope_bytes: AtomicU64,
+    messages: AtomicU64,
+    message_bytes: AtomicU64,
+    hook_consumed: AtomicU64,
+    hook_delivered: AtomicU64,
 }
 
 /// A point-in-time snapshot of [`WireStats`].
@@ -122,12 +128,52 @@ pub struct WireStatsSnapshot {
     pub retransmits: u64,
     /// Duplicate frames discarded by the sequence-number check.
     pub duplicates: u64,
+    /// Wire envelopes submitted to the transport. One envelope may carry
+    /// several logical messages (the per-tick coherence batcher coalesces
+    /// same-destination messages into one).
+    pub envelopes: u64,
+    /// Total accounted bytes of those envelopes (payload plus per-message
+    /// wire headers).
+    pub envelope_bytes: u64,
+    /// Logical messages carried by the submitted envelopes.
+    pub messages: u64,
+    /// Accounted bytes attributed to logical messages. Equal to
+    /// `envelope_bytes` (the envelope's bytes are exactly its messages'
+    /// bytes); reported separately so `messages`/`message_bytes` and
+    /// `envelopes`/`envelope_bytes` form comparable per-message and
+    /// per-envelope averages.
+    pub message_bytes: u64,
+    /// Envelopes consumed by the delivery interceptor at arrival instant
+    /// (e.g. one-sided read fetches served directly from the home's frame)
+    /// — these never reached the destination's dispatcher queue.
+    pub hook_consumed: u64,
+    /// Envelopes offered to the installed delivery interceptor but delivered
+    /// normally. Zero when no interceptor is installed.
+    pub hook_delivered: u64,
 }
 
 impl WireStatsSnapshot {
     /// Total virtual time spent stalled on NICs (egress + ingress).
     pub fn contention_stall_ns(&self) -> u64 {
         self.egress_stall_ns + self.ingress_stall_ns
+    }
+
+    /// Average accounted bytes per wire envelope.
+    pub fn bytes_per_envelope(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.envelope_bytes as f64 / self.envelopes as f64
+        }
+    }
+
+    /// Average logical messages per wire envelope (> 1 under batching).
+    pub fn messages_per_envelope(&self) -> f64 {
+        if self.envelopes == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.envelopes as f64
+        }
     }
 }
 
@@ -165,6 +211,25 @@ impl WireStats {
         self.duplicates.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Account one wire envelope of `bytes` accounted bytes carrying
+    /// `messages` logical messages.
+    pub fn add_envelope(&self, bytes: u64, messages: u64) {
+        self.envelopes.fetch_add(1, Ordering::Relaxed);
+        self.envelope_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.messages.fetch_add(messages, Ordering::Relaxed);
+        self.message_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Count one envelope consumed by the delivery interceptor.
+    pub fn incr_hook_consumed(&self) {
+        self.hook_consumed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one envelope offered to the interceptor but delivered normally.
+    pub fn incr_hook_delivered(&self) {
+        self.hook_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A consistent snapshot of every counter.
     pub fn snapshot(&self) -> WireStatsSnapshot {
         WireStatsSnapshot {
@@ -174,6 +239,12 @@ impl WireStats {
             drops: self.drops.load(Ordering::Relaxed),
             retransmits: self.retransmits.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            envelopes: self.envelopes.load(Ordering::Relaxed),
+            envelope_bytes: self.envelope_bytes.load(Ordering::Relaxed),
+            messages: self.messages.load(Ordering::Relaxed),
+            message_bytes: self.message_bytes.load(Ordering::Relaxed),
+            hook_consumed: self.hook_consumed.load(Ordering::Relaxed),
+            hook_delivered: self.hook_delivered.load(Ordering::Relaxed),
         }
     }
 }
@@ -193,6 +264,24 @@ mod tests {
         let s = w.snapshot();
         assert_eq!(s.contention_stall_ns(), 5_000);
         assert_eq!((s.drops, s.retransmits, s.duplicates), (1, 1, 1));
+    }
+
+    #[test]
+    fn envelope_and_message_accounting() {
+        let w = WireStats::default();
+        w.add_envelope(100, 1);
+        w.add_envelope(500, 4); // a batched envelope carrying 4 messages
+        w.incr_hook_consumed();
+        w.incr_hook_delivered();
+        let s = w.snapshot();
+        assert_eq!(s.envelopes, 2);
+        assert_eq!(s.envelope_bytes, 600);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.message_bytes, 600);
+        assert_eq!(s.bytes_per_envelope(), 300.0);
+        assert_eq!(s.messages_per_envelope(), 2.5);
+        assert_eq!((s.hook_consumed, s.hook_delivered), (1, 1));
+        assert_eq!(WireStatsSnapshot::default().bytes_per_envelope(), 0.0);
     }
 
     #[test]

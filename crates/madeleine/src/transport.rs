@@ -18,7 +18,7 @@ use dsmpm2_sim::{channel_on, EngineCtl, SimDuration, SimHandle, SimReceiver, Sim
 
 use crate::backend::{build_transport, Transport, TransportTuning};
 use crate::model::{NetworkModel, CONTROL_MESSAGE_BYTES};
-use crate::stats::{NetStats, WireStatsSnapshot};
+use crate::stats::{NetStats, WireStats, WireStatsSnapshot};
 use crate::topology::{NodeId, Topology};
 
 /// A message in flight (or delivered) between two nodes.
@@ -30,6 +30,10 @@ pub struct Envelope<M> {
     pub to: NodeId,
     /// Payload size accounted by the cost model, in bytes.
     pub bytes: usize,
+    /// Number of logical messages this envelope carries: 1 for plain sends,
+    /// more when an upper layer coalesced several messages into one wire
+    /// envelope (the DSM per-tick coherence batcher).
+    pub messages: u32,
     /// Virtual time at which the message was handed to the network.
     pub sent_at: SimTime,
     /// The message itself.
@@ -42,19 +46,85 @@ pub struct Envelope<M> {
 /// so that no later message ever overtakes a logically earlier parked one.
 pub type PreSendHook = Arc<dyn Fn(NodeId, NodeId) + Send + Sync>;
 
+/// A delivery interceptor: runs at the envelope's arrival instant, on the
+/// destination node's scheduler shard, *before* the envelope is enqueued on
+/// the node's incoming queue. Returning `None` consumes the envelope — the
+/// hook served it in place (the DSM one-sided read fast path answers fetches
+/// directly from the home's frame this way, with no handler-thread wake);
+/// returning `Some` delivers it through the queue as usual. Installed on the
+/// whole network; when absent, delivery is exactly the historical direct
+/// enqueue.
+pub type DeliveryHook<M> =
+    Arc<dyn Fn(&EngineCtl, Envelope<M>) -> Option<Envelope<M>> + Send + Sync>;
+
+/// The destination side of one node's message queue, as seen by transport
+/// backends: wraps the raw [`SimSender`] together with the network's
+/// delivery interceptor. Without an installed hook, [`DeliverySink::send_at`]
+/// is exactly `SimSender::send_at` — bit-identical to the pre-seam transport;
+/// with one, the delivery is rescheduled as an explicit arrival event on the
+/// destination shard where the hook may consume the envelope.
+pub struct DeliverySink<M> {
+    tx: SimSender<Envelope<M>>,
+    ctl: EngineCtl,
+    shard: u64,
+    hook: Arc<RwLock<Option<DeliveryHook<M>>>>,
+    wire: Arc<WireStats>,
+}
+
+impl<M> Clone for DeliverySink<M> {
+    fn clone(&self) -> Self {
+        DeliverySink {
+            tx: self.tx.clone(),
+            ctl: self.ctl.clone(),
+            shard: self.shard,
+            hook: Arc::clone(&self.hook),
+            wire: Arc::clone(&self.wire),
+        }
+    }
+}
+
+impl<M: Send + 'static> DeliverySink<M> {
+    /// Deliver `env` into the destination queue at absolute time
+    /// `deliver_at`, consulting the delivery interceptor at that instant.
+    pub fn send_at(&self, deliver_at: SimTime, env: Envelope<M>) {
+        let hook = self.hook.read().clone();
+        match hook {
+            None => self.tx.send_at(deliver_at, env),
+            Some(hook) => {
+                let tx = self.tx.clone();
+                let wire = Arc::clone(&self.wire);
+                self.ctl
+                    .call_at_on(self.shard, deliver_at, move |ctl| match hook(ctl, env) {
+                        Some(env) => {
+                            wire.incr_hook_delivered();
+                            tx.send_at(ctl.now(), env);
+                        }
+                        None => wire.incr_hook_consumed(),
+                    });
+            }
+        }
+    }
+}
+
 struct NetworkInner<M> {
     model: NetworkModel,
     topology: Topology,
     tuning: TransportTuning,
-    senders: Vec<SimSender<Envelope<M>>>,
+    sinks: Vec<DeliverySink<M>>,
     receivers: Vec<SimReceiver<Envelope<M>>>,
     stats: NetStats,
+    /// Network-level wire accounting (envelopes, logical messages, delivery
+    /// interceptor counters); merged into [`Network::wire_stats`] together
+    /// with the backend's own counters.
+    wire: Arc<WireStats>,
     /// The wire-level backend: owns the per-directed-link state (FIFO
     /// clocks, NIC reservations, retransmission machinery) and decides when
     /// each envelope reaches its destination queue.
     transport: Box<dyn Transport<M>>,
     /// Pre-send link hook (see [`PreSendHook`]).
     pre_send: RwLock<Option<PreSendHook>>,
+    /// Delivery interceptor shared by every node's sink.
+    delivery_hook: Arc<RwLock<Option<DeliveryHook<M>>>>,
 }
 
 /// A simulated interconnect connecting every node of the cluster.
@@ -84,13 +154,21 @@ impl<M: Send + 'static> Network<M> {
         topology: Topology,
         tuning: TransportTuning,
     ) -> Self {
-        let mut senders = Vec::with_capacity(topology.num_nodes);
+        let mut sinks = Vec::with_capacity(topology.num_nodes);
         let mut receivers = Vec::with_capacity(topology.num_nodes);
+        let delivery_hook: Arc<RwLock<Option<DeliveryHook<M>>>> = Arc::new(RwLock::new(None));
+        let wire = Arc::new(WireStats::default());
         for node in 0..topology.num_nodes {
             // Each endpoint's delivery callbacks run on the owning node's
             // shard, serialized with the node's dispatcher and handlers.
             let (tx, rx) = channel_on::<Envelope<M>>(ctl.clone(), node as u64);
-            senders.push(tx);
+            sinks.push(DeliverySink {
+                tx,
+                ctl: ctl.clone(),
+                shard: node as u64,
+                hook: Arc::clone(&delivery_hook),
+                wire: Arc::clone(&wire),
+            });
             receivers.push(rx);
         }
         let transport = build_transport::<M>(ctl, &model, &topology, tuning);
@@ -99,11 +177,13 @@ impl<M: Send + 'static> Network<M> {
                 model,
                 topology,
                 tuning,
-                senders,
+                sinks,
                 receivers,
                 stats: NetStats::new(),
+                wire,
                 transport,
                 pre_send: RwLock::new(None),
+                delivery_hook,
             }),
         }
     }
@@ -128,10 +208,19 @@ impl<M: Send + 'static> Network<M> {
         &self.inner.stats
     }
 
-    /// Wire-level statistics of the transport backend (NIC stalls, drops,
-    /// retransmissions, duplicates).
+    /// Wire-level statistics: the transport backend's counters (NIC stalls,
+    /// drops, retransmissions, duplicates) merged with the network-level
+    /// envelope/message accounting and delivery-interceptor counters.
     pub fn wire_stats(&self) -> WireStatsSnapshot {
-        self.inner.transport.wire_stats()
+        let mut snap = self.inner.transport.wire_stats();
+        let net = self.inner.wire.snapshot();
+        snap.envelopes = net.envelopes;
+        snap.envelope_bytes = net.envelope_bytes;
+        snap.messages = net.messages;
+        snap.message_bytes = net.message_bytes;
+        snap.hook_consumed = net.hook_consumed;
+        snap.hook_delivered = net.hook_delivered;
+        snap
     }
 
     /// The incoming message queue of `node`. Dispatcher threads hold a clone
@@ -153,6 +242,15 @@ impl<M: Send + 'static> Network<M> {
         if let Some(hook) = hook {
             hook(from, to);
         }
+    }
+
+    /// Install the delivery interceptor (replacing any previous one). The
+    /// hook runs at every envelope's arrival instant on the destination
+    /// node's shard and may consume the envelope by returning `None` (see
+    /// [`DeliveryHook`]). When no hook is installed, delivery is the direct
+    /// queue enqueue — bit-identical to the pre-interceptor transport.
+    pub fn set_delivery_hook(&self, hook: DeliveryHook<M>) {
+        *self.inner.delivery_hook.write() = Some(hook);
     }
 
     /// Send `msg` from `from` to `to`, accounting `payload_bytes` of payload.
@@ -184,14 +282,17 @@ impl<M: Send + 'static> Network<M> {
         payload_bytes: usize,
         delay: SimDuration,
     ) {
-        self.dispatch(handle.now(), from, to, msg, payload_bytes, delay);
+        self.dispatch(handle.now(), from, to, msg, payload_bytes, 1, delay);
     }
 
     /// Send from outside any simulated thread (scheduler callbacks). Used by
     /// the per-tick message batcher, whose flush runs as an engine callback
     /// at the end of the tick rather than on a simulated thread. The message
     /// is timed from the global clock and obeys the same per-link FIFO order
-    /// as thread-originated sends.
+    /// as thread-originated sends. `messages` is the number of logical
+    /// messages the envelope carries (a batched envelope carries several),
+    /// accounted by [`Network::wire_stats`].
+    #[allow(clippy::too_many_arguments)]
     pub fn send_with_delay_from_ctl(
         &self,
         ctl: &EngineCtl,
@@ -199,14 +300,16 @@ impl<M: Send + 'static> Network<M> {
         to: NodeId,
         msg: M,
         payload_bytes: usize,
+        messages: u32,
         delay: SimDuration,
     ) {
-        self.dispatch(ctl.now(), from, to, msg, payload_bytes, delay);
+        self.dispatch(ctl.now(), from, to, msg, payload_bytes, messages, delay);
     }
 
     /// Common half of every send: run the pre-send hook, record statistics
     /// and hand the envelope to the transport backend, which schedules the
     /// delivery.
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &self,
         sent_at: SimTime,
@@ -214,6 +317,7 @@ impl<M: Send + 'static> Network<M> {
         to: NodeId,
         msg: M,
         payload_bytes: usize,
+        messages: u32,
         delay: SimDuration,
     ) {
         assert!(
@@ -222,16 +326,20 @@ impl<M: Send + 'static> Network<M> {
         );
         self.run_pre_send_hook(from, to);
         self.inner.stats.record(from, to, payload_bytes);
+        self.inner
+            .wire
+            .add_envelope(payload_bytes as u64, u64::from(messages.max(1)));
         let envelope = Envelope {
             from,
             to,
             bytes: payload_bytes,
+            messages: messages.max(1),
             sent_at,
             msg,
         };
         self.inner
             .transport
-            .submit(envelope, delay, &self.inner.senders[to.index()]);
+            .submit(envelope, delay, &self.inner.sinks[to.index()]);
     }
 }
 
@@ -348,6 +456,7 @@ mod tests {
                 NodeId(1),
                 2,
                 0,
+                1,
                 SimDuration::from_micros(1),
             );
         });
@@ -356,6 +465,43 @@ mod tests {
         assert_eq!(order[0].0, 1);
         assert_eq!(order[1].0, 2);
         assert!(order[0].1 <= order[1].1);
+    }
+
+    #[test]
+    fn delivery_hook_can_consume_envelopes_at_arrival() {
+        let mut engine = Engine::new();
+        let net = two_node_net::<u8>(&engine, profiles::bip_myrinet());
+        // Consume odd payloads at arrival; deliver even ones normally.
+        net.set_delivery_hook(Arc::new(
+            |_ctl, env: Envelope<u8>| {
+                if env.msg % 2 == 1 {
+                    None
+                } else {
+                    Some(env)
+                }
+            },
+        ));
+        let got = Arc::new(Mutex::new(Vec::new()));
+        let rx = net.endpoint(NodeId(1));
+        let g = got.clone();
+        engine.spawn("rx", move |h| {
+            for _ in 0..2 {
+                g.lock().push(rx.recv(h).msg);
+            }
+        });
+        let net2 = net.clone();
+        engine.spawn("tx", move |h| {
+            for m in [1u8, 2, 3, 4] {
+                net2.send_control(h, NodeId(0), NodeId(1), m);
+            }
+        });
+        engine.run().unwrap();
+        assert_eq!(got.lock().clone(), vec![2, 4]);
+        let wire = net.wire_stats();
+        assert_eq!(wire.hook_consumed, 2);
+        assert_eq!(wire.hook_delivered, 2);
+        assert_eq!(wire.envelopes, 4);
+        assert_eq!(wire.messages, 4);
     }
 
     #[test]

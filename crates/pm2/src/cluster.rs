@@ -252,7 +252,9 @@ impl Pm2Cluster {
     /// Semantics match [`Pm2Cluster::rpc_oneway`], timed from the global
     /// clock but never departing before `not_before` — the logical send time
     /// of a parked message, which may lie ahead of the global clock when the
-    /// sending thread carried uncommitted local compute.
+    /// sending thread carried uncommitted local compute. `messages` is the
+    /// number of logical messages the envelope carries (a batched coherence
+    /// envelope carries several), fed to the wire-level accounting.
     #[allow(clippy::too_many_arguments)]
     pub fn rpc_oneway_from_ctl(
         &self,
@@ -262,6 +264,7 @@ impl Pm2Cluster {
         service: &str,
         payload: RpcPayload,
         class: RpcClass,
+        messages: u32,
         not_before: SimTime,
     ) {
         let (msg, mut delay) = self.oneway_parts(from, to, service, payload, class);
@@ -275,6 +278,7 @@ impl Pm2Cluster {
             to,
             msg,
             class.accounted_bytes(),
+            messages,
             delay,
         );
     }
@@ -372,6 +376,33 @@ impl Pm2Cluster {
                 payload: reply.payload,
             },
             reply.class.accounted_bytes(),
+            delay,
+        );
+    }
+
+    /// Send the reply to request `id` from a scheduler callback rather than
+    /// a handler thread. This is the one-sided service path: a delivery
+    /// interceptor that served a request at its arrival instant answers the
+    /// blocked caller without any thread having run on the serving node.
+    pub fn send_reply_from_ctl(
+        &self,
+        ctl: &EngineCtl,
+        from: NodeId,
+        to: NodeId,
+        id: u64,
+        reply: RpcReply,
+    ) {
+        let delay = self.message_delay(from, to, reply.class);
+        self.inner.network.send_with_delay_from_ctl(
+            ctl,
+            from,
+            to,
+            RpcMessage::Reply {
+                id,
+                payload: reply.payload,
+            },
+            reply.class.accounted_bytes(),
+            1,
             delay,
         );
     }

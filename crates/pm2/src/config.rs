@@ -68,6 +68,22 @@ pub struct DsmTuning {
     /// to one window of extra latency for fewer wire messages. Ignored when
     /// `batch_messages` is off.
     pub batch_window: SimDuration,
+    /// Default coherence granularity in bytes for new allocations: `0` (the
+    /// default) manages whole pages, exactly as before granularity existed;
+    /// a non-zero value must divide the page size and splits every page of an
+    /// allocation into independently-owned coherence lines of that many
+    /// bytes. Overridable per region through the allocation attributes, and
+    /// transparently clamped back to whole pages for protocols that do not
+    /// support sub-page coherence.
+    pub granularity: usize,
+    /// Serve uncontended remote read faults one-sided: the requester sends a
+    /// `FetchRead` and the home answers at message-delivery instant directly
+    /// from its installed frame — no handler-thread wake, no scheduler
+    /// round-trip — falling back to the classic request path whenever the
+    /// home-side state is contended. Off by default (bit-identical to the
+    /// historical two-sided path). Only protocols that declare the
+    /// capability use the fast path.
+    pub one_sided_reads: bool,
 }
 
 impl Default for DsmTuning {
@@ -76,6 +92,8 @@ impl Default for DsmTuning {
             page_table_shards: 8,
             batch_messages: true,
             batch_window: SimDuration::ZERO,
+            granularity: 0,
+            one_sided_reads: false,
         }
     }
 }
@@ -89,12 +107,27 @@ impl DsmTuning {
             page_table_shards: 1,
             batch_messages: false,
             batch_window: SimDuration::ZERO,
+            granularity: 0,
+            one_sided_reads: false,
         }
     }
 
     /// Same-instant batching widened to a time window.
     pub fn with_batch_window(mut self, window: SimDuration) -> Self {
         self.batch_window = window;
+        self
+    }
+
+    /// Set the default coherence granularity (bytes per line; `0` = whole
+    /// pages).
+    pub fn with_granularity(mut self, bytes: usize) -> Self {
+        self.granularity = bytes;
+        self
+    }
+
+    /// Enable the one-sided read fast path.
+    pub fn with_one_sided_reads(mut self) -> Self {
+        self.one_sided_reads = true;
         self
     }
 }
@@ -218,6 +251,13 @@ mod tests {
         assert!(!legacy.dsm.batch_messages);
         let windowed = DsmTuning::default().with_batch_window(SimDuration::from_micros(50));
         assert_eq!(windowed.batch_window, SimDuration::from_micros(50));
+        assert_eq!(config.dsm.granularity, 0, "whole pages by default");
+        assert!(!config.dsm.one_sided_reads, "two-sided reads by default");
+        let tuned = DsmTuning::default()
+            .with_granularity(256)
+            .with_one_sided_reads();
+        assert_eq!(tuned.granularity, 256);
+        assert!(tuned.one_sided_reads);
     }
 
     #[test]

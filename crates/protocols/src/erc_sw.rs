@@ -37,20 +37,37 @@ impl DsmProtocol for ErcSw {
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
         let rt = ctx.runtime().clone();
         let node = ctx.node();
-        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+        if rt.tuning().one_sided_reads && protolib::one_sided_read(ctx, fault.page, fault.line) {
+            return;
+        }
+        protolib::request_unit_and_wait(
+            ctx.pm2.sim,
+            node,
+            &rt,
+            fault.page,
+            fault.line,
+            Access::Read,
+        );
     }
 
     fn write_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
         let rt = ctx.runtime().clone();
         let node = ctx.node();
-        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Write);
+        protolib::request_unit_and_wait(
+            ctx.pm2.sim,
+            node,
+            &rt,
+            fault.page,
+            fault.line,
+            Access::Write,
+        );
     }
 
     fn read_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        if rt.page_table(node).read(req.page, |e| e.owned) {
+        if rt.page_table(node).read_at(req.page, req.line, |e| e.owned) {
             protolib::serve_read_copy(ctx.sim, node, &rt, &req);
         } else {
             protolib::forward_request(ctx.sim, node, &rt, &req);
@@ -61,7 +78,7 @@ impl DsmProtocol for ErcSw {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        if rt.page_table(node).read(req.page, |e| e.owned) {
+        if rt.page_table(node).read_at(req.page, req.line, |e| e.owned) {
             protolib::serve_write_transfer(ctx.sim, node, &rt, &req);
         } else {
             protolib::forward_request(ctx.sim, node, &rt, &req);
@@ -96,24 +113,25 @@ impl DsmProtocol for ErcSw {
         // rounds overlap instead of serializing page by page, and
         // invalidations for copies held by the same node leave in one
         // batched envelope when per-tick batching is enabled.
-        let modified = rt.page_table(node).modified_pages();
+        let modified = rt.page_table(node).modified_units();
         let mut in_flight = Vec::new();
-        for page in modified {
-            let (owned, targets, version) = rt.page_table(node).read(page, |e| {
+        for (page, line) in modified {
+            let (owned, targets, version) = rt.page_table(node).read_at(page, line, |e| {
                 let targets: Vec<_> = e.copyset.iter().copied().filter(|&n| n != node).collect();
                 (e.owned, targets, e.version)
             });
             if !owned {
                 // Ownership already moved away; the new owner is responsible.
                 rt.page_table(node)
-                    .update(page, |e| e.modified_since_release = false);
+                    .update_at(page, line, |e| e.modified_since_release = false);
                 continue;
             }
-            protolib::send_copyset_invalidations(
+            protolib::send_copyset_invalidations_at(
                 ctx.pm2.sim,
                 node,
                 &rt,
                 page,
+                line,
                 &targets,
                 Some(node),
                 version,
@@ -124,19 +142,33 @@ impl DsmProtocol for ErcSw {
             // by this node's server and survives, whereas a post-wait retain
             // could not tell that fresh copy apart from the original
             // membership and would leave it stale forever.
-            rt.page_table(node).update(page, |e| {
+            rt.page_table(node).update_at(page, line, |e| {
                 e.copyset.retain(|n| !targets.contains(n));
                 e.copyset.insert(node);
             });
-            in_flight.push(page);
+            in_flight.push((page, line));
         }
-        for page in in_flight {
-            protolib::await_invalidation_acks(ctx.pm2.sim, node, &rt, page);
+        for (page, line) in in_flight {
+            protolib::await_invalidation_acks_at(ctx.pm2.sim, node, &rt, page, line);
             // The modified flag is only cleared once the acknowledgements
             // are in: the release is not complete until every stale copy is
             // provably gone.
             rt.page_table(node)
-                .update(page, |e| e.modified_since_release = false);
+                .update_at(page, line, |e| e.modified_since_release = false);
         }
+    }
+
+    fn supports_subpage(&self) -> bool {
+        // Fault routing, ownership migration and release-time invalidation
+        // all operate on the faulting line; `modified_units` keeps the
+        // release rounds line-scoped.
+        true
+    }
+
+    fn one_sided_reads(&self) -> bool {
+        // MRSW: the owner's frame is authoritative between releases, and the
+        // fetch guard refuses whenever a release round is in flight
+        // (pending acknowledgements) on the line.
+        true
     }
 }

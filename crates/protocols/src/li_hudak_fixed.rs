@@ -46,23 +46,42 @@ impl DsmProtocol for LiHudakFixed {
     fn read_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
         let rt = ctx.runtime().clone();
         let node = ctx.node();
+        // Uncontended remote reads go one-sided straight to the fixed
+        // manager's frame; any refusal falls back to the classic request.
+        if rt.tuning().one_sided_reads && protolib::one_sided_read(ctx, fault.page, fault.line) {
+            return;
+        }
         // Non-manager nodes keep their probable-owner hint pointed at the
         // manager (see `receive_page_server`), so the generic fetch routine
         // naturally routes the request through the fixed manager.
-        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Read);
+        protolib::request_unit_and_wait(
+            ctx.pm2.sim,
+            node,
+            &rt,
+            fault.page,
+            fault.line,
+            Access::Read,
+        );
     }
 
     fn write_fault_handler(&self, ctx: &mut DsmThreadCtx<'_, '_>, fault: FaultInfo) {
         let rt = ctx.runtime().clone();
         let node = ctx.node();
-        protolib::request_page_and_wait(ctx.pm2.sim, node, &rt, fault.page, Access::Write);
+        protolib::request_unit_and_wait(
+            ctx.pm2.sim,
+            node,
+            &rt,
+            fault.page,
+            fault.line,
+            Access::Write,
+        );
     }
 
     fn read_server(&self, ctx: &mut ServerCtx<'_>, req: PageRequest) {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        let owned = rt.page_table(node).read(req.page, |e| e.owned);
+        let owned = rt.page_table(node).read_at(req.page, req.line, |e| e.owned);
         let home = rt.page_meta(req.page).home;
         if owned {
             protolib::serve_read_copy(ctx.sim, node, &rt, &req);
@@ -82,7 +101,7 @@ impl DsmProtocol for LiHudakFixed {
         let rt = ctx.runtime.clone();
         let node = ctx.local_node;
         protolib::defer_while_fetching(ctx.sim, node, &rt, &req);
-        let owned = rt.page_table(node).read(req.page, |e| e.owned);
+        let owned = rt.page_table(node).read_at(req.page, req.line, |e| e.owned);
         let home = rt.page_meta(req.page).home;
         if owned {
             // Serving transfers ownership; `serve_write_transfer` records the
@@ -107,7 +126,7 @@ impl DsmProtocol for LiHudakFixed {
         // manager itself keeps the true owner recorded by the invalidation.
         if node != home {
             rt.page_table(node)
-                .update(inv.page, |e| e.prob_owner = home);
+                .update_at(inv.page, inv.line, |e| e.prob_owner = home);
         }
     }
 
@@ -116,27 +135,36 @@ impl DsmProtocol for LiHudakFixed {
         let node = ctx.local_node;
         let home = rt.page_meta(transfer.page).home;
         let page = transfer.page;
+        let line = transfer.line;
         if transfer.grant == Access::Write {
             // Becoming the single writer: install, invalidate every other
             // copy, then grant write access locally (same sequence as
             // `li_hudak`).
-            rt.frames(node).install(page, transfer.data.clone());
+            let (line_offset, line_size) =
+                rt.page_table(node).read_at(page, line, |e| e.line_span());
+            if line_size == dsmpm2_core::PAGE_SIZE {
+                rt.frames(node).install(page, transfer.data.clone());
+            } else {
+                rt.frames(node)
+                    .install_line(page, line, line_offset, &transfer.data);
+            }
             let targets: Vec<_> = transfer
                 .copyset
                 .iter()
                 .copied()
                 .filter(|&n| n != node)
                 .collect();
-            protolib::invalidate_copyset_and_wait(
+            protolib::invalidate_copyset_and_wait_at(
                 ctx.sim,
                 node,
                 &rt,
                 page,
+                line,
                 &targets,
                 Some(node),
                 transfer.version,
             );
-            rt.page_table(node).update(page, |e| {
+            rt.page_table(node).update_at(page, line, |e| {
                 e.access = Access::Write;
                 e.owned = true;
                 e.prob_owner = node;
@@ -148,17 +176,18 @@ impl DsmProtocol for LiHudakFixed {
                 e.pending_fetch = false;
             });
             ctx.sim.charge(rt.costs().install_overhead());
-            protolib::notify_home_acquired(ctx.sim, node, &rt, page, transfer.version);
+            protolib::notify_home_acquired_at(ctx.sim, node, &rt, page, line, transfer.version);
             rt.page_table(node)
-                .waiters(page)
+                .waiters_at(page, line)
                 .notify_all(&ctx.sim.ctl(), dsmpm2_core::SimDuration::ZERO);
         } else {
             protolib::install_received_page(ctx.sim, node, &rt, &transfer);
         }
         // Fixed distributed manager: a non-manager node always sends its next
         // request to the manager, never along dynamic ownership hints.
-        if node != home && !rt.page_table(node).read(page, |e| e.owned) {
-            rt.page_table(node).update(page, |e| e.prob_owner = home);
+        if node != home && !rt.page_table(node).read_at(page, line, |e| e.owned) {
+            rt.page_table(node)
+                .update_at(page, line, |e| e.prob_owner = home);
         }
     }
 
@@ -167,4 +196,17 @@ impl DsmProtocol for LiHudakFixed {
     }
 
     fn lock_release(&self, _ctx: &mut DsmThreadCtx<'_, '_>, _lock: LockId) {}
+
+    fn supports_subpage(&self) -> bool {
+        // Every routine above routes at the faulting line; independent lines
+        // of one page have fully independent owners, copysets and queues.
+        true
+    }
+
+    fn one_sided_reads(&self) -> bool {
+        // MRSW with a fixed manager: whenever the manager's entry is
+        // readable, owned and uncontended, its frame holds the authoritative
+        // copy and may be handed out read-only.
+        true
+    }
 }

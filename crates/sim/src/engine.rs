@@ -1538,10 +1538,10 @@ impl Engine {
                         limit: shared.config.max_events,
                     });
                 }
-                let source = GrantSource {
-                    handle: &shared.coord,
-                    spin: shared.spin_map.for_worker(0),
-                };
+                // Coordinator-only granting (no worker is ever running in
+                // single-shard mode), so the whole instant is one solo
+                // burst: continuation grants skip the arbitration protocol.
+                let source = GrantSource::solo(&shared.coord, shared.spin_map.for_worker(0));
                 execute_event(shared, event, 0, false, &source);
                 continue;
             }
@@ -1594,12 +1594,11 @@ impl Engine {
                         limit: shared.config.max_events,
                     });
                 }
-                let source = GrantSource {
-                    handle: &shared.coord,
-                    // Per-worker budget: zero when the event's shard homes
-                    // only continuations (nothing to spin for).
-                    spin: shared.spin_map.for_worker(worker),
-                };
+                // Per-worker spin budget: zero when the event's shard homes
+                // only continuations (nothing to spin for). Every worker is
+                // parked between parallel rounds, so the coordinator is the
+                // sole granter here too — a solo burst.
+                let source = GrantSource::solo(&shared.coord, shared.spin_map.for_worker(worker));
                 execute_event(shared, event, worker, false, &source);
             } else {
                 // Parallel instant: every active shard drains its events at
@@ -1858,10 +1857,11 @@ fn worker_main(shared: Arc<Shared>, w: usize) {
 /// Drain every event of shard `w` at virtual times `<= t`, in sequence
 /// order, buffering all effects.
 fn drain_instant(shared: &Arc<Shared>, w: usize, t: u64) {
-    let source = GrantSource {
-        handle: &shared.shards[w].sched,
-        spin: shared.spin_map.for_worker(w),
-    };
+    // One arbitrated burst per drained instant: other active shards grant
+    // concurrently and a migrating thread's same-instant wakes can race, so
+    // the full protocol stays — but the worker's handle registration is
+    // still amortized over the whole burst by the shared source.
+    let source = GrantSource::new(&shared.shards[w].sched, shared.spin_map.for_worker(w));
     loop {
         let event = {
             let mut queue = shared.shards[w].queue.lock();

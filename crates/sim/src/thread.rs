@@ -27,7 +27,7 @@
 //!   conformance matrix can assert all hand-offs produce bit-identical
 //!   runs and so `sched_handoff` measures the true historical baseline.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::Thread;
@@ -197,6 +197,13 @@ impl Drop for SchedHandle {
 
 /// The granting side of a hand-off: its wake-up handle and how long it
 /// spins before parking while waiting for the thread.
+///
+/// A source lives for a whole *burst* of grants (the coordinator's event
+/// loop iteration, or one `drain_instant` on a worker), not a single grant,
+/// so per-granter bookkeeping — handle registration, the sole-granter
+/// claim — is paid once per burst instead of once per grant. Same-shard
+/// wake bursts (a barrier release draining dozens of wakes in one instant)
+/// are exactly the runs this batching targets.
 pub(crate) struct GrantSource<'a> {
     /// The granter's [`SchedHandle`] — must be owned by the engine's
     /// `Shared` so the raw granter pointer stored in the slot stays valid
@@ -204,6 +211,50 @@ pub(crate) struct GrantSource<'a> {
     pub handle: &'a SchedHandle,
     /// Spin iterations before parking.
     pub spin: u32,
+    /// True when the caller is provably the *only* thread that can grant
+    /// for the duration of this source's burst (the coordinator's inline
+    /// paths: single-shard mode, and single-active-shard rounds while every
+    /// worker is idle). Continuation grants then skip the whole arbitration
+    /// protocol — no `Granting` CAS, no granter-pointer publication, no
+    /// serializing phase stores.
+    pub solo: bool,
+    /// Whether `handle` is already published as the current OS thread's
+    /// wake-up handle. Set once by the first registration of the burst;
+    /// later grants skip the atomic probe entirely.
+    pub registered: Cell<bool>,
+}
+
+impl<'a> GrantSource<'a> {
+    /// A source for a burst of arbitrated grants (racing granters possible).
+    pub fn new(handle: &'a SchedHandle, spin: u32) -> Self {
+        GrantSource {
+            handle,
+            spin,
+            solo: false,
+            registered: Cell::new(false),
+        }
+    }
+
+    /// A source for a sole-granter burst: the caller guarantees no other
+    /// thread can grant any slot until this source is dropped, and that
+    /// `handle` is already registered to the calling OS thread.
+    pub fn solo(handle: &'a SchedHandle, spin: u32) -> Self {
+        GrantSource {
+            handle,
+            spin,
+            solo: true,
+            registered: Cell::new(true),
+        }
+    }
+
+    /// Publish the calling OS thread as the wake-up target of `handle`,
+    /// at most once per burst.
+    fn register(&self) {
+        if !self.registered.get() {
+            self.handle.register_current();
+            self.registered.set(true);
+        }
+    }
 }
 
 /// Sentinel for "granted inline by the coordinator" in the worker index slot.
@@ -593,8 +644,9 @@ impl ThreadSlot {
     /// path and must poll with bounded parks instead.
     fn await_parked_or_finished(&self, source: &GrantSource<'_>) -> Phase {
         // Make sure the simulated thread can wake us before we decide to
-        // sleep (SeqCst pairing with the thread's phase store).
-        source.handle.register_current();
+        // sleep (SeqCst pairing with the thread's phase store). Registered
+        // once per grant burst, not per grant.
+        source.register();
         let me = source.handle as *const SchedHandle as *mut SchedHandle;
         let mut spins = 0u32;
         loop {
@@ -718,6 +770,50 @@ impl ThreadSlot {
         parent_seq: u64,
         defer: bool,
     ) -> bool {
+        // Sole-granter fast path: on the coordinator's inline rounds no
+        // racing granter can exist, so the phase word is a record rather
+        // than an arbiter — the `Granting` CAS handshake, the
+        // granter-pointer publication and the serializing phase stores of
+        // the arbitrated path below all collapse into relaxed transitions.
+        // A same-shard wake burst (a barrier release draining N wakes in
+        // one instant) pays two relaxed stores per grant instead of five
+        // full-fence operations.
+        if source.solo {
+            match Phase::from_u32(self.phase.load(Ordering::Relaxed)) {
+                Phase::Finished => return false,
+                Phase::Parked => {
+                    self.grant_worker.store(worker, Ordering::Relaxed);
+                    self.grant_time.store(parent_time, Ordering::Relaxed);
+                    self.grant_seq.store(parent_seq, Ordering::Relaxed);
+                    self.grant_defer.store(defer, Ordering::Relaxed);
+                    self.phase.store(Phase::Running as u32, Ordering::Relaxed);
+                    let done = {
+                        // SAFETY: the caller vouches (`source.solo`) that no
+                        // other thread can grant until its burst ends, so
+                        // this access is exclusive until the phase store
+                        // below — the same guarantee the Granting CAS gives
+                        // the arbitrated path.
+                        let coro =
+                            unsafe { (*self.coro.get()).as_mut().expect("continuation present") };
+                        // SAFETY: same exclusivity; the slot was Parked, so
+                        // the coroutine is suspended and resumable.
+                        unsafe { coro.resume() }
+                    };
+                    if done {
+                        self.record_outcome(SliceOutcome::Done);
+                    }
+                    self.phase.store(
+                        if done { Phase::Finished } else { Phase::Parked } as u32,
+                        Ordering::Relaxed,
+                    );
+                    return true;
+                }
+                // Any other phase means the solo claim cannot actually hold
+                // for this slot (e.g. a mid-migration race): fall through to
+                // the arbitrated path, which copes with every interleaving.
+                _ => {}
+            }
+        }
         let me = source.handle as *const SchedHandle as *mut SchedHandle;
         // As in the futex path: publish ourselves so the winning granter's
         // post-slice `Parked` store wakes us if we lose the race.
@@ -940,10 +1036,7 @@ mod tests {
     fn slot_handoff_roundtrip() {
         for backing in os_backings() {
             let sched = Arc::new(SchedHandle::new());
-            let source = GrantSource {
-                handle: &sched,
-                spin: 0,
-            };
+            let source = GrantSource::new(&sched, 0);
             let slot = slot(1, backing, &sched);
             let s2 = slot.clone();
             let h = std::thread::spawn(move || {
@@ -965,10 +1058,7 @@ mod tests {
     fn shutdown_releases_parked_thread() {
         for backing in os_backings() {
             let sched = Arc::new(SchedHandle::new());
-            let source = GrantSource {
-                handle: &sched,
-                spin: 0,
-            };
+            let source = GrantSource::new(&sched, 0);
             let slot = slot(2, backing, &sched);
             let s2 = slot.clone();
             let h = std::thread::spawn(move || {
@@ -987,10 +1077,7 @@ mod tests {
     fn many_handoffs_roundtrip_quickly() {
         for backing in os_backings() {
             let sched = Arc::new(SchedHandle::new());
-            let source = GrantSource {
-                handle: &sched,
-                spin: 0,
-            };
+            let source = GrantSource::new(&sched, 0);
             let slot = slot(3, backing, &sched);
             let s2 = slot.clone();
             let h = std::thread::spawn(move || {

@@ -14,8 +14,8 @@ use std::fmt;
 use parking_lot::Mutex;
 
 use dsmpm2_core::{
-    Access, ConsistencyModel, DsmRuntime, MemAccess, NodeId, PageId, SimTime, SyncEvent,
-    VerifyHooks,
+    line_of_offset, Access, ConsistencyModel, DsmRuntime, MemAccess, NodeId, PageId, SimTime,
+    SyncEvent, VerifyHooks,
 };
 
 /// One entry of the recorded verification event stream.
@@ -165,11 +165,21 @@ impl RecordingHooks {
         if rt.protocol(protocol).multiple_writers() {
             return;
         }
-        // Single-writer exclusivity: at most one node may hold write access.
+        // The invariants are properties of the *coherence unit* the access
+        // fell into: at whole-page granularity that is the page (LINE0), at
+        // sub-page granularity the line containing the accessed offset —
+        // two nodes legitimately hold write access to different lines of
+        // one page at once.
+        let line_size = rt
+            .page_table(access.node)
+            .read(access.page, |e| e.line_span().1);
+        let line = line_of_offset(access.addr.offset(), line_size);
+        // Single-writer exclusivity: at most one node may hold write access
+        // to the line.
         let mut writers: Vec<NodeId> = Vec::new();
         let mut others: Vec<NodeId> = Vec::new();
         for node in rt.cluster().topology().nodes() {
-            let node_access = rt.page_table(node).read(access.page, |e| e.access);
+            let node_access = rt.page_table(node).read_at(access.page, line, |e| e.access);
             match node_access {
                 Access::Write => writers.push(node),
                 Access::Read => others.push(node),
@@ -180,28 +190,29 @@ impl RecordingHooks {
             self.report(
                 FindingKind::WriteExclusivity,
                 format!(
-                    "{} writable on nodes {:?} simultaneously (single-writer protocol)",
+                    "{} line {} writable on nodes {:?} simultaneously (single-writer protocol)",
                     access.page,
+                    line.0,
                     writers.iter().map(|n| n.0).collect::<Vec<_>>()
                 ),
             );
         }
         // Copyset coverage, checked at write instants: every other node that
-        // still holds any access must be visible in the writer's copyset,
-        // otherwise the next invalidation round will miss it and it will
-        // read stale data forever.
+        // still holds any access to the line must be visible in the writer's
+        // copyset for that line, otherwise the next invalidation round will
+        // miss it and it will read stale data forever.
         if access.is_write {
             let copyset = rt
                 .page_table(access.node)
-                .read(access.page, |e| e.copyset.clone());
+                .read_at(access.page, line, |e| e.copyset.clone());
             for node in others.iter().chain(writers.iter()) {
                 if *node != access.node && !copyset.contains(node) {
                     self.report(
                         FindingKind::CopysetCoverage,
                         format!(
-                            "node {} holds access to {} but is missing from writer node {}'s \
-                             copyset",
-                            node.0, access.page, access.node.0
+                            "node {} holds access to {} line {} but is missing from writer \
+                             node {}'s copyset",
+                            node.0, access.page, line.0, access.node.0
                         ),
                     );
                 }

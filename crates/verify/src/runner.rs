@@ -15,8 +15,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use dsmpm2_core::{
-    install_global_verify_hooks, DsmAttr, DsmRuntime, Engine, HomePolicy, NodeId, Pm2Config,
-    TransportTuning, PAGE_SIZE,
+    install_global_verify_hooks, line_of_offset, DsmAttr, DsmRuntime, DsmTuning, Engine,
+    HomePolicy, NodeId, Pm2Config, TransportTuning, PAGE_SIZE,
 };
 use dsmpm2_protocols::register_all_protocols;
 use dsmpm2_sim::{EngineConfig, HandoffMode, ScheduleController, SimTuning};
@@ -85,6 +85,9 @@ impl RunConfig {
 pub struct RunOutcome {
     /// Final authoritative word of each page.
     pub final_words: Vec<u64>,
+    /// Final authoritative words at the scenario's `expected_at` offsets
+    /// (parallel to `scenario.expected_at`; empty when it is).
+    pub final_words_at: Vec<u64>,
     /// Virtual time at which the run finished.
     pub final_time_ns: u64,
     /// Events the engine processed.
@@ -129,6 +132,18 @@ impl RunOutcome {
                 }
             }
         }
+        for (ix, &(page, offset, expected)) in scenario.expected_at.iter().enumerate() {
+            let got = self.final_words_at.get(ix).copied().unwrap_or(0);
+            if got != expected {
+                findings.push(Finding {
+                    kind: FindingKind::FinalMemory,
+                    detail: format!(
+                        "{}: page {page} offset {offset} finished at {got}, expected {expected}",
+                        scenario.name
+                    ),
+                });
+            }
+        }
         findings
     }
 
@@ -147,7 +162,7 @@ impl RunOutcome {
     /// thread observed.
     pub fn fingerprint(&self) -> (Vec<u64>, u64, u64, Vec<Vec<u64>>) {
         (
-            self.final_words.clone(),
+            [self.final_words.clone(), self.final_words_at.clone()].concat(),
             self.final_time_ns,
             self.events,
             self.observed.clone(),
@@ -170,7 +185,12 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunConfig) -> RunOutcome {
     let tuning = SimTuning::default()
         .with_workers(cfg.workers)
         .with_handoff(cfg.handoff);
+    let mut dsm = DsmTuning::default();
+    if scenario.one_sided_reads {
+        dsm = dsm.with_one_sided_reads();
+    }
     let config = Pm2Config::bip_myrinet(scenario.nodes)
+        .with_dsm_tuning(dsm)
         .with_sim_tuning(tuning)
         .with_transport_tuning(cfg.transport);
     let engine = Engine::with_config(EngineConfig {
@@ -191,10 +211,11 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunConfig) -> RunOutcome {
     let home = NodeId(scenario.home);
     let pages: Vec<_> = (0..scenario.pages)
         .map(|_| {
-            rt.dsm_malloc(
-                PAGE_SIZE as u64,
-                DsmAttr::default().home(HomePolicy::Fixed(home)),
-            )
+            let mut attr = DsmAttr::default().home(HomePolicy::Fixed(home));
+            if scenario.granularity > 0 {
+                attr = attr.granularity(scenario.granularity);
+            }
+            rt.dsm_malloc(PAGE_SIZE as u64, attr)
         })
         .collect();
     let lock = rt.create_lock(Some(NodeId(scenario.lock_manager)));
@@ -229,6 +250,25 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunConfig) -> RunOutcome {
                             observed.lock()[index].push(v);
                             ctx.write::<u64>(pages[page], v + delta);
                         }
+                        Op::ReadAt { page, offset } => {
+                            let v = ctx.read::<u64>(pages[page].add(offset as u64));
+                            observed.lock()[index].push(v);
+                        }
+                        Op::WriteAt {
+                            page,
+                            offset,
+                            value,
+                        } => ctx.write::<u64>(pages[page].add(offset as u64), value),
+                        Op::AddAt {
+                            page,
+                            offset,
+                            delta,
+                        } => {
+                            let addr = pages[page].add(offset as u64);
+                            let v = ctx.read::<u64>(addr);
+                            observed.lock()[index].push(v);
+                            ctx.write::<u64>(addr, v + delta);
+                        }
                         Op::Acquire => ctx.dsm_lock(lock),
                         Op::Release => ctx.dsm_unlock(lock),
                         Op::Barrier => ctx.dsm_barrier(barrier),
@@ -252,6 +292,7 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunConfig) -> RunOutcome {
                                 node,
                                 home,
                                 page_id,
+                                dsmpm2_core::LINE0,
                                 NodeId(owner),
                                 version,
                             );
@@ -274,7 +315,12 @@ pub fn run_scenario(scenario: &Scenario, cfg: &RunConfig) -> RunOutcome {
     }
     outcome.final_words = pages
         .iter()
-        .map(|&addr| read_authoritative_word(&rt, addr.page()))
+        .map(|&addr| read_authoritative_word(&rt, addr.page(), 0))
+        .collect();
+    outcome.final_words_at = scenario
+        .expected_at
+        .iter()
+        .map(|&(page, offset, _)| read_authoritative_word(&rt, pages[page].page(), offset))
         .collect();
     outcome.observed = std::mem::take(&mut observed.lock());
     if let Some(hooks) = hooks {
@@ -301,16 +347,20 @@ pub fn with_recording<R>(check: bool, f: impl FnOnce() -> R) -> (R, Vec<LogRecor
     (result, hooks.take_log(), hooks.take_findings())
 }
 
-/// The authoritative final value of a page's word: the home frame for
-/// multiple-writer protocols (diffs consolidate there), otherwise the
-/// owning node's frame, falling back to the home copy.
-fn read_authoritative_word(rt: &DsmRuntime, page: dsmpm2_core::PageId) -> u64 {
+/// The authoritative final value of the word at `offset` of a page: the
+/// home frame for multiple-writer protocols (diffs consolidate there),
+/// otherwise the frame of the node owning the coherence unit covering the
+/// offset — the line at sub-page granularity, the whole page otherwise —
+/// falling back to the home copy.
+fn read_authoritative_word(rt: &DsmRuntime, page: dsmpm2_core::PageId, offset: usize) -> u64 {
     let meta = rt.page_meta(page);
     let multiple_writers = rt.protocol(meta.protocol).multiple_writers();
     let mut source = meta.home;
     if !multiple_writers {
+        let line_size = rt.page_table(meta.home).read(page, |e| e.line_span().1);
+        let line = line_of_offset(offset, line_size);
         for node in rt.cluster().topology().nodes() {
-            let owned = rt.page_table(node).read(page, |e| e.owned);
+            let owned = rt.page_table(node).read_at(page, line, |e| e.owned);
             if owned && rt.frames(node).has(page) {
                 source = node;
                 break;
@@ -321,6 +371,6 @@ fn read_authoritative_word(rt: &DsmRuntime, page: dsmpm2_core::PageId) -> u64 {
         return 0;
     }
     let mut buf = [0u8; 8];
-    rt.frames(source).read(page, 0, &mut buf);
+    rt.frames(source).read(page, offset, &mut buf);
     u64::from_le_bytes(buf)
 }

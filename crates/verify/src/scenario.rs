@@ -2,7 +2,8 @@
 //!
 //! A [`Scenario`] is a fixed small configuration — 2–3 nodes, 1–2 pages,
 //! a handful of operations per thread — whose entire schedule space the
-//! explorer can enumerate. Each page holds one `u64` word at offset 0;
+//! explorer can enumerate. Each page holds one `u64` word at offset 0
+//! (sub-page scenarios address further words through the `*At` ops);
 //! threads run straight-line op lists (no data-dependent branching), so a
 //! scenario's behaviour is a pure function of the schedule.
 
@@ -25,6 +26,32 @@ pub enum Op {
     Add {
         /// Page index within the scenario.
         page: usize,
+        /// Increment applied.
+        delta: u64,
+    },
+    /// Read the word at byte `offset` of page `page` (sub-page scenarios:
+    /// at line granularity `g`, offset `k * g` addresses line `k`).
+    ReadAt {
+        /// Page index within the scenario.
+        page: usize,
+        /// Byte offset within the page (8-aligned).
+        offset: usize,
+    },
+    /// Write `value` to the word at byte `offset` of page `page`.
+    WriteAt {
+        /// Page index within the scenario.
+        page: usize,
+        /// Byte offset within the page (8-aligned).
+        offset: usize,
+        /// Value stored.
+        value: u64,
+    },
+    /// Read-modify-write the word at byte `offset` of page `page`.
+    AddAt {
+        /// Page index within the scenario.
+        page: usize,
+        /// Byte offset within the page (8-aligned).
+        offset: usize,
         /// Increment applied.
         delta: u64,
     },
@@ -83,11 +110,23 @@ pub struct Scenario {
     pub home: usize,
     /// Node index managing the scenario's lock.
     pub lock_manager: usize,
+    /// Coherence granularity in bytes for every scenario page (`0` = the
+    /// default whole-page unit). Protocols that do not support sub-page
+    /// coherence clamp this transparently, so sub-page scenarios stay
+    /// runnable — with identical expected memory — under every protocol.
+    pub granularity: usize,
+    /// Run with the one-sided read fast path enabled (protocols that do
+    /// not declare the capability fall back to the handler path).
+    pub one_sided_reads: bool,
     /// The scenario threads.
     pub threads: Vec<ThreadSpec>,
     /// Expected final word per page, when the scenario is
     /// schedule-independent (`None` entries are unchecked).
     pub expected: Vec<Option<u64>>,
+    /// Expected final words at sub-page offsets: `(page, offset, value)`
+    /// triples, checked against the authoritative copy of the coherence
+    /// unit covering each offset. Empty for page-granularity scenarios.
+    pub expected_at: Vec<(usize, usize, u64)>,
 }
 
 impl Scenario {
@@ -111,6 +150,8 @@ pub fn locked_counter() -> Scenario {
         pages: 1,
         home: 0,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 0,
@@ -119,6 +160,7 @@ pub fn locked_counter() -> Scenario {
             ThreadSpec { node: 1, ops: incr },
         ],
         expected: vec![Some(2)],
+        expected_at: vec![],
     }
 }
 
@@ -132,6 +174,8 @@ pub fn unsynced_pair() -> Scenario {
         pages: 1,
         home: 0,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 0,
@@ -143,6 +187,7 @@ pub fn unsynced_pair() -> Scenario {
             },
         ],
         expected: vec![None],
+        expected_at: vec![],
     }
 }
 
@@ -159,6 +204,8 @@ pub fn stale_release() -> Scenario {
         pages: 1,
         home: 2,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 1,
@@ -167,6 +214,7 @@ pub fn stale_release() -> Scenario {
             ThreadSpec { node: 2, ops: incr },
         ],
         expected: vec![Some(2)],
+        expected_at: vec![],
     }
 }
 
@@ -181,6 +229,8 @@ pub fn reader_flock() -> Scenario {
         pages: 1,
         home: 0,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 0,
@@ -202,6 +252,7 @@ pub fn reader_flock() -> Scenario {
             },
         ],
         expected: vec![Some(9)],
+        expected_at: vec![],
     }
 }
 
@@ -215,6 +266,8 @@ pub fn switch_survivor(to_protocol: &'static str) -> Scenario {
         pages: 1,
         home: 0,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 0,
@@ -241,6 +294,7 @@ pub fn switch_survivor(to_protocol: &'static str) -> Scenario {
             },
         ],
         expected: vec![Some(7)],
+        expected_at: vec![],
     }
 }
 
@@ -255,6 +309,8 @@ pub fn stale_done_injection() -> Scenario {
         pages: 1,
         home: 0,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 1,
@@ -283,6 +339,7 @@ pub fn stale_done_injection() -> Scenario {
             },
         ],
         expected: vec![Some(2)],
+        expected_at: vec![],
     }
 }
 
@@ -296,6 +353,8 @@ pub fn migratory_increment() -> Scenario {
         pages: 1,
         home: 0,
         lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: false,
         threads: vec![
             ThreadSpec {
                 node: 0,
@@ -313,5 +372,173 @@ pub fn migratory_increment() -> Scenario {
             },
         ],
         expected: vec![Some(2)],
+        expected_at: vec![],
+    }
+}
+
+/// Two nodes hammer disjoint 1 KiB lines of one page with unsynchronized
+/// read-modify-writes. At sub-page granularity each line has exactly one
+/// writer, so per-line single-writer exclusivity must hold on every step
+/// and both final line words are schedule-independent; under a protocol
+/// that clamps to whole pages the page ping-pongs instead, but each word
+/// still has a single writer and the final memory is identical.
+pub fn line_exclusive_writers() -> Scenario {
+    Scenario {
+        name: "line_exclusive_writers",
+        nodes: 2,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        granularity: 1024,
+        one_sided_reads: false,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![
+                    Op::AddAt {
+                        page: 0,
+                        offset: 0,
+                        delta: 1,
+                    },
+                    Op::AddAt {
+                        page: 0,
+                        offset: 0,
+                        delta: 1,
+                    },
+                    Op::Barrier,
+                ],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![
+                    Op::AddAt {
+                        page: 0,
+                        offset: 1024,
+                        delta: 1,
+                    },
+                    Op::AddAt {
+                        page: 0,
+                        offset: 1024,
+                        delta: 1,
+                    },
+                    Op::Barrier,
+                ],
+            },
+        ],
+        expected: vec![None],
+        expected_at: vec![(0, 0, 2), (0, 1024, 2)],
+    }
+}
+
+/// Copyset coverage at line resolution: two remote readers cache line 0,
+/// then its home writer updates it — at the write instant both readers
+/// must be visible in that line's copyset or the invalidation round
+/// misses one and it reads stale data forever. Line 1 is written once
+/// before the readers arrive and read again at the end: at sub-page
+/// granularity its copy is never invalidated by line 0's traffic.
+pub fn line_copyset_coverage() -> Scenario {
+    Scenario {
+        name: "line_copyset_coverage",
+        nodes: 3,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        granularity: 1024,
+        one_sided_reads: false,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![
+                    Op::WriteAt {
+                        page: 0,
+                        offset: 0,
+                        value: 7,
+                    },
+                    Op::WriteAt {
+                        page: 0,
+                        offset: 1024,
+                        value: 40,
+                    },
+                    Op::Barrier,
+                    Op::Barrier,
+                    Op::WriteAt {
+                        page: 0,
+                        offset: 0,
+                        value: 9,
+                    },
+                    Op::Barrier,
+                ],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![
+                    Op::Barrier,
+                    Op::ReadAt { page: 0, offset: 0 },
+                    Op::Barrier,
+                    Op::Barrier,
+                    Op::ReadAt { page: 0, offset: 0 },
+                ],
+            },
+            ThreadSpec {
+                node: 2,
+                ops: vec![
+                    Op::Barrier,
+                    Op::ReadAt { page: 0, offset: 0 },
+                    Op::ReadAt {
+                        page: 0,
+                        offset: 1024,
+                    },
+                    Op::Barrier,
+                    Op::Barrier,
+                    Op::ReadAt {
+                        page: 0,
+                        offset: 1024,
+                    },
+                ],
+            },
+        ],
+        expected: vec![None],
+        expected_at: vec![(0, 0, 9), (0, 1024, 40)],
+    }
+}
+
+/// A one-sided read fault racing a write-ownership acquisition on the
+/// same page: every interleaving must either serve the fetch from a
+/// still-valid home frame (registering the reader in the copyset so the
+/// writer's invalidation reaches it) or refuse and fall back to the
+/// handler path — never hand out a copy that escapes coherence. Node 2
+/// is the only post-barrier writer, so the final word is
+/// schedule-independent even though the reader's observations race.
+pub fn one_sided_read_race() -> Scenario {
+    Scenario {
+        name: "one_sided_read_race",
+        nodes: 3,
+        pages: 1,
+        home: 0,
+        lock_manager: 0,
+        granularity: 0,
+        one_sided_reads: true,
+        threads: vec![
+            ThreadSpec {
+                node: 0,
+                ops: vec![Op::Write { page: 0, value: 3 }, Op::Barrier, Op::Barrier],
+            },
+            ThreadSpec {
+                node: 1,
+                ops: vec![
+                    Op::Barrier,
+                    Op::Read { page: 0 },
+                    Op::Read { page: 0 },
+                    Op::Barrier,
+                    Op::Read { page: 0 },
+                ],
+            },
+            ThreadSpec {
+                node: 2,
+                ops: vec![Op::Barrier, Op::Write { page: 0, value: 5 }, Op::Barrier],
+            },
+        ],
+        expected: vec![Some(5)],
+        expected_at: vec![],
     }
 }

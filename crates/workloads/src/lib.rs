@@ -9,6 +9,9 @@
 //!   future evaluation targets.
 //! * [`micro`] — the single-fault measurements behind Tables 3 and 4 and a
 //!   few small shared-memory kernels.
+//! * [`false_sharing`] — per-node counters packed into shared pages: the
+//!   coherence-granularity ablation's workload (plus a read-mostly mode for
+//!   the one-sided read fast path).
 //!
 //! The paper closes by announcing "a more thorough performance evaluation
 //! using the SPLASH-2 benchmarks"; the following kernels reproduce the
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod false_sharing;
 pub mod jacobi;
 pub mod lu;
 pub mod map_coloring;
@@ -39,6 +43,7 @@ pub mod radix;
 pub mod sor;
 pub mod tsp;
 
+pub use false_sharing::{run_false_sharing, FalseSharingConfig, FalseSharingResult};
 pub use jacobi::{run_jacobi, JacobiConfig, JacobiResult};
 pub use lu::{run_lu, LuConfig, LuResult};
 pub use map_coloring::{run_map_coloring, ColoringConfig, ColoringResult};

@@ -313,6 +313,7 @@ fn per_region_protocols_behave_independently() {
 
 use dsm_pm2::pm2::{DsmTuning, SimTuning, TransportTuning};
 use dsm_pm2::workloads::{
+    false_sharing::{run_false_sharing, FalseSharingConfig},
     jacobi::{run_jacobi, JacobiConfig},
     matmul::{run_matmul, MatmulConfig},
     sor::{run_sor, SorConfig},
@@ -338,6 +339,8 @@ fn scale_out_tuning() -> DsmTuning {
         page_table_shards: 8,
         batch_messages: true,
         batch_window: Default::default(),
+        granularity: 0,
+        one_sided_reads: false,
     }
 }
 
@@ -707,4 +710,151 @@ fn conformance_matrix_under_contended_and_lossy_transports() {
         lossy_drops > 0 && lossy_retransmits > 0,
         "the lossy backend never dropped a frame across the whole matrix"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Line-granularity conformance matrix (PR 10)
+// ---------------------------------------------------------------------------
+
+/// The protocols that opt into sub-page coherence units.
+const SUBPAGE_PROTOCOLS: [&str; 3] = ["li_hudak_fixed", "erc_sw", "hbrc_mw"];
+
+/// Splitting pages into independently-owned lines must never change what the
+/// programs compute: every supporting protocol × {jacobi, sor, false_sharing}
+/// × {1, 2, 4} nodes cell runs at 256-byte (and for the false-sharing kernel
+/// also 64-byte) line granularity and must produce final shared memory
+/// bit-identical to the whole-page run of the same cell. The one-sided read
+/// fast path rides along on the line rows — it must be equally invisible.
+#[test]
+fn conformance_matrix_line_granularity() {
+    let jacobi = |nodes: usize, tuning: DsmTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning,
+        sim: SimTuning::default(),
+        transport: TransportTuning::default(),
+    };
+    let sor = |nodes: usize, tuning: DsmTuning| SorConfig {
+        size: 16,
+        iterations: 2,
+        omega: 1.25,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning,
+        sim: SimTuning::default(),
+        transport: TransportTuning::default(),
+    };
+    let fs = |nodes: usize, tuning: DsmTuning| {
+        let mut c = FalseSharingConfig::small(nodes);
+        c.network = dsm_pm2::pm2::profiles::bip_myrinet();
+        c.tuning = tuning;
+        c
+    };
+    let line = |bytes: usize| scale_out_tuning().with_granularity(bytes);
+    let one_sided = |bytes: usize| line(bytes).with_one_sided_reads();
+    for proto in SUBPAGE_PROTOCOLS {
+        for nodes in MATRIX_NODES {
+            let base_j = run_jacobi(&jacobi(nodes, scale_out_tuning()), proto);
+            let base_s = run_sor(&sor(nodes, scale_out_tuning()), proto);
+            let base_f = run_false_sharing(&fs(nodes, scale_out_tuning()), proto);
+            for tuning in [line(256), one_sided(256)] {
+                let os = tuning.one_sided_reads;
+                let r = run_jacobi(&jacobi(nodes, tuning), proto);
+                assert_eq!(
+                    r.final_cells, base_j.final_cells,
+                    "jacobi memory diverged at line granularity under {proto} x {nodes} nodes (one_sided={os})"
+                );
+                let r = run_sor(&sor(nodes, tuning), proto);
+                assert_eq!(
+                    r.final_cells, base_s.final_cells,
+                    "sor memory diverged at line granularity under {proto} x {nodes} nodes (one_sided={os})"
+                );
+                let r = run_false_sharing(&fs(nodes, tuning), proto);
+                assert_eq!(
+                    r.final_slots, base_f.final_slots,
+                    "false_sharing memory diverged at line granularity under {proto} x {nodes} nodes (one_sided={os})"
+                );
+            }
+            // The kernel built for the ablation also runs at its own stride.
+            let r = run_false_sharing(&fs(nodes, line(64)), proto);
+            assert_eq!(
+                r.final_slots, base_f.final_slots,
+                "false_sharing memory diverged at 64-byte lines under {proto} x {nodes} nodes"
+            );
+        }
+    }
+}
+
+/// Protocols that do NOT opt into sub-page units must clamp a requested line
+/// granularity back to whole pages transparently: the run is bit-identical —
+/// final memory AND virtual time — to the default-granularity run.
+#[test]
+fn non_subpage_protocols_clamp_granularity_to_pages() {
+    let jacobi = |nodes: usize, tuning: DsmTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning,
+        sim: SimTuning::default(),
+        transport: TransportTuning::default(),
+    };
+    for proto in ["li_hudak", "migrate_thread", "hlrc_notices", "java_ic"] {
+        for nodes in [2usize, 4] {
+            let base = run_jacobi(&jacobi(nodes, scale_out_tuning()), proto);
+            let clamped = run_jacobi(
+                &jacobi(nodes, scale_out_tuning().with_granularity(256)),
+                proto,
+            );
+            assert_eq!(
+                clamped.final_cells, base.final_cells,
+                "clamped jacobi memory diverged under {proto} x {nodes} nodes"
+            );
+            assert_eq!(
+                clamped.elapsed, base.elapsed,
+                "clamped jacobi virtual time diverged under {proto} x {nodes} nodes"
+            );
+        }
+    }
+}
+
+/// An *explicit* whole-page granularity (4096) must be byte-for-byte the same
+/// machine as the default (0 = unset): final memory AND virtual completion
+/// time agree for every protocol in the matrix. This pins the tentpole's
+/// compatibility claim — the line machinery at its default setting is not a
+/// new code path, it IS the old one.
+#[test]
+fn explicit_page_granularity_is_bit_identical_to_default() {
+    let jacobi = |nodes: usize, tuning: DsmTuning| JacobiConfig {
+        size: 16,
+        iterations: 2,
+        nodes,
+        network: dsm_pm2::pm2::profiles::bip_myrinet(),
+        compute_per_cell_us: 0.02,
+        tuning,
+        sim: SimTuning::default(),
+        transport: TransportTuning::default(),
+    };
+    for proto in MATRIX_PROTOCOLS {
+        for nodes in MATRIX_NODES {
+            let base = run_jacobi(&jacobi(nodes, scale_out_tuning()), proto);
+            let explicit = run_jacobi(
+                &jacobi(nodes, scale_out_tuning().with_granularity(4096)),
+                proto,
+            );
+            assert_eq!(
+                explicit.final_cells, base.final_cells,
+                "explicit page granularity changed jacobi memory under {proto} x {nodes} nodes"
+            );
+            assert_eq!(
+                explicit.elapsed, base.elapsed,
+                "explicit page granularity changed jacobi virtual time under {proto} x {nodes} nodes"
+            );
+        }
+    }
 }

@@ -40,6 +40,8 @@ fn run_interleaving(ops: &[Op], protocol: &str, shards: usize) -> Vec<u8> {
         page_table_shards: shards,
         batch_messages: true,
         batch_window: Default::default(),
+        granularity: 0,
+        one_sided_reads: false,
     };
     let rt = DsmRuntime::new(
         &engine,
